@@ -1,0 +1,78 @@
+"""Figure 2 — MULE runtime as a function of the probability threshold α.
+
+Figure 2(a) sweeps the Barabási–Albert graphs BA5000–BA10000 and
+Figure 2(b) the semi-synthetic/real graphs (PPI, ca-GrQc, the three
+p2p-Gnutella snapshots, wiki-vote) over α ∈ [0.0001, 0.5].  The paper
+observes runtimes dropping sharply as α grows because the search prunes
+candidate extensions earlier.
+
+Each benchmark case is one curve (one graph); the α sweep runs inside it so
+the recorded rows form the full series of the figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mule import mule
+
+#: The α values on the x-axis (log-scale in the paper).
+ALPHA_SWEEP = [0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5]
+
+FIGURE2A_GRAPHS = ["ba5000", "ba6000", "ba7000", "ba8000", "ba9000", "ba10000"]
+FIGURE2B_GRAPHS = [
+    "ppi",
+    "ca-grqc",
+    "p2p-gnutella04",
+    "p2p-gnutella08",
+    "p2p-gnutella09",
+    "wiki-vote",
+]
+
+
+def _sweep(graph, graph_name: str, record_rows, experiment: str, title: str):
+    rows = []
+    for alpha in ALPHA_SWEEP:
+        result = mule(graph, alpha)
+        rows.append(
+            {
+                "graph": graph_name,
+                "alpha": alpha,
+                "seconds": round(result.elapsed_seconds, 4),
+                "num_cliques": result.num_cliques,
+                "recursive_calls": result.statistics.recursive_calls,
+            }
+        )
+    record_rows(
+        experiment,
+        title,
+        rows,
+        columns=["graph", "alpha", "seconds", "num_cliques", "recursive_calls"],
+    )
+    return rows
+
+
+@pytest.mark.parametrize("graph_name", FIGURE2A_GRAPHS)
+def bench_fig2a_random_graphs(graph_name, dataset, run_once, record_rows):
+    """Figure 2(a): runtime vs α for the Barabási–Albert graphs."""
+    graph = dataset(graph_name)
+    rows = run_once(
+        _sweep, graph, graph_name, record_rows, "Figure 2a", "MULE runtime vs alpha (BA graphs)"
+    )
+    # Shape check: the low-α end must not be faster than the high-α end.
+    assert rows[0]["recursive_calls"] >= rows[-1]["recursive_calls"]
+
+
+@pytest.mark.parametrize("graph_name", FIGURE2B_GRAPHS)
+def bench_fig2b_real_graphs(graph_name, dataset, run_once, record_rows):
+    """Figure 2(b): runtime vs α for the semi-synthetic and real graph analogs."""
+    graph = dataset(graph_name)
+    rows = run_once(
+        _sweep,
+        graph,
+        graph_name,
+        record_rows,
+        "Figure 2b",
+        "MULE runtime vs alpha (semi-synthetic and real graph analogs)",
+    )
+    assert rows[0]["recursive_calls"] >= rows[-1]["recursive_calls"]

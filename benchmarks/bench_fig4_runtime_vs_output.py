@@ -1,0 +1,75 @@
+"""Figure 4 — runtime versus output size.
+
+The paper plots MULE's runtime against the number of α-maximal cliques it
+outputs (for the BA graphs across α ∈ {0.05 … 0.0001}) and finds the two
+almost proportional — evidence that the algorithm's cost is driven by the
+output, as the near-output-optimal analysis of Section 4.2 predicts.
+
+The benchmark reruns the grid and additionally records a least-squares
+correlation between output size and the (noise-free) count of recursive
+calls, asserting it is strongly positive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mule import mule
+
+FIGURE4_ALPHAS = [0.05, 0.01, 0.005, 0.001, 0.0005, 0.0001]
+FIGURE4_GRAPHS = ["ba5000", "ba6000", "ba7000", "ba8000", "ba9000", "ba10000"]
+
+
+def _pearson(xs: list[float], ys: list[float]) -> float:
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs) ** 0.5
+    var_y = sum((y - mean_y) ** 2 for y in ys) ** 0.5
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / (var_x * var_y)
+
+
+@pytest.mark.parametrize("graph_name", FIGURE4_GRAPHS)
+def bench_fig4_runtime_vs_output(graph_name, dataset, run_once, record_rows):
+    """One Figure 4 curve: runtime/output pairs across the α grid for one BA graph."""
+    graph = dataset(graph_name)
+
+    def sweep():
+        rows = []
+        for alpha in FIGURE4_ALPHAS:
+            result = mule(graph, alpha)
+            rows.append(
+                {
+                    "graph": graph_name,
+                    "alpha": alpha,
+                    "num_cliques": result.num_cliques,
+                    "seconds": round(result.elapsed_seconds, 4),
+                    "recursive_calls": result.statistics.recursive_calls,
+                }
+            )
+        return rows
+
+    rows = run_once(sweep)
+    outputs = [row["num_cliques"] for row in rows]
+    calls = [row["recursive_calls"] for row in rows]
+    correlation = _pearson([float(o) for o in outputs], [float(c) for c in calls])
+    for row in rows:
+        row["output_vs_calls_corr"] = round(correlation, 3)
+    record_rows(
+        "Figure 4",
+        "MULE runtime vs output size (BA graphs, alpha in {0.05 ... 0.0001})",
+        rows,
+        columns=[
+            "graph",
+            "alpha",
+            "num_cliques",
+            "seconds",
+            "recursive_calls",
+            "output_vs_calls_corr",
+        ],
+    )
+    # The paper's claim: runtime is (nearly) proportional to output size.
+    assert correlation > 0.9

@@ -1,0 +1,117 @@
+"""Figure 5 — LARGE-MULE runtime as a function of the size threshold t.
+
+Figure 5 of the paper shows, for BA10000 (a), ca-GrQc (b) and DBLP (c),
+that the runtime of LARGE-MULE falls steeply as the minimum clique size t
+grows, across a range of α values.  The headline numbers are on DBLP:
+enumerating everything at α = 0.9 takes 76 797 s, while LARGE-MULE with
+t = 3 needs only 32 s.
+
+The benchmark reruns the same (graph, α, t) grid on the scaled analogs and
+additionally records the output of the ablation (shared-neighborhood
+filtering disabled) so the contribution of the pre-pruning is visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.large_mule import LargeMuleConfig, large_mule
+
+#: Size thresholds on the x-axis.
+THRESHOLDS = [2, 3, 4, 5, 6, 7]
+
+#: α values per panel — a subset of the paper's curve families.
+PANELS = {
+    "ba10000": [0.2, 0.01, 0.0001],
+    "ca-grqc": [0.2, 0.01, 0.0001],
+    "dblp10": [0.9, 0.5, 0.1],
+}
+
+#: DBLP is far larger than the other graphs; shrink it further.
+EXTRA_SCALE = {"dblp10": 0.02}
+
+
+@pytest.mark.parametrize("graph_name", sorted(PANELS))
+def bench_fig5_runtime_vs_threshold(graph_name, dataset, run_once, record_rows):
+    """One Figure 5 panel: LARGE-MULE across the (α, t) grid for one graph."""
+    graph = dataset(graph_name, EXTRA_SCALE.get(graph_name, 1.0))
+
+    def sweep():
+        rows = []
+        for alpha in PANELS[graph_name]:
+            for threshold in THRESHOLDS:
+                result = large_mule(graph, alpha, threshold)
+                rows.append(
+                    {
+                        "graph": graph_name,
+                        "alpha": alpha,
+                        "size_threshold": threshold,
+                        "seconds": round(result.elapsed_seconds, 4),
+                        "num_cliques": result.num_cliques,
+                        "recursive_calls": result.statistics.recursive_calls,
+                    }
+                )
+        return rows
+
+    rows = run_once(sweep)
+    record_rows(
+        "Figure 5",
+        "LARGE-MULE runtime vs size threshold t",
+        rows,
+        columns=[
+            "graph",
+            "alpha",
+            "size_threshold",
+            "seconds",
+            "num_cliques",
+            "recursive_calls",
+        ],
+    )
+    # Shape check: for each α, search effort at the largest t is no larger
+    # than at t = 2 (it typically collapses by orders of magnitude).
+    for alpha in PANELS[graph_name]:
+        series = [r for r in rows if r["alpha"] == alpha]
+        assert series[-1]["recursive_calls"] <= series[0]["recursive_calls"]
+
+
+@pytest.mark.parametrize("graph_name", ["ba10000", "ca-grqc"])
+def bench_fig5_ablation_shared_neighborhood_filter(
+    graph_name, dataset, run_once, record_rows
+):
+    """Ablation: LARGE-MULE with the Modani–Dey pre-filter disabled."""
+    graph = dataset(graph_name)
+    alpha, threshold = 0.01, 5
+
+    def run_both():
+        with_filter = large_mule(graph, alpha, threshold)
+        without_filter = large_mule(
+            graph,
+            alpha,
+            threshold,
+            config=LargeMuleConfig(shared_neighborhood_filtering=False),
+        )
+        return with_filter, without_filter
+
+    with_filter, without_filter = run_once(run_both)
+    assert with_filter.vertex_sets() == without_filter.vertex_sets()
+    record_rows(
+        "Figure 5 (ablation)",
+        "Shared Neighborhood Filtering on/off (alpha=0.01, t=5)",
+        [
+            {
+                "graph": graph_name,
+                "variant": "with-filter",
+                "seconds": round(with_filter.elapsed_seconds, 4),
+                "recursive_calls": with_filter.statistics.recursive_calls,
+                "num_cliques": with_filter.num_cliques,
+            },
+            {
+                "graph": graph_name,
+                "variant": "without-filter",
+                "seconds": round(without_filter.elapsed_seconds, 4),
+                "recursive_calls": without_filter.statistics.recursive_calls,
+                "num_cliques": without_filter.num_cliques,
+            },
+        ],
+        columns=["graph", "variant", "seconds", "recursive_calls", "num_cliques"],
+    )

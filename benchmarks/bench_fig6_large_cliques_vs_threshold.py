@@ -1,0 +1,95 @@
+"""Figure 6 — number of large α-maximal cliques as a function of t.
+
+The companion of Figure 5: for BA10000, ca-GrQc and DBLP, the number of
+α-maximal cliques with at least t vertices drops (roughly geometrically) as
+t grows, for every α.  This benchmark records the full series and asserts
+the monotone-decreasing shape, plus consistency with plain MULE filtering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.large_mule import large_mule
+from repro.core.mule import mule
+
+THRESHOLDS = [2, 3, 4, 5, 6, 7]
+
+PANELS = {
+    "ba10000": [0.2, 0.01, 0.0001],
+    "ca-grqc": [0.2, 0.01, 0.0001],
+    "dblp10": [0.9, 0.5, 0.1],
+}
+
+EXTRA_SCALE = {"dblp10": 0.02}
+
+
+@pytest.mark.parametrize("graph_name", sorted(PANELS))
+def bench_fig6_cliques_vs_threshold(graph_name, dataset, run_once, record_rows):
+    """One Figure 6 panel: output size across the (α, t) grid for one graph."""
+    graph = dataset(graph_name, EXTRA_SCALE.get(graph_name, 1.0))
+
+    def sweep():
+        rows = []
+        for alpha in PANELS[graph_name]:
+            for threshold in THRESHOLDS:
+                result = large_mule(graph, alpha, threshold)
+                rows.append(
+                    {
+                        "graph": graph_name,
+                        "alpha": alpha,
+                        "size_threshold": threshold,
+                        "num_cliques": result.num_cliques,
+                    }
+                )
+        return rows
+
+    rows = run_once(sweep)
+    record_rows(
+        "Figure 6",
+        "Number of alpha-maximal cliques with >= t vertices",
+        rows,
+        columns=["graph", "alpha", "size_threshold", "num_cliques"],
+    )
+    # Shape check: for each α the counts are non-increasing in t.
+    for alpha in PANELS[graph_name]:
+        series = [r["num_cliques"] for r in rows if r["alpha"] == alpha]
+        assert series == sorted(series, reverse=True)
+
+
+@pytest.mark.parametrize("graph_name", ["ca-grqc", "ba10000"])
+def bench_fig6_consistency_with_mule(graph_name, dataset, run_once, record_rows):
+    """LARGE-MULE output must equal MULE output filtered by size."""
+    graph = dataset(graph_name)
+    alpha, threshold = 0.01, 4
+
+    def run_both():
+        full = mule(graph, alpha)
+        large = large_mule(graph, alpha, threshold)
+        return full, large
+
+    full, large = run_once(run_both)
+    expected = {c for c in full.vertex_sets() if len(c) >= threshold}
+    assert large.vertex_sets() == expected
+    record_rows(
+        "Figure 6 (consistency)",
+        "LARGE-MULE equals size-filtered MULE",
+        [
+            {
+                "graph": graph_name,
+                "alpha": alpha,
+                "size_threshold": threshold,
+                "mule_cliques_total": full.num_cliques,
+                "mule_cliques_filtered": len(expected),
+                "large_mule_cliques": large.num_cliques,
+            }
+        ],
+        columns=[
+            "graph",
+            "alpha",
+            "size_threshold",
+            "mule_cliques_total",
+            "mule_cliques_filtered",
+            "large_mule_cliques",
+        ],
+    )

@@ -1,0 +1,78 @@
+"""Theorem 1 — the maximum number of α-maximal cliques.
+
+Not a figure but the paper's analytical centerpiece (Section 3): for any
+``0 < α < 1`` the maximum number of α-maximal cliques on ``n`` vertices is
+exactly ``C(n, ⌊n/2⌋)``, attained by the Lemma 1 construction, and strictly
+above the Moon–Moser bound ``≈ 3^{n/3}`` that governs deterministic graphs.
+
+The benchmark enumerates the extremal graphs for growing ``n`` and records
+the three quantities side by side; it also measures enumeration cost on the
+worst-case instances, which is the regime of the ``O(n · 2^n)`` analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import (
+    extremal_uncertain_graph,
+    moon_moser_bound,
+    moon_moser_graph,
+    uncertain_clique_bound,
+)
+from repro.core.mule import mule
+
+EXTREMAL_SIZES = [6, 8, 10, 12, 14, 16]
+ALPHA = 0.5
+
+
+@pytest.mark.parametrize("n", EXTREMAL_SIZES)
+def bench_thm1_extremal_graph(n, run_once, record_rows):
+    """Enumerate the Lemma 1 extremal graph and check it attains the bound."""
+    graph = extremal_uncertain_graph(n, ALPHA)
+    # The 1 - 1e-9 factor guards against floating-point rounding of the
+    # κ-fold probability product (documented in repro.core.bounds).
+    result = run_once(mule, graph, ALPHA * (1 - 1e-9))
+    record_rows(
+        "Theorem 1",
+        "Extremal uncertain graphs: output vs the C(n, n//2) and Moon-Moser bounds",
+        [
+            {
+                "n": n,
+                "moon_moser_bound": moon_moser_bound(n),
+                "theorem1_bound": uncertain_clique_bound(n, ALPHA),
+                "extremal_graph_output": result.num_cliques,
+                "seconds": round(result.elapsed_seconds, 4),
+            }
+        ],
+        columns=[
+            "n",
+            "moon_moser_bound",
+            "theorem1_bound",
+            "extremal_graph_output",
+            "seconds",
+        ],
+    )
+    assert result.num_cliques == uncertain_clique_bound(n, ALPHA)
+    assert result.num_cliques > moon_moser_bound(n)
+
+
+@pytest.mark.parametrize("n", [9, 12, 15])
+def bench_thm1_moon_moser_worst_case(n, run_once, record_rows):
+    """The deterministic worst case (α = 1): Moon–Moser graphs."""
+    graph = moon_moser_graph(n)
+    result = run_once(mule, graph, 1.0)
+    record_rows(
+        "Theorem 1 (deterministic)",
+        "Moon-Moser graphs at alpha = 1",
+        [
+            {
+                "n": n,
+                "moon_moser_bound": moon_moser_bound(n),
+                "output": result.num_cliques,
+                "seconds": round(result.elapsed_seconds, 4),
+            }
+        ],
+        columns=["n", "moon_moser_bound", "output", "seconds"],
+    )
+    assert result.num_cliques == moon_moser_bound(n)

@@ -1,0 +1,120 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark module reproduces one table or figure of the paper's
+evaluation (see DESIGN.md for the experiment index).  This conftest
+provides:
+
+* ``bench_scale`` — the dataset scale factor.  The paper's graphs have
+  5 000–685 000 vertices and its implementation is Java; this pure-Python
+  reproduction defaults to a reduced scale so the whole suite finishes in
+  minutes.  Override with ``REPRO_BENCH_SCALE=0.2 pytest benchmarks/ ...``.
+* ``dataset`` — cached, seed-pinned construction of the Table 1 analogs.
+* ``record_rows`` — a collector for paper-style result rows; everything
+  recorded is printed in the terminal summary (and therefore lands in
+  ``bench_output.txt``) together with the reproduction scale.
+* ``run_once`` — run a callable exactly once under pytest-benchmark
+  (the enumerations here take 0.1 s – 10 s, so statistical repetition is
+  wasteful; the structural counters recorded alongside are deterministic).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+import pytest
+
+from repro.analysis.comparison import format_table
+from repro.datasets.loaders import load_cached_dataset
+from repro.uncertain.graph import UncertainGraph
+
+_RESULT_STORE: "OrderedDict[str, dict]" = OrderedDict()
+
+
+def _bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+
+def _bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "2015"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Dataset scale factor used throughout the benchmark suite."""
+    return _bench_scale()
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """Seed used for dataset generation, so runs are reproducible."""
+    return _bench_seed()
+
+
+@pytest.fixture(scope="session")
+def dataset(bench_scale, bench_seed):
+    """Factory fixture: ``dataset(name, scale_multiplier=1.0)`` → UncertainGraph."""
+    cache: dict[tuple, UncertainGraph] = {}
+
+    def load(name: str, scale_multiplier: float = 1.0) -> UncertainGraph:
+        key = (name, scale_multiplier)
+        if key not in cache:
+            cache[key] = load_cached_dataset(
+                name, scale=bench_scale * scale_multiplier, seed=bench_seed
+            )
+        return cache[key]
+
+    return load
+
+
+@pytest.fixture(scope="session")
+def record_rows():
+    """Collector: ``record_rows(experiment_id, title, rows, columns=None)``.
+
+    Rows recorded here are printed as aligned tables in the terminal summary
+    so that ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+    captures the paper-style series alongside pytest-benchmark's timings.
+    """
+
+    def record(experiment: str, title: str, rows, columns=None) -> None:
+        entry = _RESULT_STORE.setdefault(
+            experiment, {"title": title, "rows": [], "columns": columns}
+        )
+        entry["rows"].extend(rows)
+        if columns is not None:
+            entry["columns"] = columns
+
+    return record
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print all recorded paper-style tables at the end of the run."""
+    if not _RESULT_STORE:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write(
+        "Paper-style reproduction tables "
+        f"(dataset scale={_bench_scale():g}, seed={_bench_seed()})"
+    )
+    write(
+        "Absolute runtimes are not comparable to the paper (pure Python vs Java, "
+        "scaled-down synthetic analogs); compare shapes and ratios."
+    )
+    write("=" * 78)
+    for experiment, entry in _RESULT_STORE.items():
+        write("")
+        write(f"--- {experiment}: {entry['title']} ---")
+        write(format_table(entry["rows"], columns=entry["columns"]))
+    write("")

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Comparing MULE against DFS-NOIP and exploring the theory of Section 3.
+
+This example reproduces, at laptop scale, the two analytical stories of the
+paper:
+
+* **Section 4 / Figure 1** — incremental probability maintenance matters:
+  MULE and the DFS-NOIP baseline enumerate exactly the same α-maximal
+  cliques, but DFS-NOIP performs many times more probability
+  multiplications (and correspondingly more wall-clock work), with the gap
+  widening as α decreases.
+* **Section 3 / Theorem 1** — the number of α-maximal cliques in an
+  uncertain graph can reach ``C(n, ⌊n/2⌋)``, far beyond the Moon–Moser
+  bound ``3^{n/3}`` for deterministic graphs; the extremal construction of
+  Lemma 1 attains the bound exactly.
+
+Run it with::
+
+    python examples/algorithm_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import dfs_noip, mule, moon_moser_bound, uncertain_clique_bound
+from repro.core.bounds import extremal_uncertain_graph
+from repro.generators import barabasi_albert_uncertain
+
+
+def compare_algorithms() -> None:
+    print("=== MULE vs DFS-NOIP (Figure 1 at laptop scale) ===")
+    graph = barabasi_albert_uncertain(250, 8, rng=123)
+    print(f"input: Barabási–Albert graph, n={graph.num_vertices}, m={graph.num_edges}\n")
+
+    header = f"{'alpha':>8}  {'cliques':>8}  {'MULE (s)':>10}  {'DFS-NOIP (s)':>13}  {'speed-up':>9}"
+    print(header)
+    print("-" * len(header))
+    for alpha in (0.9, 0.5, 0.1, 0.01, 0.001):
+        fast = mule(graph, alpha)
+        slow = dfs_noip(graph, alpha)
+        assert fast.vertex_sets() == slow.vertex_sets()
+        speedup = slow.elapsed_seconds / max(fast.elapsed_seconds, 1e-9)
+        print(
+            f"{alpha:>8}  {fast.num_cliques:>8}  {fast.elapsed_seconds:>10.3f}  "
+            f"{slow.elapsed_seconds:>13.3f}  {speedup:>8.1f}x"
+        )
+    print(
+        "\nBoth algorithms return identical cliques; the speed-up comes purely from\n"
+        "incremental probability maintenance and O(1) maximality checks.\n"
+    )
+
+
+def explore_counting_bounds() -> None:
+    print("=== How many α-maximal cliques can there be? (Theorem 1) ===")
+    header = (
+        f"{'n':>4}  {'Moon-Moser (α=1)':>18}  {'C(n, n//2) bound':>17}  "
+        f"{'extremal graph output':>22}"
+    )
+    print(header)
+    print("-" * len(header))
+    alpha = 0.5
+    for n in (4, 6, 8, 10, 12):
+        graph = extremal_uncertain_graph(n, alpha)
+        # Guard against floating-point rounding of the κ-fold product.
+        result = mule(graph, alpha * (1 - 1e-9))
+        print(
+            f"{n:>4}  {moon_moser_bound(n):>18}  {uncertain_clique_bound(n, alpha):>17}  "
+            f"{result.num_cliques:>22}"
+        )
+    print(
+        "\nThe extremal uncertain graph attains the C(n, ⌊n/2⌋) bound exactly, and for\n"
+        "n ≥ 5 that is strictly more maximal cliques than any deterministic graph can have."
+    )
+
+
+def main() -> None:
+    compare_algorithms()
+    explore_counting_bounds()
+
+
+if __name__ == "__main__":
+    main()

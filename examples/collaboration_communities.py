@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Finding robust collaboration communities in an uncertain co-authorship graph.
+
+This example mirrors the paper's DBLP use case: vertices are authors, and
+two authors are connected with probability ``1 − e^{−c/10}`` where ``c`` is
+their number of joint papers (the exact model used in the paper).  An
+α-maximal clique is then a group of researchers who are all likely to keep
+collaborating pairwise — a "robust community".
+
+The script:
+
+1. builds a synthetic analog of the DBLP collaboration network,
+2. enumerates robust communities at several reliability levels,
+3. uses LARGE-MULE to focus on communities of 4 or more researchers,
+4. compares against the top-k most reliable communities (the related-work
+   formulation of Zou et al.), and
+5. reports how communities overlap through shared members.
+
+Run it with::
+
+    python examples/collaboration_communities.py
+"""
+
+from __future__ import annotations
+
+from repro import large_mule, mule, top_k_maximal_cliques
+from repro.analysis import vertex_participation
+from repro.generators import collaboration_graph
+from repro.uncertain.statistics import global_clustering_coefficient, summarize
+
+
+def main() -> None:
+    # A small slice of a DBLP-style collaboration network: 800 authors in
+    # small research groups that co-author repeatedly, so pair probabilities
+    # 1 − e^{−c/10} span the whole range from ~0.1 (one joint paper) to ~0.8
+    # (long-running collaborations) — just like the paper's DBLP graph.
+    graph = collaboration_graph(
+        num_authors=800,
+        num_papers=5000,
+        min_authors_per_paper=2,
+        max_authors_per_paper=4,
+        community_count=100,
+        rng=7,
+    )
+    summary = summarize(graph)
+    print("collaboration network (DBLP-style synthetic analog)")
+    print(f"  authors:              {summary.num_vertices}")
+    print(f"  co-authorship edges:  {summary.num_edges}")
+    print(f"  clustering coeff.:    {global_clustering_coefficient(graph):.3f}")
+
+    # --- robust communities at different reliability levels ----------------
+    print("\nrobust communities vs reliability threshold:")
+    print(f"  {'alpha':>6}  {'communities':>12}  {'of size >=3':>12}")
+    for alpha in (0.5, 0.3, 0.1, 0.01):
+        result = mule(graph, alpha)
+        big = result.filter_minimum_size(3)
+        print(f"  {alpha:>6}  {result.num_cliques:>12}  {big.num_cliques:>12}")
+
+    # --- larger communities only -------------------------------------------
+    alpha = 0.05
+    communities = large_mule(graph, alpha, size_threshold=4)
+    print(f"\nLARGE-MULE (α = {alpha}, t = 4): {communities.num_cliques} communities")
+    for record in sorted(communities, key=lambda r: -r.size)[:6]:
+        members = ", ".join(f"A{a}" for a in record.as_tuple())
+        print(f"  [{record.size} authors, P={record.probability:.3f}]  {members}")
+
+    # --- the top-k view (related work comparison) ---------------------------
+    top = top_k_maximal_cliques(graph, k=5, alpha=alpha, min_size=3)
+    print("\ntop-5 most reliable communities (Zou et al. style ranking):")
+    for rank, record in enumerate(top, 1):
+        members = ", ".join(f"A{a}" for a in record.as_tuple())
+        print(f"  {rank}. P={record.probability:.3f}  {{{members}}}")
+
+    # --- overlapping membership ---------------------------------------------
+    result = mule(graph, alpha)
+    participation = vertex_participation(result.filter_minimum_size(3))
+    connectors = sorted(participation.items(), key=lambda kv: -kv[1])[:5]
+    print("\nauthors bridging the most communities:")
+    for author, count in connectors:
+        print(f"  A{author}: member of {count} communities")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Tour of the paper's evaluation datasets (Table 1 analogs).
+
+Builds a reduced-scale analog of every input graph in the paper's Table 1,
+prints its structural summary side by side with the size the paper reports,
+and runs MULE on each to show which structural regimes produce many or few
+α-maximal cliques.
+
+Run it with::
+
+    python examples/dataset_tour.py          # quick (scale 0.03)
+    REPRO_SCALE=0.1 python examples/dataset_tour.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import mule
+from repro.datasets import DATASETS, available_datasets, load_dataset
+from repro.uncertain.statistics import global_clustering_coefficient, summarize
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_SCALE", "0.03"))
+    alpha = 0.5
+
+    header = (
+        f"{'dataset':<16} {'paper n':>9} {'paper m':>9} {'n':>7} {'m':>8} "
+        f"{'clustering':>11} {'cliques@0.5':>12}"
+    )
+    print(f"Table 1 dataset analogs at scale {scale} (α = {alpha})\n")
+    print(header)
+    print("-" * len(header))
+
+    for name in available_datasets():
+        if name == "dblp-small":
+            continue  # CI helper, not a Table 1 row
+        spec = DATASETS[name]
+        dataset_scale = scale * 0.1 if name == "dblp10" else scale
+        graph = load_dataset(name, scale=dataset_scale, seed=2015)
+        summary = summarize(graph)
+        clustering = global_clustering_coefficient(graph)
+        result = mule(graph, alpha)
+        print(
+            f"{name:<16} {spec.paper_vertices:>9} {spec.paper_edges:>9} "
+            f"{summary.num_vertices:>7} {summary.num_edges:>8} "
+            f"{clustering:>11.3f} {result.num_cliques:>12}"
+        )
+
+    print(
+        "\nReading the table: clique-rich graphs (collaboration networks, wiki-vote,\n"
+        "BA graphs) produce many α-maximal cliques, while the low-clustering p2p\n"
+        "overlays and the very sparse PPI network produce few — the same qualitative\n"
+        "split the paper observes across its Figures 2 and 3."
+    )
+
+
+if __name__ == "__main__":
+    main()

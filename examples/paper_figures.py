@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's figures as ASCII charts at laptop scale.
+
+This example ties the measurement harness (`repro.analysis.comparison`) to
+the text plotting helpers to produce terminal versions of the evaluation
+figures:
+
+* Figure 1 — MULE vs DFS-NOIP runtime on four graphs,
+* Figures 2/3 — runtime and output size as functions of α,
+* Figure 4 — runtime vs output size,
+* Figures 5/6 — LARGE-MULE runtime and output vs the size threshold t.
+
+The full, recorded reproduction lives in ``benchmarks/``; this script is the
+interactive, human-paced version.
+
+Run it with::
+
+    python examples/paper_figures.py              # quick (scale 0.04)
+    REPRO_SCALE=0.1 python examples/paper_figures.py
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+
+from repro.analysis import (
+    alpha_sweep,
+    ascii_bar_chart,
+    ascii_line_chart,
+    compare_algorithms,
+    size_threshold_sweep,
+)
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_SCALE", "0.04"))
+    seed = 2015
+
+    print(f"Regenerating paper figures at dataset scale {scale}\n")
+    graphs = {
+        name: load_dataset(name, scale=scale, seed=seed)
+        for name in ("wiki-vote", "ba5000", "ca-grqc", "ppi")
+    }
+
+    # ------------------------------------------------------------------ #
+    # Figure 1: MULE vs DFS-NOIP
+    # ------------------------------------------------------------------ #
+    alpha = 0.001
+    rows = compare_algorithms(graphs, [alpha])
+    runtimes = {
+        f"{row['graph']} ({row['algorithm']})": row["elapsed_seconds"] for row in rows
+    }
+    print(ascii_bar_chart(runtimes, title=f"Figure 1 — runtime (s) at alpha = {alpha}", unit="s"))
+    print()
+
+    # ------------------------------------------------------------------ #
+    # Figures 2 and 3: runtime and output size vs alpha
+    # ------------------------------------------------------------------ #
+    alphas = [0.0001, 0.001, 0.01, 0.1, 0.5]
+    sweep_rows = alpha_sweep(graphs, alphas)
+    by_graph_runtime = defaultdict(list)
+    by_graph_count = defaultdict(list)
+    for row in sweep_rows:
+        by_graph_runtime[row["graph"]].append((row["alpha"], row["elapsed_seconds"]))
+        by_graph_count[row["graph"]].append((row["alpha"], max(row["num_cliques"], 1)))
+    print(
+        ascii_line_chart(
+            by_graph_runtime,
+            title="Figure 2 — MULE runtime vs alpha (log x)",
+            x_label="alpha",
+            y_label="seconds",
+            log_x=True,
+        )
+    )
+    print()
+    print(
+        ascii_line_chart(
+            by_graph_count,
+            title="Figure 3 — number of alpha-maximal cliques vs alpha (log x)",
+            x_label="alpha",
+            y_label="cliques",
+            log_x=True,
+        )
+    )
+    print()
+
+    # ------------------------------------------------------------------ #
+    # Figure 4: runtime vs output size (BA graph family)
+    # ------------------------------------------------------------------ #
+    ba_graphs = {
+        name: load_dataset(name, scale=scale, seed=seed)
+        for name in ("ba5000", "ba7000", "ba10000")
+    }
+    fig4_rows = alpha_sweep(ba_graphs, [0.05, 0.01, 0.001, 0.0001])
+    fig4_series = {
+        "BA graphs": [(row["num_cliques"], row["elapsed_seconds"]) for row in fig4_rows]
+    }
+    print(
+        ascii_line_chart(
+            fig4_series,
+            title="Figure 4 — runtime vs output size",
+            x_label="number of cliques",
+            y_label="seconds",
+        )
+    )
+    print()
+
+    # ------------------------------------------------------------------ #
+    # Figures 5 and 6: LARGE-MULE vs the size threshold
+    # ------------------------------------------------------------------ #
+    target = {"ba10000": load_dataset("ba10000", scale=scale, seed=seed)}
+    threshold_rows = size_threshold_sweep(target, [0.01], [2, 3, 4, 5, 6])
+    runtime_series = {
+        "alpha=0.01": [(row["size_threshold"], row["elapsed_seconds"]) for row in threshold_rows]
+    }
+    count_series = {
+        "alpha=0.01": [
+            (row["size_threshold"], max(row["num_cliques"], 1)) for row in threshold_rows
+        ]
+    }
+    print(
+        ascii_line_chart(
+            runtime_series,
+            title="Figure 5 — LARGE-MULE runtime vs size threshold (BA10000)",
+            x_label="size threshold t",
+            y_label="seconds",
+        )
+    )
+    print()
+    print(
+        ascii_line_chart(
+            count_series,
+            title="Figure 6 — large cliques vs size threshold (BA10000, log y)",
+            x_label="size threshold t",
+            y_label="cliques",
+            log_y=True,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

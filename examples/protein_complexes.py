@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Discovering protein complexes in an uncertain PPI network.
+
+The paper motivates α-maximal cliques as "a group of proteins such that it
+is likely that each protein interacts with each other protein".  This
+example reproduces that workflow on a synthetic analog of the paper's
+fruit-fly PPI dataset (BioGRID topology + STRING confidence scores):
+
+1. generate (or load) the PPI-style uncertain graph,
+2. enumerate α-maximal cliques at a biologically meaningful confidence,
+3. rank candidate complexes by reliability and size,
+4. show how the confidence threshold α trades recall for precision,
+5. identify promiscuous hub proteins via clique participation counts.
+
+Run it with::
+
+    python examples/protein_complexes.py
+"""
+
+from __future__ import annotations
+
+from repro import large_mule, mule
+from repro.analysis import clique_statistics, vertex_participation
+from repro.generators import ppi_like_graph
+from repro.uncertain.statistics import summarize
+
+
+def main() -> None:
+    # A 1/5-scale analog of the paper's PPI network (3 751 proteins).
+    graph = ppi_like_graph(750, rng=2015)
+    summary = summarize(graph)
+    print("protein-protein interaction network (synthetic analog)")
+    print(f"  proteins:            {summary.num_vertices}")
+    print(f"  scored interactions: {summary.num_edges}")
+    print(f"  mean confidence:     {summary.mean_probability:.2f}")
+
+    # --- 1. candidate complexes at a moderate confidence threshold --------
+    alpha = 0.4
+    result = mule(graph, alpha)
+    complexes = result.filter_minimum_size(3)
+    print(
+        f"\nα = {alpha}: {result.num_cliques} α-maximal cliques, "
+        f"{complexes.num_cliques} candidate complexes (≥ 3 proteins)"
+    )
+
+    print("\ntop candidate complexes by reliability:")
+    ranked = sorted(complexes, key=lambda r: (-r.probability, -r.size))
+    for record in ranked[:8]:
+        members = ", ".join(f"P{p}" for p in record.as_tuple())
+        print(f"  [{record.size} proteins, P(complex)={record.probability:.3f}]  {members}")
+
+    # --- 2. the α trade-off ------------------------------------------------
+    print("\nconfidence threshold trade-off:")
+    print(f"  {'alpha':>8}  {'cliques':>8}  {'complexes >=3':>14}  {'largest':>8}")
+    for threshold in (0.8, 0.6, 0.4, 0.2, 0.05):
+        sweep = mule(graph, threshold)
+        big = sweep.filter_minimum_size(3)
+        largest = sweep.largest()
+        print(
+            f"  {threshold:>8}  {sweep.num_cliques:>8}  {big.num_cliques:>14}  "
+            f"{largest.size if largest else 0:>8}"
+        )
+
+    # --- 3. direct search for large complexes with LARGE-MULE --------------
+    large = large_mule(graph, 0.2, size_threshold=4)
+    print(f"\nLARGE-MULE (α = 0.2, t = 4): {large.num_cliques} complexes of ≥ 4 proteins")
+    stats = clique_statistics(large)
+    if large.num_cliques:
+        print(f"  sizes: {stats.size_histogram}")
+
+    # --- 4. promiscuous proteins -------------------------------------------
+    participation = vertex_participation(result)
+    hubs = sorted(participation.items(), key=lambda kv: -kv[1])[:5]
+    print("\nproteins participating in the most candidate complexes:")
+    for protein, count in hubs:
+        print(f"  P{protein}: member of {count} α-maximal cliques")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""repro — a reproduction of "Mining Maximal Cliques from an Uncertain Graph".
+
+The library implements the MULE algorithm family (MULE, LARGE-MULE and the
+DFS-NOIP baseline) for enumerating α-maximal cliques from uncertain graphs,
+together with the uncertain-graph substrate, the counting bounds of the
+paper's Section 3, dataset analogs of its evaluation inputs, and a
+measurement harness reproducing every table and figure of its evaluation.
+
+Quickstart
+----------
+>>> from repro import UncertainGraph, mule
+>>> g = UncertainGraph(edges=[(1, 2, 0.9), (2, 3, 0.9), (1, 3, 0.9), (3, 4, 0.4)])
+>>> [sorted(record.vertices) for record in mule(g, 0.5)]
+[[4], [1, 2, 3]]
+"""
+
+from .core.bounds import (
+    extremal_uncertain_graph,
+    moon_moser_bound,
+    moon_moser_graph,
+    uncertain_clique_bound,
+)
+from .core.brute_force import brute_force_alpha_maximal_cliques, is_alpha_maximal_clique
+from .core.dfs_noip import dfs_noip
+from .core.fast_mule import fast_mule
+from .core.large_mule import LargeMuleConfig, large_mule
+from .core.mule import MuleConfig, iter_alpha_maximal_cliques, mule
+from .core.result import CliqueRecord, EnumerationResult, SearchStatistics
+from .core.top_k import top_k_by_threshold_search, top_k_maximal_cliques
+from .datasets.registry import available_datasets, load_dataset
+from .deterministic.graph import Graph
+from .errors import (
+    DatasetError,
+    EdgeError,
+    FormatError,
+    GraphError,
+    ParameterError,
+    ProbabilityError,
+    ReproError,
+    VertexError,
+)
+from .uncertain.graph import UncertainGraph
+from .uncertain.io import read_edge_list, write_edge_list
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graphs
+    "UncertainGraph",
+    "Graph",
+    # enumeration algorithms
+    "mule",
+    "MuleConfig",
+    "iter_alpha_maximal_cliques",
+    "large_mule",
+    "LargeMuleConfig",
+    "dfs_noip",
+    "fast_mule",
+    "brute_force_alpha_maximal_cliques",
+    "is_alpha_maximal_clique",
+    "top_k_maximal_cliques",
+    "top_k_by_threshold_search",
+    # results
+    "EnumerationResult",
+    "CliqueRecord",
+    "SearchStatistics",
+    # bounds and extremal constructions
+    "moon_moser_bound",
+    "uncertain_clique_bound",
+    "extremal_uncertain_graph",
+    "moon_moser_graph",
+    # datasets and I/O
+    "available_datasets",
+    "load_dataset",
+    "read_edge_list",
+    "write_edge_list",
+    # errors
+    "ReproError",
+    "GraphError",
+    "VertexError",
+    "EdgeError",
+    "ProbabilityError",
+    "ParameterError",
+    "DatasetError",
+    "FormatError",
+]

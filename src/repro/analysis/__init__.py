@@ -1,0 +1,36 @@
+"""Verification, statistics and measurement harness."""
+
+from .comparison import (
+    MeasurementRow,
+    alpha_sweep,
+    compare_algorithms,
+    format_table,
+    runtime_vs_output_size,
+    size_threshold_sweep,
+)
+from .statistics import CliqueStatistics, clique_statistics, vertex_participation
+from .text_plots import ascii_bar_chart, ascii_line_chart
+from .verification import (
+    check_output_bound,
+    matches_deterministic_cliques,
+    results_agree,
+    verify_result,
+)
+
+__all__ = [
+    "verify_result",
+    "results_agree",
+    "matches_deterministic_cliques",
+    "check_output_bound",
+    "CliqueStatistics",
+    "clique_statistics",
+    "vertex_participation",
+    "MeasurementRow",
+    "compare_algorithms",
+    "alpha_sweep",
+    "size_threshold_sweep",
+    "runtime_vs_output_size",
+    "format_table",
+    "ascii_line_chart",
+    "ascii_bar_chart",
+]

@@ -1,0 +1,175 @@
+"""Measurement harness used by the benchmark suite.
+
+Every figure in the paper's evaluation is a sweep of one of three shapes:
+
+* **algorithm comparison** (Figure 1): run MULE and DFS-NOIP on the same
+  graph/α and compare runtimes;
+* **α sweep** (Figures 2–4): run MULE across a range of thresholds and
+  record runtime and output size;
+* **size-threshold sweep** (Figures 5–6): run LARGE-MULE across a range of
+  ``t`` values for several thresholds.
+
+This module implements those sweeps once, returning plain list-of-dict rows
+(the same rows the paper plots), plus a small text-table formatter so the
+benchmarks can print paper-style summaries into ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from ..core.dfs_noip import dfs_noip
+from ..core.large_mule import LargeMuleConfig, large_mule
+from ..core.mule import MuleConfig, mule
+from ..core.result import EnumerationResult
+from ..uncertain.graph import UncertainGraph
+
+__all__ = [
+    "MeasurementRow",
+    "compare_algorithms",
+    "alpha_sweep",
+    "size_threshold_sweep",
+    "runtime_vs_output_size",
+    "format_table",
+]
+
+MeasurementRow = dict[str, object]
+
+_ALGORITHMS: dict[str, Callable[[UncertainGraph, float], EnumerationResult]] = {
+    "mule": lambda graph, alpha: mule(graph, alpha),
+    "dfs-noip": lambda graph, alpha: dfs_noip(graph, alpha),
+}
+
+
+def compare_algorithms(
+    graphs: dict[str, UncertainGraph],
+    alphas: Sequence[float],
+    *,
+    algorithms: Sequence[str] = ("mule", "dfs-noip"),
+) -> list[MeasurementRow]:
+    """Reproduce the Figure 1 comparison rows.
+
+    For every (graph, α, algorithm) combination, run the enumerator and
+    record its runtime, output size and search-effort counters.  Both
+    algorithms enumerate the same cliques, so ``num_cliques`` must agree
+    within each (graph, α) pair — the benchmark asserts this.
+
+    Parameters
+    ----------
+    graphs:
+        Mapping of display name → uncertain graph.
+    alphas:
+        The probability thresholds to test.
+    algorithms:
+        Subset of ``{"mule", "dfs-noip"}``.
+    """
+    rows: list[MeasurementRow] = []
+    for graph_name, graph in graphs.items():
+        for alpha in alphas:
+            for algorithm in algorithms:
+                runner = _ALGORITHMS[algorithm]
+                result = runner(graph, alpha)
+                rows.append(_row(graph_name, graph, alpha, result))
+    return rows
+
+
+def alpha_sweep(
+    graphs: dict[str, UncertainGraph],
+    alphas: Sequence[float],
+    *,
+    prune_edges: bool = True,
+) -> list[MeasurementRow]:
+    """Reproduce the Figure 2/3 sweeps: MULE runtime and output size vs α."""
+    rows: list[MeasurementRow] = []
+    config = MuleConfig(prune_edges=prune_edges)
+    for graph_name, graph in graphs.items():
+        for alpha in alphas:
+            result = mule(graph, alpha, config=config)
+            rows.append(_row(graph_name, graph, alpha, result))
+    return rows
+
+
+def size_threshold_sweep(
+    graphs: dict[str, UncertainGraph],
+    alphas: Sequence[float],
+    size_thresholds: Sequence[int],
+    *,
+    shared_neighborhood_filtering: bool = True,
+) -> list[MeasurementRow]:
+    """Reproduce the Figure 5/6 sweeps: LARGE-MULE vs the size threshold ``t``."""
+    rows: list[MeasurementRow] = []
+    config = LargeMuleConfig(
+        shared_neighborhood_filtering=shared_neighborhood_filtering
+    )
+    for graph_name, graph in graphs.items():
+        for alpha in alphas:
+            for t in size_thresholds:
+                result = large_mule(graph, alpha, t, config=config)
+                row = _row(graph_name, graph, alpha, result)
+                row["size_threshold"] = t
+                rows.append(row)
+    return rows
+
+
+def runtime_vs_output_size(
+    graphs: dict[str, UncertainGraph], alphas: Sequence[float]
+) -> list[MeasurementRow]:
+    """Reproduce Figure 4: MULE runtime against the number of cliques output.
+
+    The rows are the same as :func:`alpha_sweep`; this wrapper exists so the
+    Figure 4 bench reads naturally and can later diverge (e.g. adding
+    regression fits) without touching the other figures.
+    """
+    return alpha_sweep(graphs, alphas)
+
+
+def _row(
+    graph_name: str,
+    graph: UncertainGraph,
+    alpha: float,
+    result: EnumerationResult,
+) -> MeasurementRow:
+    return {
+        "graph": graph_name,
+        "n": graph.num_vertices,
+        "m": graph.num_edges,
+        "alpha": alpha,
+        "algorithm": result.algorithm,
+        "num_cliques": result.num_cliques,
+        "elapsed_seconds": result.elapsed_seconds,
+        "recursive_calls": result.statistics.recursive_calls,
+        "candidates_examined": result.statistics.candidates_examined,
+        "probability_multiplications": result.statistics.probability_multiplications,
+    }
+
+
+def format_table(rows: Iterable[MeasurementRow], *, columns: Sequence[str] | None = None) -> str:
+    """Format measurement rows as an aligned text table.
+
+    Floating point cells are rendered with 6 significant digits; missing
+    cells render as ``-``.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+    table = [[render(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in table))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in table
+    )
+    return "\n".join([header, separator, body])

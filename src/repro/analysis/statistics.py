@@ -1,0 +1,88 @@
+"""Descriptive statistics over enumeration output.
+
+Turns an :class:`~repro.core.result.EnumerationResult` into the aggregate
+numbers reported in the paper's evaluation: output sizes, clique-size
+distributions, probability distributions, and per-vertex participation
+counts (useful for the community-detection and protein-complex examples).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from ..core.result import EnumerationResult
+
+__all__ = ["CliqueStatistics", "clique_statistics", "vertex_participation"]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class CliqueStatistics:
+    """Aggregate description of an enumeration output."""
+
+    num_cliques: int
+    min_size: int
+    max_size: int
+    mean_size: float
+    size_histogram: dict[int, int]
+    min_probability: float
+    max_probability: float
+    mean_probability: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Return a flat dict for tabular reporting."""
+        return {
+            "num_cliques": self.num_cliques,
+            "min_size": self.min_size,
+            "max_size": self.max_size,
+            "mean_size": round(self.mean_size, 3),
+            "min_probability": round(self.min_probability, 6),
+            "max_probability": round(self.max_probability, 6),
+            "mean_probability": round(self.mean_probability, 6),
+        }
+
+
+def clique_statistics(result: EnumerationResult) -> CliqueStatistics:
+    """Compute :class:`CliqueStatistics` for an enumeration result.
+
+    An empty result produces zeros across the board.
+    """
+    if not result.cliques:
+        return CliqueStatistics(
+            num_cliques=0,
+            min_size=0,
+            max_size=0,
+            mean_size=0.0,
+            size_histogram={},
+            min_probability=0.0,
+            max_probability=0.0,
+            mean_probability=0.0,
+        )
+    sizes = [record.size for record in result.cliques]
+    probabilities = [record.probability for record in result.cliques]
+    return CliqueStatistics(
+        num_cliques=len(result.cliques),
+        min_size=min(sizes),
+        max_size=max(sizes),
+        mean_size=sum(sizes) / len(sizes),
+        size_histogram=result.size_histogram(),
+        min_probability=min(probabilities),
+        max_probability=max(probabilities),
+        mean_probability=sum(probabilities) / len(probabilities),
+    )
+
+
+def vertex_participation(result: EnumerationResult) -> dict[Vertex, int]:
+    """Return how many α-maximal cliques each vertex belongs to.
+
+    Vertices participating in many maximal cliques are "overlapping
+    community members" in the social-network reading of the paper, or
+    promiscuous proteins in the PPI reading.
+    """
+    counts: Counter = Counter()
+    for record in result.cliques:
+        counts.update(record.vertices)
+    return dict(counts)

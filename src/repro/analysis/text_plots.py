@@ -1,0 +1,149 @@
+"""Plain-text plotting for the reproduction figures.
+
+The paper's evaluation is presented as line plots (runtime vs α, output vs
+threshold, ...).  This module renders the same series as ASCII charts so
+the benchmark harness and the examples can show figure-shaped output in a
+terminal or a text log without any plotting dependency.
+
+Two primitives are provided:
+
+* :func:`ascii_line_chart` — multi-series scatter/line chart on a character
+  grid, with optional logarithmic axes (the paper's figures use log-scale x
+  axes for α and log-scale y axes for counts);
+* :func:`ascii_bar_chart` — horizontal bars, used for the Figure 1 style
+  grouped runtime comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+__all__ = ["ascii_line_chart", "ascii_bar_chart"]
+
+#: Characters used to draw successive series in a line chart.
+_SERIES_MARKERS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        return math.log10(max(value, 1e-12))
+    return value
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render one or more ``(x, y)`` series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series name to a sequence of ``(x, y)`` points.
+    width, height:
+        Size of the plotting area in characters.
+    log_x, log_y:
+        Use a base-10 logarithmic axis (non-positive values are clamped).
+    x_label, y_label, title:
+        Axis labels and chart title.
+
+    Returns
+    -------
+    str
+        A multi-line string: title, plot grid with a y-axis, an x-axis line
+        and a legend mapping marker characters to series names.
+
+    >>> chart = ascii_line_chart({"demo": [(1, 1), (2, 4), (3, 9)]}, width=20, height=5)
+    >>> "demo" in chart
+    True
+    """
+    if width < 10 or height < 3:
+        raise ValueError("chart area too small; need width >= 10 and height >= 3")
+    points = [
+        (_transform(x, log_x), _transform(y, log_y))
+        for values in series.values()
+        for x, y in values
+    ]
+    if not points:
+        return f"{title}\n(no data)"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, values) in zip(_SERIES_MARKERS * 10, series.items()):
+        for x, y in values:
+            tx = (_transform(x, log_x) - min_x) / span_x
+            ty = (_transform(y, log_y) - min_y) / span_y
+            column = min(width - 1, int(round(tx * (width - 1))))
+            row = height - 1 - min(height - 1, int(round(ty * (height - 1))))
+            grid[row][column] = marker
+
+    def axis_value(transformed: float, log: bool) -> float:
+        return 10**transformed if log else transformed
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{axis_value(max_y, log_y):.4g}"
+    bottom_label = f"{axis_value(min_y, log_y):.4g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    lines.append(f"{y_label.rjust(label_width)} ")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(f"{' ' * label_width} +{'-' * width}")
+    left = f"{axis_value(min_x, log_x):.4g}"
+    right = f"{axis_value(max_x, log_x):.4g}"
+    middle = x_label.center(width - len(left) - len(right))
+    lines.append(f"{' ' * label_width}  {left}{middle}{right}")
+    legend = "   ".join(
+        f"{marker} = {name}"
+        for marker, (name, _) in zip(_SERIES_MARKERS * 10, series.items())
+    )
+    lines.append(f"{' ' * label_width}  {legend}")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render a mapping label → value as horizontal ASCII bars.
+
+    Bars are scaled to the maximum value; each row shows the label, the bar
+    and the numeric value.
+
+    >>> print(ascii_bar_chart({"a": 2.0, "b": 4.0}, width=10))  # doctest: +SKIP
+    """
+    if not values:
+        return f"{title}\n(no data)"
+    longest_label = max(len(str(label)) for label in values)
+    peak = max(values.values()) or 1.0
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(
+            f"{str(label).rjust(longest_label)} | {bar.ljust(width)} {value:.4g}{unit}"
+        )
+    return "\n".join(lines)

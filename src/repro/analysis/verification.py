@@ -1,0 +1,101 @@
+"""Cross-validation of enumeration results.
+
+The functions here are the library's internal referee: they re-check
+enumerator output against the definitions and against independent
+implementations.  They back the integration tests and are also exposed so a
+downstream user can assert correctness on their own data (cheap checks) or
+on a sample of it (expensive checks).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from ..core.bounds import is_non_redundant_family, uncertain_clique_bound
+from ..core.brute_force import is_alpha_maximal_clique
+from ..core.result import EnumerationResult
+from ..deterministic.bron_kerbosch import enumerate_maximal_cliques
+from ..uncertain.graph import UncertainGraph
+
+__all__ = [
+    "verify_result",
+    "results_agree",
+    "matches_deterministic_cliques",
+    "check_output_bound",
+]
+
+Vertex = Hashable
+
+
+def verify_result(
+    graph: UncertainGraph, result: EnumerationResult, *, alpha: float | None = None
+) -> list[str]:
+    """Check an enumeration result against Definition 4 and return violations.
+
+    An empty list means the output passed all checks:
+
+    * no duplicate cliques;
+    * every emitted set is an α-clique with the recorded probability;
+    * every emitted set is α-maximal (no single-vertex extension survives);
+    * the collection is non-redundant (an antichain under inclusion);
+    * the output size respects the Theorem 1 bound.
+
+    The check runs in ``O(output · n · max_clique_size)`` time, so it is
+    intended for tests and spot checks rather than production pipelines.
+    """
+    alpha = alpha if alpha is not None else result.alpha
+    problems: list[str] = []
+
+    seen = result.vertex_sets()
+    if len(seen) != len(result.cliques):
+        problems.append("output contains duplicate cliques")
+
+    for record in result.cliques:
+        exact = graph.clique_probability(record.vertices)
+        if exact < alpha:
+            problems.append(
+                f"{sorted(record.vertices, key=repr)} has probability {exact} < alpha"
+            )
+        if abs(exact - record.probability) > 1e-6 * max(1.0, exact):
+            problems.append(
+                f"{sorted(record.vertices, key=repr)} recorded probability "
+                f"{record.probability} differs from exact {exact}"
+            )
+        if not is_alpha_maximal_clique(graph, record.vertices, alpha):
+            problems.append(f"{sorted(record.vertices, key=repr)} is not alpha-maximal")
+
+    if not is_non_redundant_family(seen):
+        problems.append("output is not an antichain (Definition 6 violated)")
+
+    bound_alpha = alpha if alpha < 1.0 else 1.0
+    bound = uncertain_clique_bound(graph.num_vertices, bound_alpha)
+    if result.num_cliques > bound:
+        problems.append(
+            f"output size {result.num_cliques} exceeds Theorem 1 bound {bound}"
+        )
+    return problems
+
+
+def results_agree(first: EnumerationResult, second: EnumerationResult) -> bool:
+    """Return ``True`` when two enumeration results contain the same cliques."""
+    return first.vertex_sets() == second.vertex_sets()
+
+
+def matches_deterministic_cliques(
+    graph: UncertainGraph, result: EnumerationResult
+) -> bool:
+    """Check the α→1 degenerate case against Bron–Kerbosch.
+
+    When every edge probability is exactly 1.0 the α-maximal cliques (for any
+    α ≤ 1) are exactly the deterministic maximal cliques of the skeleton.
+    This function performs that comparison.
+    """
+    skeleton = graph.skeleton()
+    expected = {frozenset(c) for c in enumerate_maximal_cliques(skeleton, method="pivot")}
+    return result.vertex_sets() == expected
+
+
+def check_output_bound(graph: UncertainGraph, result: EnumerationResult) -> bool:
+    """Return ``True`` when the output size respects the Theorem 1 bound."""
+    alpha = result.alpha if result.alpha < 1.0 else 1.0
+    return result.num_cliques <= uncertain_clique_bound(graph.num_vertices, alpha)

@@ -1,0 +1,282 @@
+"""Command-line interface for the MULE reproduction.
+
+The ``repro-mule`` command exposes the library's main workflows without
+writing Python:
+
+* ``repro-mule enumerate`` — run MULE (or DFS-NOIP / LARGE-MULE) on an
+  uncertain graph file and print or save the α-maximal cliques;
+* ``repro-mule stats`` — print a Table 1 style summary of a graph file or a
+  named dataset;
+* ``repro-mule generate`` — build one of the named dataset analogs and write
+  it to an edge-list file;
+* ``repro-mule bound`` — print the Theorem 1 / Moon–Moser bounds for a given
+  number of vertices;
+* ``repro-mule compare`` — run MULE and DFS-NOIP side by side on the same
+  input (a one-command Figure 1 cell);
+* ``repro-mule core`` — compute the (k, η)-core decomposition extension;
+* ``repro-mule datasets`` — list the registered dataset analogs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..analysis.statistics import clique_statistics
+from ..core.bounds import moon_moser_bound, uncertain_clique_bound
+from ..core.dfs_noip import dfs_noip
+from ..core.fast_mule import fast_mule
+from ..core.large_mule import large_mule
+from ..core.mule import mule
+from ..datasets.registry import DATASETS, available_datasets, load_dataset
+from ..extensions.uncertain_core import uncertain_core_decomposition
+from ..errors import ReproError
+from ..uncertain.graph import UncertainGraph
+from ..uncertain.io import read_edge_list, write_edge_list
+from ..uncertain.statistics import summarize
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro-mule`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mule",
+        description="Mine alpha-maximal cliques from uncertain graphs (MULE reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    enumerate_parser = subparsers.add_parser(
+        "enumerate", help="enumerate alpha-maximal cliques from a graph file or dataset"
+    )
+    _add_input_arguments(enumerate_parser)
+    enumerate_parser.add_argument(
+        "--alpha", type=float, required=True, help="probability threshold in (0, 1]"
+    )
+    enumerate_parser.add_argument(
+        "--algorithm",
+        choices=["mule", "fast-mule", "dfs-noip", "large-mule"],
+        default="mule",
+        help="enumeration algorithm (default: mule)",
+    )
+    enumerate_parser.add_argument(
+        "--min-size",
+        type=int,
+        default=None,
+        help="size threshold t for large-mule (required when --algorithm=large-mule)",
+    )
+    enumerate_parser.add_argument(
+        "--output", type=Path, default=None, help="write cliques as JSON to this file"
+    )
+    enumerate_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-clique listing"
+    )
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="print summary statistics of a graph file or dataset"
+    )
+    _add_input_arguments(stats_parser)
+
+    generate_parser = subparsers.add_parser(
+        "generate", help="generate a named dataset analog and write it to a file"
+    )
+    generate_parser.add_argument("--dataset", required=True, choices=available_datasets())
+    generate_parser.add_argument("--scale", type=float, default=1.0)
+    generate_parser.add_argument("--seed", type=int, default=2015)
+    generate_parser.add_argument("--output", type=Path, required=True)
+
+    bound_parser = subparsers.add_parser(
+        "bound", help="print the maximum possible number of (alpha-)maximal cliques"
+    )
+    bound_parser.add_argument("--vertices", type=int, required=True)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="run MULE and DFS-NOIP side by side (a Figure 1 cell)"
+    )
+    _add_input_arguments(compare_parser)
+    compare_parser.add_argument("--alpha", type=float, required=True)
+
+    core_parser = subparsers.add_parser(
+        "core", help="compute the (k, eta)-core decomposition of an uncertain graph"
+    )
+    _add_input_arguments(core_parser)
+    core_parser.add_argument(
+        "--eta", type=float, required=True, help="degree-probability threshold in (0, 1]"
+    )
+    core_parser.add_argument(
+        "--top", type=int, default=10, help="show the vertices with the highest core numbers"
+    )
+
+    subparsers.add_parser("datasets", help="list registered dataset analogs")
+
+    return parser
+
+
+def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--input", type=Path, help="probabilistic edge-list file (u v p)")
+    group.add_argument("--dataset", choices=available_datasets(), help="named dataset analog")
+    parser.add_argument("--scale", type=float, default=0.05, help="dataset scale factor")
+    parser.add_argument("--seed", type=int, default=2015, help="dataset generation seed")
+
+
+def _load_graph(args: argparse.Namespace) -> UncertainGraph:
+    if args.input is not None:
+        return read_edge_list(args.input, vertex_type=str)
+    return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+
+
+def _command_enumerate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    if args.algorithm == "mule":
+        result = mule(graph, args.alpha)
+    elif args.algorithm == "fast-mule":
+        result = fast_mule(graph, args.alpha)
+    elif args.algorithm == "dfs-noip":
+        result = dfs_noip(graph, args.alpha)
+    else:
+        if args.min_size is None:
+            print("error: --min-size is required with --algorithm=large-mule", file=sys.stderr)
+            return 2
+        result = large_mule(graph, args.alpha, args.min_size)
+
+    stats = clique_statistics(result)
+    print(
+        f"{result.algorithm}: {result.num_cliques} alpha-maximal cliques "
+        f"(alpha={args.alpha}) in {result.elapsed_seconds:.3f}s "
+        f"on graph with n={graph.num_vertices}, m={graph.num_edges}"
+    )
+    print(f"clique sizes: {stats.size_histogram}")
+    if not args.quiet:
+        for record in result.cliques:
+            members = ",".join(str(v) for v in record.as_tuple())
+            print(f"  [{members}]  p={record.probability:.6g}")
+    if args.output is not None:
+        payload = {
+            "algorithm": result.algorithm,
+            "alpha": args.alpha,
+            "num_cliques": result.num_cliques,
+            "elapsed_seconds": result.elapsed_seconds,
+            "cliques": [
+                {"vertices": list(record.as_tuple()), "probability": record.probability}
+                for record in result.cliques
+            ],
+        }
+        args.output.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"wrote {result.num_cliques} cliques to {args.output}")
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    summary = summarize(graph)
+    print(f"vertices:           {summary.num_vertices}")
+    print(f"edges:              {summary.num_edges}")
+    print(f"density:            {summary.density:.6g}")
+    print(f"degree (min/mean/max): {summary.min_degree}/{summary.mean_degree:.2f}/{summary.max_degree}")
+    print(
+        "edge probability (min/mean/max): "
+        f"{summary.min_probability:.4g}/{summary.mean_probability:.4g}/{summary.max_probability:.4g}"
+    )
+    print(f"expected edges:     {summary.expected_edges:.2f}")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    write_edge_list(graph, args.output)
+    print(
+        f"wrote {args.dataset} (scale={args.scale}, seed={args.seed}) to {args.output}: "
+        f"n={graph.num_vertices}, m={graph.num_edges}"
+    )
+    return 0
+
+
+def _command_bound(args: argparse.Namespace) -> int:
+    n = args.vertices
+    print(f"n = {n}")
+    print(f"Moon-Moser bound (deterministic, alpha = 1): {moon_moser_bound(n)}")
+    print(f"Theorem 1 bound (uncertain, 0 < alpha < 1):  {uncertain_clique_bound(n, 0.5)}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    fast = mule(graph, args.alpha)
+    slow = dfs_noip(graph, args.alpha)
+    agree = fast.vertex_sets() == slow.vertex_sets()
+    print(
+        f"graph: n={graph.num_vertices}, m={graph.num_edges}, alpha={args.alpha}"
+    )
+    print(
+        f"MULE:     {fast.num_cliques:>8} cliques in {fast.elapsed_seconds:8.3f}s "
+        f"({fast.statistics.probability_multiplications} probability multiplications)"
+    )
+    print(
+        f"DFS-NOIP: {slow.num_cliques:>8} cliques in {slow.elapsed_seconds:8.3f}s "
+        f"({slow.statistics.probability_multiplications} probability multiplications)"
+    )
+    speedup = slow.elapsed_seconds / max(fast.elapsed_seconds, 1e-9)
+    print(f"speed-up: {speedup:.1f}x, outputs {'agree' if agree else 'DISAGREE'}")
+    return 0 if agree else 1
+
+
+def _command_core(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    cores = uncertain_core_decomposition(graph, args.eta)
+    if not cores:
+        print("graph has no vertices")
+        return 0
+    max_core = max(cores.values())
+    histogram: dict[int, int] = {}
+    for value in cores.values():
+        histogram[value] = histogram.get(value, 0) + 1
+    print(
+        f"(k, eta)-core decomposition: n={graph.num_vertices}, eta={args.eta}, "
+        f"max core number={max_core}"
+    )
+    for k in sorted(histogram):
+        print(f"  core number {k}: {histogram[k]} vertices")
+    top = sorted(cores.items(), key=lambda kv: (-kv[1], str(kv[0])))[: args.top]
+    print(f"top {len(top)} vertices by core number:")
+    for vertex, value in top:
+        print(f"  {vertex}: {value}")
+    return 0
+
+
+def _command_datasets(_: argparse.Namespace) -> int:
+    for name in available_datasets():
+        spec = DATASETS[name]
+        print(
+            f"{name:16s}  {spec.paper_vertices:>8d} vertices  {spec.paper_edges:>9d} edges  "
+            f"{spec.category}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "enumerate": _command_enumerate,
+    "stats": _command_stats,
+    "generate": _command_generate,
+    "bound": _command_bound,
+    "compare": _command_compare,
+    "core": _command_core,
+    "datasets": _command_datasets,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro-mule`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

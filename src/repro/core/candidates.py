@@ -1,0 +1,163 @@
+"""Candidate (``I``) and exclusion (``X``) bookkeeping for MULE.
+
+The recursive procedure ``Enum-Uncertain-MC`` (Algorithm 2 of the paper)
+carries two tuple sets:
+
+* ``I`` — tuples ``(u, r)`` with ``u > max(C)`` such that ``C ∪ {u}`` is an
+  α-clique and ``clq(C ∪ {u}, G) = q · r``; these are the vertices that can
+  still *extend* the current clique along this search path.
+* ``X`` — tuples ``(v, s)`` with ``v < max(C)``, ``v ∉ C`` such that
+  ``C ∪ {v}`` is an α-clique and ``clq(C ∪ {v}, G) = q · s``; these vertices
+  could extend ``C`` but are explored on a *different* search path, so they
+  only matter for the maximality test (``C`` is α-maximal iff both sets are
+  empty).
+
+The incremental factors ``r`` / ``s`` are what makes MULE faster than the
+naive DFS: extending the clique only requires one multiplication per
+candidate instead of recomputing a Θ(|C|) product (the key insight called
+out in Section 4 of the paper).
+
+:class:`CandidateSet` wraps a plain ``dict[vertex, factor]`` with the
+generation operations of Algorithms 3 (``GenerateI``) and 4 (``GenerateX``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+
+from ..uncertain.graph import UncertainGraph
+
+__all__ = ["CandidateSet", "generate_i", "generate_x", "initial_candidates"]
+
+Vertex = Hashable
+
+
+class CandidateSet:
+    """An ordered mapping vertex → incremental probability factor.
+
+    Iteration yields vertices in increasing identifier order, matching the
+    lexicographic exploration order required by Algorithm 2 (line 4).
+    """
+
+    __slots__ = ("_factors",)
+
+    def __init__(self, factors: Mapping[Vertex, float] | None = None) -> None:
+        self._factors: dict[Vertex, float] = dict(factors) if factors else {}
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[Vertex, float]]) -> "CandidateSet":
+        """Build a candidate set from ``(vertex, factor)`` pairs."""
+        return cls(dict(pairs))
+
+    def add(self, vertex: Vertex, factor: float) -> None:
+        """Insert (or overwrite) a vertex with its factor."""
+        self._factors[vertex] = factor
+
+    def factor(self, vertex: Vertex) -> float:
+        """Return the stored factor for ``vertex`` (KeyError if absent)."""
+        return self._factors[vertex]
+
+    def items_sorted(self) -> list[tuple[Vertex, float]]:
+        """Return ``(vertex, factor)`` pairs sorted by increasing vertex id."""
+        return sorted(self._factors.items(), key=lambda kv: kv[0])
+
+    def vertices(self) -> set[Vertex]:
+        """Return the set of vertices currently in the candidate set."""
+        return set(self._factors)
+
+    def copy(self) -> "CandidateSet":
+        """Return a shallow copy."""
+        return CandidateSet(self._factors)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._factors
+
+    def __len__(self) -> int:
+        return len(self._factors)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(sorted(self._factors))
+
+    def __bool__(self) -> bool:
+        return bool(self._factors)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CandidateSet):
+            return NotImplemented
+        return self._factors == other._factors
+
+    def __repr__(self) -> str:
+        return f"CandidateSet({self._factors!r})"
+
+
+def initial_candidates(graph: UncertainGraph) -> CandidateSet:
+    """Return the initial candidate set ``Î = {(u, 1) : u ∈ V}`` of Algorithm 1."""
+    return CandidateSet({u: 1.0 for u in graph.vertices()})
+
+
+def generate_i(
+    graph: UncertainGraph,
+    new_max: Vertex,
+    new_clique_probability: float,
+    candidates: CandidateSet,
+    alpha: float,
+) -> CandidateSet:
+    """Algorithm 3 (``GenerateI``): candidates for the extended clique ``C'``.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph.
+    new_max:
+        The vertex ``m = max(C')`` that was just added to the clique.
+    new_clique_probability:
+        ``q' = clq(C', G)``.
+    candidates:
+        The parent's ``I`` set.
+    alpha:
+        The probability threshold.
+
+    Returns
+    -------
+    CandidateSet
+        Tuples ``(u, r')`` for every ``u ∈ I`` with ``u > m``, ``u`` adjacent
+        to ``m``, and ``q' · r · p({u, m}) ≥ α``, where
+        ``r' = r · p({u, m})``.
+    """
+    adjacency = graph.adjacency(new_max)
+    result: dict[Vertex, float] = {}
+    for u, r in candidates.items_sorted():
+        if u <= new_max:
+            continue
+        p = adjacency.get(u)
+        if p is None:
+            continue
+        r_new = r * p
+        if new_clique_probability * r_new >= alpha:
+            result[u] = r_new
+    return CandidateSet(result)
+
+
+def generate_x(
+    graph: UncertainGraph,
+    new_max: Vertex,
+    new_clique_probability: float,
+    exclusions: CandidateSet,
+    alpha: float,
+) -> CandidateSet:
+    """Algorithm 4 (``GenerateX``): exclusion set for the extended clique ``C'``.
+
+    Same filtering as :func:`generate_i` but applied to the parent's ``X``
+    set and without the ``u > m`` requirement (every vertex in ``X`` is
+    already smaller than ``max(C)`` < ``m``).
+    """
+    adjacency = graph.adjacency(new_max)
+    result: dict[Vertex, float] = {}
+    for v, s in exclusions.items_sorted():
+        p = adjacency.get(v)
+        if p is None:
+            continue
+        s_new = s * p
+        if new_clique_probability * s_new >= alpha:
+            result[v] = s_new
+    return CandidateSet(result)

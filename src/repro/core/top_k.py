@@ -1,0 +1,106 @@
+"""Top-k maximal cliques by clique probability.
+
+This implements the problem studied by the closest related work the paper
+compares against (Zou et al., ICDE 2010): return the ``k`` maximal cliques
+of an uncertain graph with the highest probability of existence.  The paper
+contrasts its own problem (enumerate *all* α-maximal cliques) with this one;
+having both in the library lets the examples and benchmarks reproduce that
+comparison.
+
+Two strategies are provided:
+
+* :func:`top_k_maximal_cliques` — run MULE at a caller-chosen α and keep the
+  ``k`` most probable α-maximal cliques (a direct reduction; exact whenever
+  at least ``k`` cliques have probability ≥ α).
+* :func:`top_k_by_threshold_search` — repeatedly lower α geometrically until
+  at least ``k`` α-maximal cliques are found, then report the best ``k``.
+  This removes the need to guess α and is the strategy used by the example
+  applications.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from ..errors import ParameterError
+from ..uncertain.graph import UncertainGraph
+from .mule import MuleConfig, mule
+from .result import CliqueRecord, EnumerationResult
+
+__all__ = ["top_k_maximal_cliques", "top_k_by_threshold_search"]
+
+Vertex = Hashable
+
+
+def top_k_maximal_cliques(
+    graph: UncertainGraph,
+    k: int,
+    alpha: float,
+    *,
+    min_size: int = 2,
+    config: MuleConfig | None = None,
+) -> list[CliqueRecord]:
+    """Return the ``k`` α-maximal cliques with the highest clique probability.
+
+    Ties are broken by larger size, then lexicographically by vertex tuple,
+    so the output is deterministic.  Singleton cliques trivially have
+    probability 1 and would always dominate the ranking, so by default only
+    cliques with at least ``min_size = 2`` vertices are considered; pass
+    ``min_size=1`` to include singletons.
+
+    Raises
+    ------
+    ParameterError
+        If ``k`` or ``min_size`` is not positive.
+    """
+    if k <= 0:
+        raise ParameterError(f"k must be positive, got {k}")
+    if min_size <= 0:
+        raise ParameterError(f"min_size must be positive, got {min_size}")
+    result: EnumerationResult = mule(graph, alpha, config=config)
+    return result.filter_minimum_size(min_size).top_k_by_probability(k)
+
+
+def top_k_by_threshold_search(
+    graph: UncertainGraph,
+    k: int,
+    *,
+    initial_alpha: float = 0.5,
+    shrink_factor: float = 0.1,
+    min_alpha: float = 1e-9,
+    min_size: int = 2,
+    config: MuleConfig | None = None,
+) -> list[CliqueRecord]:
+    """Return the ``k`` most probable maximal cliques without a caller-chosen α.
+
+    The search starts at ``initial_alpha`` and geometrically lowers the
+    threshold (multiplying by ``shrink_factor``) until the enumeration
+    returns at least ``k`` cliques of size ≥ ``min_size`` or the threshold
+    reaches ``min_alpha``.  Because every α-maximal clique with probability
+    ≥ α is found at threshold α, the final top-``k`` selection is exact as
+    soon as ``k`` qualifying cliques with probability ≥ α exist.  As in
+    :func:`top_k_maximal_cliques`, singletons are excluded by default.
+
+    Raises
+    ------
+    ParameterError
+        If ``k`` or ``min_size`` is not positive, ``shrink_factor`` is not
+        in (0, 1), or the initial threshold is not in (0, 1].
+    """
+    if k <= 0:
+        raise ParameterError(f"k must be positive, got {k}")
+    if min_size <= 0:
+        raise ParameterError(f"min_size must be positive, got {min_size}")
+    if not 0.0 < shrink_factor < 1.0:
+        raise ParameterError(f"shrink_factor must be in (0, 1), got {shrink_factor}")
+    if not 0.0 < initial_alpha <= 1.0:
+        raise ParameterError(f"initial_alpha must be in (0, 1], got {initial_alpha}")
+
+    alpha = initial_alpha
+    best: list[CliqueRecord] = []
+    while True:
+        result = mule(graph, alpha, config=config)
+        best = result.filter_minimum_size(min_size).top_k_by_probability(k)
+        if len(best) >= k or alpha <= min_alpha:
+            return best
+        alpha = max(alpha * shrink_factor, min_alpha)

@@ -1,0 +1,14 @@
+"""Named dataset analogs of the paper's Table 1 inputs."""
+
+from .loaders import cache_directory, clear_cache, load_cached_dataset
+from .registry import DATASETS, DatasetSpec, available_datasets, load_dataset
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "available_datasets",
+    "load_dataset",
+    "load_cached_dataset",
+    "cache_directory",
+    "clear_cache",
+]

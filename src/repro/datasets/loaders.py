@@ -1,0 +1,60 @@
+"""Dataset loading with on-disk caching.
+
+Building the larger dataset analogs (DBLP, BA10000) takes noticeable time,
+so the benchmark harness caches generated graphs as probabilistic edge-list
+files under a cache directory (``~/.cache/repro-mule`` by default, or the
+``REPRO_MULE_CACHE`` environment variable).  Loading a cached dataset is a
+plain file read and is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..uncertain.graph import UncertainGraph
+from ..uncertain.io import read_edge_list, write_edge_list
+from .registry import load_dataset
+
+__all__ = ["cache_directory", "load_cached_dataset", "clear_cache"]
+
+
+def cache_directory() -> Path:
+    """Return the dataset cache directory, creating it if necessary."""
+    root = os.environ.get("REPRO_MULE_CACHE")
+    path = Path(root) if root else Path.home() / ".cache" / "repro-mule"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _cache_key(name: str, scale: float, seed: int) -> str:
+    return f"{name.lower()}__scale{scale:g}__seed{seed}.edges"
+
+
+def load_cached_dataset(
+    name: str, *, scale: float = 1.0, seed: int = 2015, refresh: bool = False
+) -> UncertainGraph:
+    """Load a dataset analog, generating and caching it on first use.
+
+    Parameters
+    ----------
+    name, scale, seed:
+        Passed through to :func:`repro.datasets.registry.load_dataset`.
+    refresh:
+        When ``True`` the cache entry is regenerated even if present.
+    """
+    cache_file = cache_directory() / _cache_key(name, scale, seed)
+    if cache_file.exists() and not refresh:
+        return read_edge_list(cache_file, vertex_type=int)
+    graph = load_dataset(name, scale=scale, seed=seed)
+    write_edge_list(graph, cache_file)
+    return graph
+
+
+def clear_cache() -> int:
+    """Delete every cached dataset file; return the number of files removed."""
+    removed = 0
+    for path in cache_directory().glob("*.edges"):
+        path.unlink()
+        removed += 1
+    return removed

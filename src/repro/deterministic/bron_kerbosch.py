@@ -1,0 +1,148 @@
+"""Maximal clique enumeration on deterministic graphs.
+
+Provides the classical Bron--Kerbosch algorithm in three flavours:
+
+* :func:`bron_kerbosch_basic` — the original recursion (no pivoting),
+* :func:`bron_kerbosch_pivot` — Tomita-style pivot selection, which gives
+  the worst-case optimal ``O(3^{n/3})`` running time,
+* :func:`bron_kerbosch_degeneracy` — Eppstein--Strash outer loop over a
+  degeneracy ordering, the method of choice for large sparse graphs.
+
+These serve two purposes in the reproduction.  First, they are the
+``α = 1`` special case of α-maximal clique enumeration (Definition 4 of the
+paper reduces to the deterministic notion when all retained edges are
+certain).  Second, they act as an independent oracle against which the
+uncertain enumerators (MULE, DFS-NOIP) are validated in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+
+from .graph import Graph
+from .ordering import degeneracy_ordering
+
+__all__ = [
+    "bron_kerbosch_basic",
+    "bron_kerbosch_pivot",
+    "bron_kerbosch_degeneracy",
+    "enumerate_maximal_cliques",
+]
+
+Vertex = Hashable
+Clique = frozenset
+
+
+def bron_kerbosch_basic(graph: Graph) -> Iterator[Clique]:
+    """Enumerate maximal cliques with the original Bron--Kerbosch recursion.
+
+    Yields each maximal clique exactly once as a ``frozenset``.  Isolated
+    vertices are yielded as singleton cliques.  Exponential in the worst
+    case; intended for small graphs and for cross-validation.
+
+    >>> sorted(sorted(c) for c in bron_kerbosch_basic(Graph(edges=[(1, 2), (2, 3)])))
+    [[1, 2], [2, 3]]
+    """
+    adjacency = {v: graph.adjacency(v) for v in graph.vertices()}
+
+    def expand(r: set, p: set, x: set) -> Iterator[Clique]:
+        if not p and not x:
+            yield frozenset(r)
+            return
+        for v in list(p):
+            nbrs = adjacency[v]
+            yield from expand(r | {v}, p & nbrs, x & nbrs)
+            p.discard(v)
+            x.add(v)
+
+    yield from expand(set(), set(adjacency), set())
+
+
+def bron_kerbosch_pivot(graph: Graph) -> Iterator[Clique]:
+    """Enumerate maximal cliques using Tomita-style pivot selection.
+
+    At every recursion level a pivot ``u`` maximising ``|P ∩ Γ(u)|`` is
+    chosen from ``P ∪ X`` and only vertices outside ``Γ(u)`` are branched on,
+    which bounds the recursion tree by ``O(3^{n/3})`` (worst-case optimal by
+    the Moon--Moser bound).
+
+    >>> g = Graph(edges=[(1, 2), (1, 3), (2, 3), (3, 4)])
+    >>> sorted(sorted(c) for c in bron_kerbosch_pivot(g))
+    [[1, 2, 3], [3, 4]]
+    """
+    adjacency = {v: graph.adjacency(v) for v in graph.vertices()}
+
+    def expand(r: set, p: set, x: set) -> Iterator[Clique]:
+        if not p and not x:
+            yield frozenset(r)
+            return
+        pivot_pool = p | x
+        pivot = max(pivot_pool, key=lambda u: len(p & adjacency[u]))
+        for v in list(p - adjacency[pivot]):
+            nbrs = adjacency[v]
+            yield from expand(r | {v}, p & nbrs, x & nbrs)
+            p.discard(v)
+            x.add(v)
+
+    yield from expand(set(), set(adjacency), set())
+
+
+def bron_kerbosch_degeneracy(graph: Graph) -> Iterator[Clique]:
+    """Enumerate maximal cliques with the Eppstein--Strash degeneracy ordering.
+
+    The outer loop walks vertices in a degeneracy ordering so that the
+    candidate set handed to the pivoting recursion has size at most the
+    graph degeneracy ``d``, giving an overall ``O(d · n · 3^{d/3})`` bound —
+    near-linear for the sparse real-world graphs in the paper's Table 1.
+
+    >>> g = Graph(edges=[(1, 2), (1, 3), (2, 3), (3, 4)])
+    >>> sorted(sorted(c) for c in bron_kerbosch_degeneracy(g))
+    [[1, 2, 3], [3, 4]]
+    """
+    adjacency = {v: graph.adjacency(v) for v in graph.vertices()}
+    order = degeneracy_ordering(graph)
+    rank = {v: i for i, v in enumerate(order)}
+
+    def expand(r: set, p: set, x: set) -> Iterator[Clique]:
+        if not p and not x:
+            yield frozenset(r)
+            return
+        pivot_pool = p | x
+        pivot = max(pivot_pool, key=lambda u: len(p & adjacency[u]))
+        for v in list(p - adjacency[pivot]):
+            nbrs = adjacency[v]
+            yield from expand(r | {v}, p & nbrs, x & nbrs)
+            p.discard(v)
+            x.add(v)
+
+    for v in order:
+        nbrs = adjacency[v]
+        later = {w for w in nbrs if rank[w] > rank[v]}
+        earlier = {w for w in nbrs if rank[w] < rank[v]}
+        yield from expand({v}, later, earlier)
+
+
+def enumerate_maximal_cliques(graph: Graph, method: str = "pivot") -> list[Clique]:
+    """Enumerate all maximal cliques and return them as a list.
+
+    Parameters
+    ----------
+    graph:
+        The deterministic graph.
+    method:
+        One of ``"basic"``, ``"pivot"`` (default) or ``"degeneracy"``.
+
+    Raises
+    ------
+    ValueError
+        If ``method`` is not one of the recognised strategies.
+    """
+    if method == "basic":
+        return list(bron_kerbosch_basic(graph))
+    if method == "pivot":
+        return list(bron_kerbosch_pivot(graph))
+    if method == "degeneracy":
+        return list(bron_kerbosch_degeneracy(graph))
+    raise ValueError(
+        f"unknown method {method!r}; expected 'basic', 'pivot' or 'degeneracy'"
+    )

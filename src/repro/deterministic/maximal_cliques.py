@@ -1,0 +1,86 @@
+"""Utilities around deterministic maximal cliques.
+
+These helpers complement :mod:`repro.deterministic.bron_kerbosch` with
+verification predicates and simple derived quantities (maximum clique,
+clique-size histogram).  They are used heavily by the test suite as an
+independent oracle for the uncertain enumerators.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable, Iterable
+
+from .bron_kerbosch import enumerate_maximal_cliques
+from .graph import Graph
+
+__all__ = [
+    "is_maximal_clique",
+    "maximum_clique",
+    "clique_number",
+    "clique_size_histogram",
+    "count_maximal_cliques",
+]
+
+Vertex = Hashable
+
+
+def is_maximal_clique(graph: Graph, vertices: Iterable[Vertex]) -> bool:
+    """Return ``True`` when ``vertices`` form a maximal clique of ``graph``.
+
+    A set is a maximal clique when it is a clique and no vertex outside the
+    set is adjacent to every member (Definition 2 of the paper).  The empty
+    set is maximal only in the empty graph.
+
+    >>> g = Graph(edges=[(1, 2), (2, 3), (1, 3), (3, 4)])
+    >>> is_maximal_clique(g, {1, 2, 3})
+    True
+    >>> is_maximal_clique(g, {1, 2})
+    False
+    """
+    vs = set(vertices)
+    if not graph.is_clique(vs):
+        return False
+    if not vs:
+        return graph.num_vertices == 0
+    candidates: set[Vertex] | None = None
+    for v in vs:
+        nbrs = graph.adjacency(v)
+        candidates = set(nbrs) if candidates is None else candidates & nbrs
+        if not candidates:
+            return True
+    assert candidates is not None
+    return not (candidates - vs)
+
+
+def maximum_clique(graph: Graph) -> frozenset:
+    """Return one maximum (largest) clique of ``graph``.
+
+    Ties are broken arbitrarily.  The empty graph yields the empty frozenset.
+    """
+    best: frozenset = frozenset()
+    for clique in enumerate_maximal_cliques(graph, method="pivot"):
+        if len(clique) > len(best):
+            best = clique
+    return best
+
+
+def clique_number(graph: Graph) -> int:
+    """Return ω(G), the size of a maximum clique (0 for the empty graph)."""
+    return len(maximum_clique(graph))
+
+
+def clique_size_histogram(graph: Graph, method: str = "pivot") -> dict[int, int]:
+    """Return a histogram mapping clique size to the number of maximal cliques.
+
+    >>> g = Graph(edges=[(1, 2), (2, 3), (1, 3), (3, 4)])
+    >>> clique_size_histogram(g)
+    {2: 1, 3: 1}
+    """
+    counts = Counter(len(c) for c in enumerate_maximal_cliques(graph, method=method))
+    return dict(sorted(counts.items()))
+
+
+def count_maximal_cliques(graph: Graph, method: str = "pivot") -> int:
+    """Return the total number of maximal cliques in ``graph``."""
+    return sum(1 for _ in enumerate_maximal_cliques(graph, method=method))

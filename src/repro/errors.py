@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish structural graph problems from bad algorithm parameters.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "EdgeError",
+    "VertexError",
+    "ProbabilityError",
+    "ParameterError",
+    "DatasetError",
+    "FormatError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a graph (deterministic or uncertain)."""
+
+
+class VertexError(GraphError):
+    """An operation referenced a vertex that does not exist in the graph."""
+
+
+class EdgeError(GraphError):
+    """An operation referenced an invalid or missing edge.
+
+    Raised, for example, when adding a self-loop or querying the probability
+    of an edge that is not present in the uncertain graph.
+    """
+
+
+class ProbabilityError(ReproError):
+    """An edge probability or probability threshold is outside its domain.
+
+    Edge probabilities must lie in ``(0, 1]`` and the threshold ``alpha``
+    used by the enumeration algorithms must lie in ``(0, 1]`` as well.
+    """
+
+
+class ParameterError(ReproError):
+    """An algorithm parameter (size threshold, k, sample count, ...) is invalid."""
+
+
+class DatasetError(ReproError):
+    """A named dataset could not be located or constructed."""
+
+
+class FormatError(ReproError):
+    """An input file or serialized payload does not follow the expected format."""

@@ -1,0 +1,23 @@
+"""Extensions beyond the paper's core contribution.
+
+The paper's conclusion lists other dense substructures over uncertain
+graphs (k-cores, quasi-cliques, bicliques) as future work; this subpackage
+hosts the implementations built on the same substrate, currently the
+(k, η)-core decomposition.
+"""
+
+from .uncertain_core import (
+    degree_tail_probability,
+    eta_degree,
+    eta_degrees,
+    k_eta_core,
+    uncertain_core_decomposition,
+)
+
+__all__ = [
+    "degree_tail_probability",
+    "eta_degree",
+    "eta_degrees",
+    "uncertain_core_decomposition",
+    "k_eta_core",
+]

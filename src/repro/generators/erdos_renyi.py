@@ -1,0 +1,96 @@
+"""Erdős–Rényi random graphs.
+
+Not used directly in the paper's evaluation but indispensable for testing:
+``G(n, p)`` graphs with moderate density exercise the enumeration algorithms
+on unstructured inputs, and very dense instances approach the worst-case
+regimes analysed in Section 3.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..deterministic.graph import Graph
+from ..errors import ParameterError
+from ..uncertain.builder import from_skeleton
+from ..uncertain.graph import UncertainGraph
+from .probabilities import ProbabilityModel, uniform_probabilities
+
+__all__ = ["erdos_renyi_skeleton", "erdos_renyi_uncertain", "random_uncertain_graph"]
+
+
+def erdos_renyi_skeleton(
+    n: int,
+    edge_probability: float,
+    *,
+    rng: random.Random | int | None = None,
+) -> Graph:
+    """Generate a ``G(n, p)`` graph on vertices ``1..n``.
+
+    Each of the ``C(n, 2)`` possible edges is included independently with
+    probability ``edge_probability``.
+
+    Raises
+    ------
+    ParameterError
+        If ``n`` is negative or ``edge_probability`` is outside [0, 1].
+    """
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ParameterError(
+            f"edge_probability must be in [0, 1], got {edge_probability}"
+        )
+    generator = _coerce_rng(rng)
+    graph = Graph(vertices=range(1, n + 1))
+    for u in range(1, n + 1):
+        for v in range(u + 1, n + 1):
+            if generator.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def erdos_renyi_uncertain(
+    n: int,
+    edge_probability: float,
+    *,
+    probability_model: ProbabilityModel | None = None,
+    rng: random.Random | int | None = None,
+) -> UncertainGraph:
+    """Generate an uncertain ``G(n, p)`` graph with random edge probabilities."""
+    generator = _coerce_rng(rng)
+    skeleton = erdos_renyi_skeleton(n, edge_probability, rng=generator)
+    model = probability_model or uniform_probabilities(rng=generator)
+    return from_skeleton(skeleton, model)
+
+
+def random_uncertain_graph(
+    n: int,
+    edge_probability: float = 0.3,
+    *,
+    min_edge_probability: float = 0.05,
+    max_edge_probability: float = 1.0,
+    rng: random.Random | int | None = None,
+) -> UncertainGraph:
+    """Convenience generator for small random uncertain graphs used in tests.
+
+    Combines an Erdős–Rényi skeleton with probabilities uniform in
+    ``[min_edge_probability, max_edge_probability]``.
+    """
+    generator = _coerce_rng(rng)
+    return erdos_renyi_uncertain(
+        n,
+        edge_probability,
+        probability_model=uniform_probabilities(
+            min_edge_probability, max_edge_probability, rng=generator
+        ),
+        rng=generator,
+    )
+
+
+def _coerce_rng(rng: random.Random | int | None) -> random.Random:
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)

@@ -1,0 +1,159 @@
+"""Planted-clique generators.
+
+A *planted* uncertain graph hides a small number of known high-probability
+cliques inside a noisy background.  These inputs make correctness visible:
+the planted cliques must reappear in the enumerator output (possibly merged
+into larger maximal cliques when the background happens to extend them),
+which the integration tests and the quickstart example both exercise.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..errors import ParameterError
+from ..uncertain.graph import UncertainGraph
+
+__all__ = ["planted_clique_graph", "planted_partition_graph"]
+
+
+def planted_clique_graph(
+    num_vertices: int,
+    clique_sizes: Sequence[int],
+    *,
+    clique_probability: float = 0.95,
+    background_density: float = 0.02,
+    background_probability_range: tuple[float, float] = (0.05, 0.4),
+    rng: random.Random | int | None = None,
+) -> tuple[UncertainGraph, list[frozenset]]:
+    """Generate a noisy uncertain graph with known planted cliques.
+
+    Parameters
+    ----------
+    num_vertices:
+        Total number of vertices (labelled ``1..num_vertices``).
+    clique_sizes:
+        Sizes of the cliques to plant; they are placed on disjoint vertex
+        ranges starting from vertex 1.
+    clique_probability:
+        Probability assigned to every edge inside a planted clique.
+    background_density:
+        Probability that any other vertex pair receives a background edge.
+    background_probability_range:
+        Range of the (low) probabilities of background edges.
+    rng:
+        Seed or :class:`random.Random`.
+
+    Returns
+    -------
+    tuple(UncertainGraph, list[frozenset])
+        The generated graph and the list of planted cliques (vertex sets).
+
+    Raises
+    ------
+    ParameterError
+        If the planted cliques do not fit into ``num_vertices`` or any
+        parameter is out of range.
+    """
+    if num_vertices <= 0:
+        raise ParameterError(f"num_vertices must be positive, got {num_vertices}")
+    if any(size < 2 for size in clique_sizes):
+        raise ParameterError("every planted clique must have at least 2 vertices")
+    if sum(clique_sizes) > num_vertices:
+        raise ParameterError(
+            f"planted cliques need {sum(clique_sizes)} vertices but only "
+            f"{num_vertices} are available"
+        )
+    if not 0.0 < clique_probability <= 1.0:
+        raise ParameterError(
+            f"clique_probability must be in (0, 1], got {clique_probability}"
+        )
+    if not 0.0 <= background_density <= 1.0:
+        raise ParameterError(
+            f"background_density must be in [0, 1], got {background_density}"
+        )
+    lo, hi = background_probability_range
+    if not 0.0 < lo <= hi <= 1.0:
+        raise ParameterError(
+            f"background_probability_range must satisfy 0 < lo <= hi <= 1, got ({lo}, {hi})"
+        )
+    generator = _coerce_rng(rng)
+
+    graph = UncertainGraph(vertices=range(1, num_vertices + 1))
+    planted: list[frozenset] = []
+    next_vertex = 1
+    for size in clique_sizes:
+        members = list(range(next_vertex, next_vertex + size))
+        next_vertex += size
+        planted.append(frozenset(members))
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                graph.add_edge(a, b, clique_probability)
+
+    if background_density > 0:
+        for u in range(1, num_vertices + 1):
+            for v in range(u + 1, num_vertices + 1):
+                if graph.has_edge(u, v):
+                    continue
+                if generator.random() < background_density:
+                    graph.add_edge(u, v, generator.uniform(lo, hi))
+    return graph, planted
+
+
+def planted_partition_graph(
+    communities: int,
+    community_size: int,
+    *,
+    intra_probability: float = 0.8,
+    intra_density: float = 0.9,
+    inter_probability: float = 0.2,
+    inter_density: float = 0.05,
+    rng: random.Random | int | None = None,
+) -> UncertainGraph:
+    """Generate a planted-partition uncertain graph (dense communities, sparse cuts).
+
+    Each community is a near-clique with high edge probabilities; pairs in
+    different communities are connected rarely and with low probability.
+    This is the structure the paper's introduction motivates (robust
+    communities in a social or biological network).
+
+    Raises
+    ------
+    ParameterError
+        If sizes are non-positive or densities/probabilities out of range.
+    """
+    if communities <= 0 or community_size <= 0:
+        raise ParameterError("communities and community_size must be positive")
+    for name, value in (
+        ("intra_probability", intra_probability),
+        ("inter_probability", inter_probability),
+    ):
+        if not 0.0 < value <= 1.0:
+            raise ParameterError(f"{name} must be in (0, 1], got {value}")
+    for name, value in (("intra_density", intra_density), ("inter_density", inter_density)):
+        if not 0.0 <= value <= 1.0:
+            raise ParameterError(f"{name} must be in [0, 1], got {value}")
+    generator = _coerce_rng(rng)
+
+    total = communities * community_size
+    graph = UncertainGraph(vertices=range(1, total + 1))
+    community_of = {v: (v - 1) // community_size for v in range(1, total + 1)}
+    for u in range(1, total + 1):
+        for v in range(u + 1, total + 1):
+            same = community_of[u] == community_of[v]
+            density = intra_density if same else inter_density
+            if generator.random() < density:
+                base = intra_probability if same else inter_probability
+                jitter = generator.uniform(-0.05, 0.05)
+                probability = min(1.0, max(1e-6, base + jitter))
+                graph.add_edge(u, v, probability)
+    return graph
+
+
+def _coerce_rng(rng: random.Random | int | None) -> random.Random:
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)

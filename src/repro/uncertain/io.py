@@ -1,0 +1,195 @@
+"""Serialization of uncertain graphs.
+
+Three formats are supported:
+
+* **Probabilistic edge list** (text): one edge per line, ``u v p`` separated
+  by whitespace, ``#`` comments allowed.  This is the format commonly used
+  to distribute uncertain graph datasets (e.g. the STRING / BioGRID derived
+  PPI networks referenced by the paper).
+* **JSON**: a dictionary with explicit vertex and edge lists, convenient for
+  configuration-driven pipelines.
+* **networkx interop**: conversion to/from :class:`networkx.Graph` with the
+  probability stored in a configurable edge attribute.  The networkx import
+  is deferred so the core library has no hard dependency on it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Hashable
+from pathlib import Path
+from typing import Any
+
+from ..errors import FormatError
+from .graph import UncertainGraph, validate_probability
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "to_json",
+    "from_json",
+    "write_json",
+    "read_json",
+    "to_networkx",
+    "from_networkx",
+]
+
+Vertex = Hashable
+
+
+# --------------------------------------------------------------------------- #
+# Probabilistic edge-list text format
+# --------------------------------------------------------------------------- #
+def write_edge_list(graph: UncertainGraph, path: str | Path) -> None:
+    """Write ``graph`` to ``path`` in the ``u v p`` text format.
+
+    Isolated vertices are recorded as comment lines ``# vertex <label>`` so
+    that a round-trip preserves the vertex set exactly.
+    """
+    path = Path(path)
+    lines: list[str] = ["# uncertain graph edge list: u v p"]
+    connected: set[Vertex] = set()
+    for u, v, p in graph.edges():
+        lines.append(f"{u} {v} {p!r}")
+        connected.add(u)
+        connected.add(v)
+    for v in graph.vertices():
+        if v not in connected:
+            lines.append(f"# vertex {v}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_edge_list(
+    path: str | Path, *, vertex_type: type = str
+) -> UncertainGraph:
+    """Read an uncertain graph from a ``u v p`` text file.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    vertex_type:
+        Callable applied to the vertex tokens (``str`` by default, commonly
+        ``int`` for numeric datasets).
+
+    Raises
+    ------
+    FormatError
+        If a data line does not have exactly three whitespace-separated
+        fields or contains an invalid probability.
+    """
+    path = Path(path)
+    graph = UncertainGraph()
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line[1:].split()
+            if len(parts) == 2 and parts[0] == "vertex":
+                graph.add_vertex(vertex_type(parts[1]))
+            continue
+        fields = line.split()
+        if len(fields) != 3:
+            raise FormatError(
+                f"{path}:{lineno}: expected 'u v p', got {line!r}"
+            )
+        u_token, v_token, p_token = fields
+        try:
+            probability = float(p_token)
+        except ValueError as exc:
+            raise FormatError(
+                f"{path}:{lineno}: invalid probability {p_token!r}"
+            ) from exc
+        try:
+            u = vertex_type(u_token)
+            v = vertex_type(v_token)
+        except (TypeError, ValueError) as exc:
+            raise FormatError(
+                f"{path}:{lineno}: cannot parse vertices {u_token!r}, {v_token!r} "
+                f"as {vertex_type.__name__}"
+            ) from exc
+        graph.add_edge(u, v, validate_probability(probability))
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# JSON format
+# --------------------------------------------------------------------------- #
+def to_json(graph: UncertainGraph) -> dict[str, Any]:
+    """Return a JSON-serialisable dictionary describing ``graph``.
+
+    The payload has the shape::
+
+        {"vertices": [...], "edges": [[u, v, p], ...]}
+    """
+    return {
+        "vertices": list(graph.vertices()),
+        "edges": [[u, v, p] for u, v, p in graph.edges()],
+    }
+
+
+def from_json(payload: dict[str, Any]) -> UncertainGraph:
+    """Rebuild an uncertain graph from a :func:`to_json` payload.
+
+    Raises
+    ------
+    FormatError
+        If the payload is missing keys or an edge entry is malformed.
+    """
+    if not isinstance(payload, dict) or "edges" not in payload:
+        raise FormatError("JSON payload must be a dict with an 'edges' key")
+    graph = UncertainGraph(vertices=payload.get("vertices", []))
+    for entry in payload["edges"]:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+            raise FormatError(f"edge entry must be [u, v, p], got {entry!r}")
+        u, v, p = entry
+        graph.add_edge(u, v, validate_probability(float(p)))
+    return graph
+
+
+def write_json(graph: UncertainGraph, path: str | Path) -> None:
+    """Serialise ``graph`` to a JSON file at ``path``."""
+    Path(path).write_text(json.dumps(to_json(graph), indent=2), encoding="utf-8")
+
+
+def read_json(path: str | Path) -> UncertainGraph:
+    """Load an uncertain graph from a JSON file written by :func:`write_json`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"{path}: invalid JSON: {exc}") from exc
+    return from_json(payload)
+
+
+# --------------------------------------------------------------------------- #
+# networkx interop
+# --------------------------------------------------------------------------- #
+def to_networkx(graph: UncertainGraph, *, probability_attr: str = "probability"):
+    """Convert to a :class:`networkx.Graph` with probabilities as edge attributes.
+
+    networkx is imported lazily; an informative ImportError is raised when it
+    is unavailable.
+    """
+    import networkx as nx  # deferred import: optional dependency
+
+    nxg = nx.Graph()
+    nxg.add_nodes_from(graph.vertices())
+    for u, v, p in graph.edges():
+        nxg.add_edge(u, v, **{probability_attr: p})
+    return nxg
+
+
+def from_networkx(nxg, *, probability_attr: str = "probability", default: float = 1.0) -> UncertainGraph:
+    """Convert a :class:`networkx.Graph` into an uncertain graph.
+
+    Edges lacking the probability attribute receive ``default`` (certain
+    edges by default, matching the semantics of a deterministic graph).
+    Self-loops are skipped because uncertain graphs are simple.
+    """
+    graph = UncertainGraph(vertices=nxg.nodes())
+    for u, v, data in nxg.edges(data=True):
+        if u == v:
+            continue
+        graph.add_edge(u, v, validate_probability(float(data.get(probability_attr, default))))
+    return graph

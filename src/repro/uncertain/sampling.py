@@ -1,0 +1,177 @@
+"""Possible-world semantics: sampling and exact world enumeration.
+
+An uncertain graph ``G = (V, E, p)`` represents a distribution over the
+``2^m`` deterministic subgraphs of its skeleton (Section 2 of the paper).
+This module provides:
+
+* :func:`sample_possible_world` — draw one possible world by flipping each
+  edge independently (the paper notes this is how sampling is performed),
+* :func:`sample_possible_worlds` — an iterator of i.i.d. samples,
+* :func:`enumerate_possible_worlds` — exact enumeration of all worlds with
+  their probabilities (exponential; only for tiny graphs and for tests),
+* :func:`estimate_clique_probability` — Monte-Carlo estimate of
+  ``clq(C, G)``, used in tests to cross-validate the exact product formula
+  of Observation 1,
+* :func:`world_probability` — the probability of one specific world.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Hashable, Iterable, Iterator
+
+from ..deterministic.graph import Graph
+from ..errors import ParameterError
+from .graph import UncertainGraph
+
+__all__ = [
+    "sample_possible_world",
+    "sample_possible_worlds",
+    "enumerate_possible_worlds",
+    "estimate_clique_probability",
+    "world_probability",
+]
+
+Vertex = Hashable
+
+
+def sample_possible_world(
+    graph: UncertainGraph, rng: random.Random | int | None = None
+) -> Graph:
+    """Sample one possible world of ``graph``.
+
+    Each edge ``e`` is included independently with probability ``p(e)``.
+    Vertices are always retained, so the sampled graph has the same vertex
+    set as the uncertain graph.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph to sample from.
+    rng:
+        A :class:`random.Random` instance, an integer seed, or ``None`` for
+        a fresh non-deterministic generator.
+    """
+    rng = _coerce_rng(rng)
+    world = Graph(vertices=graph.vertices())
+    for u, v, p in graph.edges():
+        if rng.random() < p:
+            world.add_edge(u, v)
+    return world
+
+
+def sample_possible_worlds(
+    graph: UncertainGraph,
+    count: int,
+    rng: random.Random | int | None = None,
+) -> Iterator[Graph]:
+    """Yield ``count`` independent possible worlds of ``graph``.
+
+    Raises
+    ------
+    ParameterError
+        If ``count`` is negative.
+    """
+    if count < 0:
+        raise ParameterError(f"count must be non-negative, got {count}")
+    rng = _coerce_rng(rng)
+    for _ in range(count):
+        yield sample_possible_world(graph, rng)
+
+
+def enumerate_possible_worlds(
+    graph: UncertainGraph, *, max_edges: int = 20
+) -> Iterator[tuple[Graph, float]]:
+    """Enumerate every possible world together with its probability.
+
+    The number of worlds is ``2^m``; the function refuses to run on graphs
+    with more than ``max_edges`` edges to protect callers from accidental
+    exponential blow-ups.
+
+    Raises
+    ------
+    ParameterError
+        If the graph has more than ``max_edges`` edges.
+
+    >>> g = UncertainGraph(edges=[(1, 2, 0.25)])
+    >>> sorted(round(p, 2) for _, p in enumerate_possible_worlds(g))
+    [0.25, 0.75]
+    """
+    edges = list(graph.edges())
+    if len(edges) > max_edges:
+        raise ParameterError(
+            f"refusing to enumerate 2^{len(edges)} possible worlds "
+            f"(limit is 2^{max_edges}); raise max_edges explicitly if intended"
+        )
+    vertices = list(graph.vertices())
+    for included in itertools.product((False, True), repeat=len(edges)):
+        world = Graph(vertices=vertices)
+        probability = 1.0
+        for (u, v, p), present in zip(edges, included):
+            if present:
+                world.add_edge(u, v)
+                probability *= p
+            else:
+                probability *= 1.0 - p
+        yield world, probability
+
+
+def world_probability(graph: UncertainGraph, world: Graph) -> float:
+    """Return the probability that sampling ``graph`` yields exactly ``world``.
+
+    ``world`` must be a subgraph of the skeleton; any edge of ``world`` not
+    present as a possible edge makes the probability ``0.0``.
+    """
+    probability = 1.0
+    world_edges = {frozenset(e) for e in world.edges()}
+    for u, v, p in graph.edges():
+        if frozenset((u, v)) in world_edges:
+            probability *= p
+        else:
+            probability *= 1.0 - p
+    # Edges in the world that are impossible under the model.
+    possible = {frozenset((u, v)) for u, v, _ in graph.edges()}
+    for e in world_edges:
+        if e not in possible:
+            return 0.0
+    return probability
+
+
+def estimate_clique_probability(
+    graph: UncertainGraph,
+    vertices: Iterable[Vertex],
+    *,
+    samples: int = 1000,
+    rng: random.Random | int | None = None,
+) -> float:
+    """Monte-Carlo estimate of ``clq(C, G)``.
+
+    Draws ``samples`` possible worlds and returns the fraction in which
+    ``vertices`` induce a clique.  Used in tests to validate the exact
+    product formula; the exact :meth:`UncertainGraph.clique_probability`
+    should always be preferred in algorithms.
+
+    Raises
+    ------
+    ParameterError
+        If ``samples`` is not positive.
+    """
+    if samples <= 0:
+        raise ParameterError(f"samples must be positive, got {samples}")
+    rng = _coerce_rng(rng)
+    target = list(vertices)
+    hits = 0
+    for world in sample_possible_worlds(graph, samples, rng):
+        if world.is_clique(target):
+            hits += 1
+    return hits / samples
+
+
+def _coerce_rng(rng: random.Random | int | None) -> random.Random:
+    """Normalise the ``rng`` argument accepted throughout this module."""
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    return random.Random(rng)

@@ -1,0 +1,91 @@
+"""Unit tests for the measurement/sweep harness used by the benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import (
+    alpha_sweep,
+    compare_algorithms,
+    format_table,
+    runtime_vs_output_size,
+    size_threshold_sweep,
+)
+from repro.generators.erdos_renyi import random_uncertain_graph
+
+
+@pytest.fixture
+def small_graphs():
+    return {
+        "toy-a": random_uncertain_graph(12, 0.5, rng=1),
+        "toy-b": random_uncertain_graph(10, 0.4, rng=2),
+    }
+
+
+class TestCompareAlgorithms:
+    def test_row_count(self, small_graphs):
+        rows = compare_algorithms(small_graphs, [0.5, 0.1])
+        assert len(rows) == 2 * 2 * 2  # graphs × alphas × algorithms
+
+    def test_both_algorithms_find_same_cliques(self, small_graphs):
+        rows = compare_algorithms(small_graphs, [0.3])
+        by_key = {}
+        for row in rows:
+            by_key.setdefault((row["graph"], row["alpha"]), set()).add(row["num_cliques"])
+        assert all(len(counts) == 1 for counts in by_key.values())
+
+    def test_row_fields(self, small_graphs):
+        row = compare_algorithms(small_graphs, [0.5], algorithms=("mule",))[0]
+        assert {"graph", "n", "m", "alpha", "algorithm", "num_cliques", "elapsed_seconds"} <= set(row)
+
+    def test_algorithm_subset(self, small_graphs):
+        rows = compare_algorithms(small_graphs, [0.5], algorithms=("mule",))
+        assert all(row["algorithm"] == "mule" for row in rows)
+
+
+class TestAlphaSweep:
+    def test_output_monotone_in_alpha_overall(self, small_graphs):
+        """Higher α can only shrink (or rarely keep) the number of cliques."""
+        alphas = [0.001, 0.1, 0.5, 0.9]
+        rows = alpha_sweep(small_graphs, alphas)
+        for name in small_graphs:
+            counts = [r["num_cliques"] for r in rows if r["graph"] == name]
+            # The paper notes small non-monotonicities are possible but rare;
+            # require the first (smallest α) to dominate the last (largest α).
+            assert counts[0] >= counts[-1]
+
+    def test_sweep_row_count(self, small_graphs):
+        assert len(alpha_sweep(small_graphs, [0.5, 0.1, 0.01])) == 6
+
+    def test_runtime_vs_output_alias(self, small_graphs):
+        rows = runtime_vs_output_size(small_graphs, [0.5])
+        assert len(rows) == 2
+
+
+class TestSizeThresholdSweep:
+    def test_row_count_and_fields(self, small_graphs):
+        rows = size_threshold_sweep(small_graphs, [0.1], [2, 3, 4])
+        assert len(rows) == 2 * 1 * 3
+        assert all("size_threshold" in row for row in rows)
+
+    def test_output_decreases_with_threshold(self, small_graphs):
+        rows = size_threshold_sweep(small_graphs, [0.05], [2, 3, 4, 5])
+        for name in small_graphs:
+            counts = [r["num_cliques"] for r in rows if r["graph"] == name]
+            assert counts == sorted(counts, reverse=True)
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_contains_headers_and_values(self, small_graphs):
+        rows = alpha_sweep(small_graphs, [0.5])
+        text = format_table(rows, columns=["graph", "alpha", "num_cliques"])
+        assert "graph" in text
+        assert "toy-a" in text
+        assert "0.5" in text
+
+    def test_handles_missing_cells(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "-" in text

@@ -1,0 +1,59 @@
+"""Unit tests for clique-output statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.statistics import clique_statistics, vertex_participation
+from repro.core.mule import mule
+from repro.core.result import CliqueRecord, EnumerationResult
+
+
+class TestCliqueStatistics:
+    def test_empty_result(self):
+        stats = clique_statistics(EnumerationResult("mule", 0.5, []))
+        assert stats.num_cliques == 0
+        assert stats.mean_size == 0.0
+        assert stats.size_histogram == {}
+
+    def test_basic_aggregates(self, two_cliques):
+        stats = clique_statistics(mule(two_cliques, 0.5))
+        assert stats.num_cliques == 2
+        assert stats.min_size == 3
+        assert stats.max_size == 3
+        assert stats.mean_size == pytest.approx(3.0)
+        assert stats.size_histogram == {3: 2}
+
+    def test_probability_aggregates(self, two_cliques):
+        stats = clique_statistics(mule(two_cliques, 0.5))
+        assert stats.min_probability == pytest.approx(0.9**3)
+        assert stats.max_probability == pytest.approx(0.95**3)
+        assert stats.min_probability <= stats.mean_probability <= stats.max_probability
+
+    def test_as_dict_round_trippable(self, triangle):
+        payload = clique_statistics(mule(triangle, 0.5)).as_dict()
+        assert payload["num_cliques"] == 2
+        assert set(payload) >= {"min_size", "max_size", "mean_probability"}
+
+
+class TestVertexParticipation:
+    def test_counts_membership(self):
+        result = EnumerationResult(
+            "manual",
+            0.5,
+            [
+                CliqueRecord(vertices=frozenset({1, 2}), probability=0.5),
+                CliqueRecord(vertices=frozenset({2, 3}), probability=0.5),
+            ],
+        )
+        participation = vertex_participation(result)
+        assert participation == {1: 1, 2: 2, 3: 1}
+
+    def test_empty_result(self):
+        assert vertex_participation(EnumerationResult("mule", 0.5, [])) == {}
+
+    def test_overlapping_communities(self, random_graph_factory):
+        graph = random_graph_factory(10, density=0.6, seed=2)
+        result = mule(graph, 0.1)
+        participation = vertex_participation(result)
+        assert sum(participation.values()) == sum(r.size for r in result)

@@ -1,0 +1,77 @@
+"""Unit tests for the ASCII chart helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.text_plots import ascii_bar_chart, ascii_line_chart
+
+
+class TestLineChart:
+    def test_contains_title_axes_and_legend(self):
+        chart = ascii_line_chart(
+            {"runtime": [(0.001, 10.0), (0.01, 5.0), (0.1, 2.0)]},
+            title="runtime vs alpha",
+            x_label="alpha",
+            y_label="s",
+        )
+        assert "runtime vs alpha" in chart
+        assert "alpha" in chart
+        assert "o = runtime" in chart
+        assert "|" in chart and "-" in chart
+
+    def test_multiple_series_use_distinct_markers(self):
+        chart = ascii_line_chart(
+            {"a": [(1, 1), (2, 2)], "b": [(1, 2), (2, 1)]}
+        )
+        assert "o = a" in chart
+        assert "x = b" in chart
+        body = chart.split("legend")[0]
+        assert "o" in body and "x" in body
+
+    def test_log_axes_handle_small_values(self):
+        chart = ascii_line_chart(
+            {"counts": [(0.0001, 1000.0), (0.1, 10.0), (1.0, 1.0)]},
+            log_x=True,
+            log_y=True,
+        )
+        assert "0.0001" in chart
+        assert "1000" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_line_chart({}, title="empty")
+
+    def test_single_point_does_not_crash(self):
+        chart = ascii_line_chart({"single": [(1.0, 1.0)]})
+        assert "single" in chart
+
+    def test_too_small_area_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({"a": [(1, 1)]}, width=5, height=2)
+
+    def test_line_count_matches_height(self):
+        height = 12
+        chart = ascii_line_chart({"a": [(1, 1), (2, 5)]}, height=height, title="t")
+        plot_rows = [line for line in chart.splitlines() if "|" in line]
+        assert len(plot_rows) == height
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = ascii_bar_chart({"mule": 1.0, "dfs-noip": 4.0}, width=40)
+        lines = {line.split("|")[0].strip(): line for line in chart.splitlines()}
+        assert lines["dfs-noip"].count("#") > lines["mule"].count("#")
+
+    def test_values_printed(self):
+        chart = ascii_bar_chart({"x": 2.5}, unit="s")
+        assert "2.5s" in chart
+
+    def test_title_included(self):
+        assert ascii_bar_chart({"x": 1.0}, title="Figure 1").startswith("Figure 1")
+
+    def test_empty_values(self):
+        assert "(no data)" in ascii_bar_chart({}, title="none")
+
+    def test_zero_values_do_not_crash(self):
+        chart = ascii_bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart and "b" in chart

@@ -1,0 +1,105 @@
+"""Unit tests for the result verification helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.verification import (
+    check_output_bound,
+    matches_deterministic_cliques,
+    results_agree,
+    verify_result,
+)
+from repro.core.dfs_noip import dfs_noip
+from repro.core.mule import mule
+from repro.core.result import CliqueRecord, EnumerationResult
+from repro.uncertain.graph import UncertainGraph
+
+
+class TestVerifyResult:
+    def test_clean_output_has_no_problems(self, two_cliques):
+        result = mule(two_cliques, 0.5)
+        assert verify_result(two_cliques, result) == []
+
+    def test_detects_below_threshold_clique(self, two_cliques):
+        bogus = EnumerationResult(
+            "manual",
+            0.99,
+            [CliqueRecord(vertices=frozenset({1, 2, 3}), probability=0.95**3)],
+        )
+        problems = verify_result(two_cliques, bogus)
+        assert any("alpha" in p for p in problems)
+
+    def test_detects_non_maximal_clique(self, two_cliques):
+        bogus = EnumerationResult(
+            "manual",
+            0.5,
+            [CliqueRecord(vertices=frozenset({1, 2}), probability=0.95)],
+        )
+        problems = verify_result(two_cliques, bogus)
+        assert any("not alpha-maximal" in p for p in problems)
+
+    def test_detects_wrong_probability(self, two_cliques):
+        bogus = EnumerationResult(
+            "manual",
+            0.5,
+            [CliqueRecord(vertices=frozenset({1, 2, 3}), probability=0.5)],
+        )
+        problems = verify_result(two_cliques, bogus)
+        assert any("differs" in p for p in problems)
+
+    def test_detects_redundant_family(self, two_cliques):
+        bogus = EnumerationResult(
+            "manual",
+            0.5,
+            [
+                CliqueRecord(vertices=frozenset({1, 2, 3}), probability=0.95**3),
+                CliqueRecord(vertices=frozenset({1, 2}), probability=0.95),
+            ],
+        )
+        problems = verify_result(two_cliques, bogus)
+        assert any("antichain" in p or "not alpha-maximal" in p for p in problems)
+
+
+class TestResultsAgree:
+    def test_same_algorithm_results_agree(self, two_cliques):
+        assert results_agree(mule(two_cliques, 0.5), dfs_noip(two_cliques, 0.5))
+
+    def test_different_alpha_results_differ(self, two_cliques):
+        assert not results_agree(mule(two_cliques, 0.5), mule(two_cliques, 1e-6))
+
+
+class TestDeterministicDegenerateCase:
+    def test_certain_graph_matches_bron_kerbosch(self):
+        g = UncertainGraph(
+            edges=[(1, 2, 1.0), (2, 3, 1.0), (1, 3, 1.0), (3, 4, 1.0)]
+        )
+        result = mule(g, 1.0)
+        assert matches_deterministic_cliques(g, result)
+
+    def test_mismatch_detected(self):
+        g = UncertainGraph(edges=[(1, 2, 1.0), (2, 3, 1.0)])
+        bogus = EnumerationResult(
+            "manual", 1.0, [CliqueRecord(vertices=frozenset({1, 2}), probability=1.0)]
+        )
+        assert not matches_deterministic_cliques(g, bogus)
+
+
+class TestOutputBound:
+    def test_real_output_respects_bound(self, random_graph_factory):
+        graph = random_graph_factory(9, density=0.7, seed=1)
+        assert check_output_bound(graph, mule(graph, 0.1))
+
+    def test_fabricated_oversized_output_fails(self):
+        g = UncertainGraph(edges=[(1, 2, 0.5)])
+        # 3 "cliques" on a 2-vertex graph exceeds C(2,1) = 2.
+        bogus = EnumerationResult(
+            "manual",
+            0.5,
+            [
+                CliqueRecord(vertices=frozenset({1}), probability=1.0),
+                CliqueRecord(vertices=frozenset({2}), probability=1.0),
+                CliqueRecord(vertices=frozenset({1, 2}), probability=0.5),
+            ],
+        )
+        assert not check_output_bound(g, bogus)

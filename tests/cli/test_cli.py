@@ -1,0 +1,224 @@
+"""Tests for the ``repro-mule`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+from repro.uncertain.graph import UncertainGraph
+from repro.uncertain.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = UncertainGraph(
+        edges=[(1, 2, 0.9), (2, 3, 0.9), (1, 3, 0.9), (3, 4, 0.4)]
+    )
+    path = tmp_path / "toy.edges"
+    write_edge_list(graph, path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_enumerate_requires_alpha(self, graph_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["enumerate", "--input", str(graph_file)])
+
+    def test_input_and_dataset_mutually_exclusive(self, graph_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["stats", "--input", str(graph_file), "--dataset", "ppi"]
+            )
+
+
+class TestEnumerateCommand:
+    def test_basic_run(self, graph_file, capsys):
+        exit_code = main(["enumerate", "--input", str(graph_file), "--alpha", "0.5"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "2 alpha-maximal cliques" in out
+        assert "1,2,3" in out
+
+    def test_quiet_suppresses_listing(self, graph_file, capsys):
+        main(["enumerate", "--input", str(graph_file), "--alpha", "0.5", "--quiet"])
+        out = capsys.readouterr().out
+        assert "1,2,3" not in out
+
+    def test_json_output(self, graph_file, tmp_path, capsys):
+        output = tmp_path / "cliques.json"
+        main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--quiet",
+                "--output",
+                str(output),
+            ]
+        )
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert payload["num_cliques"] == 2
+        assert sorted(payload["cliques"][0]["vertices"]) == payload["cliques"][0]["vertices"]
+
+    def test_dfs_noip_algorithm(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--algorithm",
+                "dfs-noip",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        assert "dfs-noip" in capsys.readouterr().out
+
+    def test_large_mule_requires_min_size(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--algorithm",
+                "large-mule",
+            ]
+        )
+        assert exit_code == 2
+        assert "min-size" in capsys.readouterr().err
+
+    def test_large_mule_with_min_size(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--algorithm",
+                "large-mule",
+                "--min-size",
+                "3",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        assert "1 alpha-maximal cliques" in capsys.readouterr().out
+
+    def test_invalid_alpha_reports_error(self, graph_file, capsys):
+        exit_code = main(["enumerate", "--input", str(graph_file), "--alpha", "0"])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_dataset_input(self, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--dataset",
+                "ba5000",
+                "--scale",
+                "0.01",
+                "--alpha",
+                "0.5",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+
+
+class TestCompareCommand:
+    def test_compare_agreement(self, graph_file, capsys):
+        exit_code = main(["compare", "--input", str(graph_file), "--alpha", "0.5"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "MULE:" in out
+        assert "DFS-NOIP:" in out
+        assert "outputs agree" in out
+
+    def test_compare_on_dataset(self, capsys):
+        exit_code = main(
+            ["compare", "--dataset", "ba5000", "--scale", "0.01", "--alpha", "0.1"]
+        )
+        assert exit_code == 0
+        assert "speed-up" in capsys.readouterr().out
+
+
+class TestCoreCommand:
+    def test_core_decomposition_output(self, graph_file, capsys):
+        exit_code = main(["core", "--input", str(graph_file), "--eta", "0.5"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "core decomposition" in out
+        assert "core number" in out
+
+    def test_core_requires_valid_eta(self, graph_file, capsys):
+        exit_code = main(["core", "--input", str(graph_file), "--eta", "0"])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_fast_mule_algorithm_choice(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--algorithm",
+                "fast-mule",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        assert "fast-mule" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_stats(self, graph_file, capsys):
+        assert main(["stats", "--input", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "vertices:" in out and "edges:" in out
+        assert "expected edges:" in out
+
+    def test_generate(self, tmp_path, capsys):
+        output = tmp_path / "generated.edges"
+        exit_code = main(
+            [
+                "generate",
+                "--dataset",
+                "ba5000",
+                "--scale",
+                "0.01",
+                "--seed",
+                "7",
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        assert output.exists()
+        assert "n=" in capsys.readouterr().out
+
+    def test_bound(self, capsys):
+        assert main(["bound", "--vertices", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "9" in out  # Moon–Moser for n = 6
+        assert "20" in out  # C(6, 3)
+
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "ppi" in out
+        assert "ba10000" in out

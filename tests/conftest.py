@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.deterministic.graph import Graph
+from repro.generators.erdos_renyi import random_uncertain_graph
+from repro.uncertain.graph import UncertainGraph
+
+
+@pytest.fixture
+def triangle() -> UncertainGraph:
+    """A certain triangle plus a pendant low-probability edge."""
+    return UncertainGraph(
+        edges=[(1, 2, 0.9), (2, 3, 0.9), (1, 3, 0.9), (3, 4, 0.4)]
+    )
+
+
+@pytest.fixture
+def two_cliques() -> UncertainGraph:
+    """Two vertex-disjoint high-probability triangles joined by a weak edge."""
+    return UncertainGraph(
+        edges=[
+            (1, 2, 0.95),
+            (2, 3, 0.95),
+            (1, 3, 0.95),
+            (4, 5, 0.9),
+            (5, 6, 0.9),
+            (4, 6, 0.9),
+            (3, 4, 0.1),
+        ]
+    )
+
+
+@pytest.fixture
+def path_graph() -> UncertainGraph:
+    """A 5-vertex path with decreasing probabilities."""
+    return UncertainGraph(
+        edges=[(1, 2, 0.9), (2, 3, 0.7), (3, 4, 0.5), (4, 5, 0.3)]
+    )
+
+
+@pytest.fixture
+def deterministic_square() -> Graph:
+    """A 4-cycle plus one chord (two triangles sharing an edge)."""
+    return Graph(edges=[(1, 2), (2, 3), (3, 4), (4, 1), (1, 3)])
+
+
+@pytest.fixture
+def random_graph_factory():
+    """Factory building seeded random uncertain graphs for cross-validation."""
+
+    def build(n: int, density: float = 0.5, seed: int = 0) -> UncertainGraph:
+        return random_uncertain_graph(n, density, rng=random.Random(seed))
+
+    return build

@@ -1,0 +1,127 @@
+"""Unit tests for the I/X candidate-set machinery (Algorithms 3 and 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import CandidateSet, generate_i, generate_x, initial_candidates
+from repro.uncertain.graph import UncertainGraph
+
+
+@pytest.fixture
+def diamond() -> UncertainGraph:
+    """A 4-clique on {1,2,3,4} with assorted probabilities plus a pendant 5."""
+    return UncertainGraph(
+        edges=[
+            (1, 2, 0.9),
+            (1, 3, 0.8),
+            (1, 4, 0.7),
+            (2, 3, 0.9),
+            (2, 4, 0.6),
+            (3, 4, 0.5),
+            (4, 5, 0.9),
+        ]
+    )
+
+
+class TestCandidateSet:
+    def test_iteration_in_increasing_order(self):
+        cs = CandidateSet({5: 0.2, 1: 0.9, 3: 0.5})
+        assert list(cs) == [1, 3, 5]
+        assert cs.items_sorted() == [(1, 0.9), (3, 0.5), (5, 0.2)]
+
+    def test_membership_and_len(self):
+        cs = CandidateSet({2: 1.0})
+        assert 2 in cs
+        assert 3 not in cs
+        assert len(cs) == 1
+        assert bool(cs)
+        assert not CandidateSet()
+
+    def test_add_and_factor(self):
+        cs = CandidateSet()
+        cs.add(7, 0.25)
+        assert cs.factor(7) == 0.25
+
+    def test_copy_is_independent(self):
+        cs = CandidateSet({1: 0.5})
+        clone = cs.copy()
+        clone.add(2, 0.4)
+        assert 2 not in cs
+
+    def test_from_pairs_and_equality(self):
+        assert CandidateSet.from_pairs([(1, 0.5)]) == CandidateSet({1: 0.5})
+
+    def test_vertices_view(self):
+        assert CandidateSet({1: 0.5, 9: 0.1}).vertices() == {1, 9}
+
+
+class TestInitialCandidates:
+    def test_every_vertex_with_factor_one(self, diamond):
+        initial = initial_candidates(diamond)
+        assert initial.vertices() == set(diamond.vertices())
+        assert all(factor == 1.0 for _, factor in initial.items_sorted())
+
+
+class TestGenerateI:
+    def test_only_larger_adjacent_vertices_kept(self, diamond):
+        initial = initial_candidates(diamond)
+        # Extend the empty clique with vertex 2: q' = 1.0.
+        result = generate_i(diamond, 2, 1.0, initial, alpha=0.01)
+        assert result.vertices() == {3, 4}
+
+    def test_factors_are_edge_probabilities(self, diamond):
+        initial = initial_candidates(diamond)
+        result = generate_i(diamond, 2, 1.0, initial, alpha=0.01)
+        assert result.factor(3) == pytest.approx(0.9)
+        assert result.factor(4) == pytest.approx(0.6)
+
+    def test_alpha_filtering(self, diamond):
+        initial = initial_candidates(diamond)
+        result = generate_i(diamond, 2, 1.0, initial, alpha=0.7)
+        assert result.vertices() == {3}
+
+    def test_invariant_lemma6(self, diamond):
+        """Every surviving candidate u satisfies clq(C' ∪ {u}) = q' · r' ≥ α."""
+        alpha = 0.3
+        initial = initial_candidates(diamond)
+        # C' = {1}: q' = 1.0
+        level1 = generate_i(diamond, 1, 1.0, initial, alpha)
+        for u, r in level1.items_sorted():
+            assert diamond.clique_probability({1, u}) == pytest.approx(r)
+            assert r >= alpha
+        # C' = {1, 2}: q' = 0.9
+        q2 = diamond.clique_probability({1, 2})
+        level2 = generate_i(diamond, 2, q2, level1, alpha)
+        for u, r in level2.items_sorted():
+            assert diamond.clique_probability({1, 2, u}) == pytest.approx(q2 * r)
+            assert q2 * r >= alpha
+
+    def test_non_adjacent_vertices_dropped(self, diamond):
+        initial = initial_candidates(diamond)
+        result = generate_i(diamond, 1, 1.0, initial, alpha=0.01)
+        assert 5 not in result  # 5 is only adjacent to 4
+
+
+class TestGenerateX:
+    def test_keeps_smaller_vertices_that_still_extend(self, diamond):
+        # Simulate the state where C = {2} and vertex 1 has been processed.
+        exclusions = CandidateSet({1: 0.9})  # clq({2, 1}) = 0.9
+        q_prime = diamond.clique_probability({2, 3})
+        result = generate_x(diamond, 3, q_prime, exclusions, alpha=0.1)
+        assert 1 in result
+        assert result.factor(1) == pytest.approx(0.9 * 0.8)
+
+    def test_drops_vertices_below_alpha(self, diamond):
+        exclusions = CandidateSet({1: 0.9})
+        q_prime = diamond.clique_probability({2, 3})
+        result = generate_x(diamond, 3, q_prime, exclusions, alpha=0.9)
+        assert 1 not in result
+
+    def test_drops_non_adjacent_vertices(self, diamond):
+        exclusions = CandidateSet({1: 0.7})  # pretend 1 extends {4}
+        result = generate_x(diamond, 5, 0.9, exclusions, alpha=0.01)
+        assert len(result) == 0
+
+    def test_empty_exclusions_stay_empty(self, diamond):
+        assert len(generate_x(diamond, 2, 1.0, CandidateSet(), alpha=0.5)) == 0

@@ -1,0 +1,94 @@
+"""Unit tests for the clique probability engine."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.clique_probability import (
+    clique_probability,
+    extension_factor,
+    is_alpha_clique,
+    log_clique_probability,
+)
+from repro.errors import VertexError
+from repro.uncertain.graph import UncertainGraph
+
+
+@pytest.fixture
+def weighted_triangle() -> UncertainGraph:
+    return UncertainGraph(edges=[(1, 2, 0.5), (1, 3, 0.4), (2, 3, 0.8), (3, 4, 0.9)])
+
+
+class TestCliqueProbability:
+    def test_matches_graph_method(self, weighted_triangle):
+        for subset in ([1, 2], [1, 2, 3], [2, 3, 4], []):
+            assert clique_probability(weighted_triangle, subset) == pytest.approx(
+                weighted_triangle.clique_probability(subset)
+            )
+
+    def test_empty_and_singleton_are_one(self, weighted_triangle):
+        assert clique_probability(weighted_triangle, []) == 1.0
+        assert clique_probability(weighted_triangle, [4]) == 1.0
+
+    def test_non_clique_is_zero(self, weighted_triangle):
+        assert clique_probability(weighted_triangle, [1, 4]) == 0.0
+
+
+class TestExtensionFactor:
+    def test_product_of_connecting_edges(self, weighted_triangle):
+        factor = extension_factor(weighted_triangle, [1, 2], 3)
+        assert factor == pytest.approx(0.4 * 0.8)
+
+    def test_extension_identity(self, weighted_triangle):
+        """clq(C ∪ {v}) == clq(C) * extension_factor(C, v) — the MULE invariant."""
+        clique = [1, 2]
+        for v in (3, 4):
+            lhs = clique_probability(weighted_triangle, clique + [v])
+            rhs = clique_probability(weighted_triangle, clique) * extension_factor(
+                weighted_triangle, clique, v
+            )
+            assert lhs == pytest.approx(rhs)
+
+    def test_missing_edge_gives_zero(self, weighted_triangle):
+        assert extension_factor(weighted_triangle, [1, 2], 4) == 0.0
+
+    def test_extension_of_empty_clique_is_one(self, weighted_triangle):
+        assert extension_factor(weighted_triangle, [], 1) == 1.0
+
+    def test_unknown_vertex_raises(self, weighted_triangle):
+        with pytest.raises(VertexError):
+            extension_factor(weighted_triangle, [1], 99)
+
+
+class TestLogCliqueProbability:
+    def test_matches_log_of_product(self, weighted_triangle):
+        expected = math.log(weighted_triangle.clique_probability([1, 2, 3]))
+        assert log_clique_probability(weighted_triangle, [1, 2, 3]) == pytest.approx(expected)
+
+    def test_impossible_clique_is_minus_infinity(self, weighted_triangle):
+        assert log_clique_probability(weighted_triangle, [1, 4]) == float("-inf")
+
+    def test_empty_set_is_zero(self, weighted_triangle):
+        assert log_clique_probability(weighted_triangle, []) == 0.0
+
+    def test_avoids_underflow(self):
+        """A 60-vertex clique of probability-0.1 edges underflows the plain product."""
+        n = 60
+        g = UncertainGraph(
+            edges=[(u, v, 0.1) for u in range(1, n + 1) for v in range(u + 1, n + 1)]
+        )
+        log_p = log_clique_probability(g, range(1, n + 1))
+        assert log_p == pytest.approx(math.log(0.1) * n * (n - 1) / 2)
+        assert math.isfinite(log_p)
+
+
+class TestIsAlphaClique:
+    def test_threshold_inclusive(self, weighted_triangle):
+        p = weighted_triangle.clique_probability([1, 2, 3])
+        assert is_alpha_clique(weighted_triangle, [1, 2, 3], p)
+        assert not is_alpha_clique(weighted_triangle, [1, 2, 3], p + 1e-9)
+
+    def test_singletons_always_alpha_cliques(self, weighted_triangle):
+        assert is_alpha_clique(weighted_triangle, [1], 1.0)

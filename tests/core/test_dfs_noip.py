@@ -1,0 +1,92 @@
+"""Unit tests for the DFS-NOIP baseline (Algorithm 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.brute_force import brute_force_alpha_maximal_cliques
+from repro.core.dfs_noip import dfs_noip, iter_alpha_maximal_cliques_noip
+from repro.core.mule import mule
+from repro.errors import ProbabilityError
+from repro.uncertain.graph import UncertainGraph
+
+
+class TestSmallGraphs:
+    def test_triangle_with_weak_pendant(self, triangle):
+        result = dfs_noip(triangle, 0.5)
+        assert result.vertex_sets() == {frozenset({1, 2, 3}), frozenset({4})}
+
+    def test_two_cliques(self, two_cliques):
+        result = dfs_noip(two_cliques, 0.5)
+        assert result.vertex_sets() == {frozenset({1, 2, 3}), frozenset({4, 5, 6})}
+
+    def test_empty_graph(self):
+        assert dfs_noip(UncertainGraph(), 0.5).num_cliques == 0
+
+    def test_edgeless_graph(self):
+        result = dfs_noip(UncertainGraph(vertices=[1, 2]), 0.5)
+        assert result.vertex_sets() == {frozenset({1}), frozenset({2})}
+
+    def test_no_duplicates(self, two_cliques):
+        result = dfs_noip(two_cliques, 0.1)
+        assert len(result.vertex_sets()) == result.num_cliques
+
+    def test_invalid_alpha(self, triangle):
+        with pytest.raises(ProbabilityError):
+            dfs_noip(triangle, 0.0)
+
+    def test_probabilities_recorded_exactly(self, two_cliques):
+        for record in dfs_noip(two_cliques, 0.5):
+            assert record.probability == pytest.approx(
+                two_cliques.clique_probability(record.vertices)
+            )
+
+
+class TestEquivalenceWithMule:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("alpha", [0.8, 0.3, 0.05])
+    def test_same_output_as_mule(self, random_graph_factory, seed, alpha):
+        graph = random_graph_factory(9, density=0.55, seed=seed)
+        assert dfs_noip(graph, alpha).vertex_sets() == mule(graph, alpha).vertex_sets()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_output_as_brute_force(self, random_graph_factory, seed):
+        graph = random_graph_factory(7, density=0.6, seed=50 + seed)
+        assert (
+            dfs_noip(graph, 0.2).vertex_sets()
+            == brute_force_alpha_maximal_cliques(graph, 0.2).vertex_sets()
+        )
+
+    def test_prune_edges_flag_does_not_change_output(self, two_cliques):
+        assert (
+            dfs_noip(two_cliques, 0.5, prune_edges=False).vertex_sets()
+            == dfs_noip(two_cliques, 0.5, prune_edges=True).vertex_sets()
+        )
+
+
+class TestWorkCounters:
+    def test_dfs_noip_does_more_probability_work_than_mule(self, random_graph_factory):
+        """The whole point of MULE: fewer probability multiplications."""
+        graph = random_graph_factory(14, density=0.5, seed=3)
+        alpha = 0.05
+        mule_result = mule(graph, alpha)
+        noip_result = dfs_noip(graph, alpha)
+        assert noip_result.vertex_sets() == mule_result.vertex_sets()
+        assert (
+            noip_result.statistics.probability_multiplications
+            > mule_result.statistics.probability_multiplications
+        )
+
+    def test_statistics_populated(self, two_cliques):
+        stats = dfs_noip(two_cliques, 0.5).statistics
+        assert stats.recursive_calls > 0
+        assert stats.maximality_checks > 0
+
+    def test_algorithm_label(self, triangle):
+        assert dfs_noip(triangle, 0.5).algorithm == "dfs-noip"
+
+
+class TestGeneratorInterface:
+    def test_iterator_yields_cliques(self, triangle):
+        pairs = list(iter_alpha_maximal_cliques_noip(triangle, 0.5))
+        assert {frozenset(c) for c, _ in pairs} == {frozenset({1, 2, 3}), frozenset({4})}

@@ -1,0 +1,87 @@
+"""Unit tests for the bitset-accelerated FAST-MULE variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.brute_force import brute_force_alpha_maximal_cliques
+from repro.core.fast_mule import fast_mule, iter_alpha_maximal_cliques_fast
+from repro.core.mule import mule
+from repro.errors import ProbabilityError
+from repro.uncertain.graph import UncertainGraph
+
+
+class TestSmallGraphs:
+    def test_triangle_with_weak_pendant(self, triangle):
+        result = fast_mule(triangle, 0.5)
+        assert result.vertex_sets() == {frozenset({1, 2, 3}), frozenset({4})}
+
+    def test_two_cliques(self, two_cliques):
+        result = fast_mule(two_cliques, 0.5)
+        assert result.vertex_sets() == {frozenset({1, 2, 3}), frozenset({4, 5, 6})}
+
+    def test_empty_graph(self):
+        assert fast_mule(UncertainGraph(), 0.5).num_cliques == 0
+
+    def test_edgeless_graph(self):
+        result = fast_mule(UncertainGraph(vertices=[1, 2, 3]), 0.5)
+        assert result.num_cliques == 3
+
+    def test_string_labels(self):
+        g = UncertainGraph(
+            edges=[("a", "b", 0.9), ("b", "c", 0.9), ("a", "c", 0.9)]
+        )
+        assert fast_mule(g, 0.5).vertex_sets() == {frozenset({"a", "b", "c"})}
+
+    def test_invalid_alpha(self, triangle):
+        with pytest.raises(ProbabilityError):
+            fast_mule(triangle, 0.0)
+
+    def test_algorithm_label(self, triangle):
+        assert fast_mule(triangle, 0.5).algorithm == "fast-mule"
+
+    def test_probabilities_recorded_exactly(self, two_cliques):
+        for record in fast_mule(two_cliques, 0.5):
+            assert record.probability == pytest.approx(
+                two_cliques.clique_probability(record.vertices)
+            )
+
+    def test_generator_interface(self, triangle):
+        pairs = list(iter_alpha_maximal_cliques_fast(triangle, 0.5))
+        assert {frozenset(c) for c, _ in pairs} == {frozenset({1, 2, 3}), frozenset({4})}
+
+
+class TestEquivalenceWithReferenceMule:
+    @pytest.mark.parametrize("seed", range(15))
+    @pytest.mark.parametrize("alpha", [0.9, 0.3, 0.05, 0.001])
+    def test_same_output_as_mule(self, random_graph_factory, seed, alpha):
+        graph = random_graph_factory(10, density=0.55, seed=seed)
+        assert fast_mule(graph, alpha).vertex_sets() == mule(graph, alpha).vertex_sets()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_output_as_brute_force(self, random_graph_factory, seed):
+        graph = random_graph_factory(8, density=0.6, seed=40 + seed)
+        assert (
+            fast_mule(graph, 0.1).vertex_sets()
+            == brute_force_alpha_maximal_cliques(graph, 0.1).vertex_sets()
+        )
+
+    def test_verify_passes(self, random_graph_factory):
+        graph = random_graph_factory(14, density=0.6, seed=3)
+        fast_mule(graph, 0.05).verify(graph)
+
+    def test_prune_edges_flag_does_not_change_output(self, two_cliques):
+        assert (
+            fast_mule(two_cliques, 0.5, prune_edges=False).vertex_sets()
+            == fast_mule(two_cliques, 0.5, prune_edges=True).vertex_sets()
+        )
+
+    def test_matches_mule_on_larger_graph(self):
+        from repro.generators.barabasi_albert import barabasi_albert_uncertain
+
+        graph = barabasi_albert_uncertain(120, 5, rng=9)
+        for alpha in (0.5, 0.01):
+            assert (
+                fast_mule(graph, alpha).vertex_sets()
+                == mule(graph, alpha).vertex_sets()
+            )

@@ -1,0 +1,140 @@
+"""Unit tests for result containers and search statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import CliqueRecord, EnumerationResult, SearchStatistics, Stopwatch
+from repro.uncertain.graph import UncertainGraph
+
+
+def make_result() -> EnumerationResult:
+    records = [
+        CliqueRecord(vertices=frozenset({1, 2, 3}), probability=0.5),
+        CliqueRecord(vertices=frozenset({4, 5}), probability=0.9),
+        CliqueRecord(vertices=frozenset({6}), probability=1.0),
+    ]
+    return EnumerationResult(algorithm="mule", alpha=0.4, cliques=records)
+
+
+class TestCliqueRecord:
+    def test_size(self):
+        record = CliqueRecord(vertices=frozenset({1, 2, 3}), probability=0.5)
+        assert record.size == 3
+
+    def test_as_tuple_sorted(self):
+        record = CliqueRecord(vertices=frozenset({3, 1, 2}), probability=0.5)
+        assert record.as_tuple() == (1, 2, 3)
+
+    def test_ordering_by_size_then_members(self):
+        small = CliqueRecord(vertices=frozenset({9}), probability=1.0)
+        large = CliqueRecord(vertices=frozenset({1, 2}), probability=0.5)
+        assert small < large
+
+    def test_records_hashable_equality(self):
+        a = CliqueRecord(vertices=frozenset({1, 2}), probability=0.5)
+        b = CliqueRecord(vertices=frozenset({2, 1}), probability=0.5)
+        assert a == b
+
+
+class TestSearchStatistics:
+    def test_defaults_are_zero(self):
+        stats = SearchStatistics()
+        assert stats.recursive_calls == 0
+        assert stats.pruned_branches == 0
+
+    def test_merge_sums_fields(self):
+        merged = SearchStatistics(recursive_calls=2, candidates_examined=5).merge(
+            SearchStatistics(recursive_calls=3, maximality_checks=1)
+        )
+        assert merged.recursive_calls == 5
+        assert merged.candidates_examined == 5
+        assert merged.maximality_checks == 1
+
+
+class TestStopwatch:
+    def test_measures_positive_time(self):
+        with Stopwatch() as timer:
+            sum(range(1000))
+        assert timer.elapsed >= 0.0
+
+
+class TestEnumerationResult:
+    def test_len_iter_contains(self):
+        result = make_result()
+        assert len(result) == 3
+        assert {1, 2, 3} in result
+        assert {1, 2} not in result
+        assert len(list(iter(result))) == 3
+
+    def test_cliques_sorted_by_size(self):
+        result = make_result()
+        assert [record.size for record in result.cliques] == [1, 2, 3]
+
+    def test_vertex_sets(self):
+        assert frozenset({4, 5}) in make_result().vertex_sets()
+
+    def test_size_histogram(self):
+        assert make_result().size_histogram() == {1: 1, 2: 1, 3: 1}
+
+    def test_largest(self):
+        assert make_result().largest().vertices == frozenset({1, 2, 3})
+
+    def test_largest_of_empty_result(self):
+        empty = EnumerationResult("mule", 0.5, [])
+        assert empty.largest() is None
+        assert empty.num_cliques == 0
+
+    def test_filter_minimum_size(self):
+        filtered = make_result().filter_minimum_size(2)
+        assert filtered.num_cliques == 2
+        assert all(record.size >= 2 for record in filtered)
+
+    def test_top_k_by_probability(self):
+        top = make_result().top_k_by_probability(2)
+        assert [record.probability for record in top] == [1.0, 0.9]
+
+    def test_top_k_larger_than_output(self):
+        assert len(make_result().top_k_by_probability(10)) == 3
+
+    def test_summary_keys(self):
+        summary = make_result().summary()
+        assert summary["algorithm"] == "mule"
+        assert summary["num_cliques"] == 3
+
+    def test_repr(self):
+        assert "mule" in repr(make_result())
+
+
+class TestVerify:
+    def test_verify_accepts_correct_output(self):
+        g = UncertainGraph(edges=[(1, 2, 0.9), (2, 3, 0.9), (1, 3, 0.9), (3, 4, 0.4)])
+        result = EnumerationResult(
+            "manual",
+            0.5,
+            [
+                CliqueRecord(vertices=frozenset({1, 2, 3}), probability=0.9**3),
+                CliqueRecord(vertices=frozenset({4}), probability=1.0),
+            ],
+        )
+        result.verify(g)  # should not raise
+
+    def test_verify_rejects_non_maximal_clique(self):
+        g = UncertainGraph(edges=[(1, 2, 0.9), (2, 3, 0.9), (1, 3, 0.9)])
+        result = EnumerationResult(
+            "manual",
+            0.5,
+            [CliqueRecord(vertices=frozenset({1, 2}), probability=0.9)],
+        )
+        with pytest.raises(AssertionError):
+            result.verify(g)
+
+    def test_verify_rejects_below_threshold(self):
+        g = UncertainGraph(edges=[(1, 2, 0.3)])
+        result = EnumerationResult(
+            "manual",
+            0.5,
+            [CliqueRecord(vertices=frozenset({1, 2}), probability=0.3)],
+        )
+        with pytest.raises(AssertionError):
+            result.verify(g)

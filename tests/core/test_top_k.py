@@ -1,0 +1,102 @@
+"""Unit tests for the top-k maximal clique extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mule import mule
+from repro.core.top_k import top_k_by_threshold_search, top_k_maximal_cliques
+from repro.errors import ParameterError
+from repro.uncertain.graph import UncertainGraph
+
+
+@pytest.fixture
+def ranked_graph() -> UncertainGraph:
+    """Three disjoint cliques with clearly ordered probabilities."""
+    return UncertainGraph(
+        edges=[
+            # Triangle A: probability 0.9^3 = 0.729
+            (1, 2, 0.9),
+            (2, 3, 0.9),
+            (1, 3, 0.9),
+            # Edge B: probability 0.8
+            (4, 5, 0.8),
+            # Triangle C: probability 0.6^3 = 0.216
+            (6, 7, 0.6),
+            (7, 8, 0.6),
+            (6, 8, 0.6),
+        ]
+    )
+
+
+class TestTopK:
+    def test_returns_k_most_probable(self, ranked_graph):
+        top2 = top_k_maximal_cliques(ranked_graph, 2, alpha=0.1)
+        assert [record.vertices for record in top2] == [
+            frozenset({4, 5}),
+            frozenset({1, 2, 3}),
+        ]
+
+    def test_k_larger_than_output(self, ranked_graph):
+        top10 = top_k_maximal_cliques(ranked_graph, 10, alpha=0.1)
+        assert len(top10) == 3
+
+    def test_probabilities_sorted_descending(self, ranked_graph):
+        top = top_k_maximal_cliques(ranked_graph, 3, alpha=0.1)
+        probabilities = [record.probability for record in top]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_invalid_k(self, ranked_graph):
+        with pytest.raises(ParameterError):
+            top_k_maximal_cliques(ranked_graph, 0, alpha=0.5)
+
+    def test_consistent_with_full_enumeration(self, random_graph_factory):
+        graph = random_graph_factory(10, density=0.5, seed=17)
+        alpha = 0.05
+        full = mule(graph, alpha)
+        top3 = top_k_maximal_cliques(graph, 3, alpha)
+        expected = full.filter_minimum_size(2).top_k_by_probability(3)
+        assert [r.vertices for r in top3] == [r.vertices for r in expected]
+
+    def test_min_size_one_includes_singletons(self):
+        g = UncertainGraph(edges=[(1, 2, 0.4)], vertices=[9])
+        top = top_k_maximal_cliques(g, 1, alpha=0.3, min_size=1)
+        assert top[0].probability == 1.0
+        assert top[0].size == 1
+
+    def test_invalid_min_size(self, ranked_graph):
+        with pytest.raises(ParameterError):
+            top_k_maximal_cliques(ranked_graph, 2, alpha=0.5, min_size=0)
+
+
+class TestThresholdSearch:
+    def test_finds_k_without_alpha(self, ranked_graph):
+        top = top_k_by_threshold_search(ranked_graph, 3)
+        assert len(top) == 3
+        assert top[0].vertices == frozenset({4, 5})
+
+    def test_stops_when_enough_found_at_initial_alpha(self, ranked_graph):
+        top = top_k_by_threshold_search(ranked_graph, 1, initial_alpha=0.7)
+        assert top[0].vertices == frozenset({4, 5})
+
+    def test_lowers_threshold_when_needed(self):
+        # Only low-probability cliques exist; the search must descend to find 2.
+        g = UncertainGraph(edges=[(1, 2, 0.05), (3, 4, 0.02)])
+        top = top_k_by_threshold_search(g, 2, initial_alpha=0.5)
+        probabilities = [record.probability for record in top]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert len(top) == 2
+
+    def test_returns_fewer_when_graph_is_tiny(self):
+        g = UncertainGraph(vertices=[1])
+        assert top_k_by_threshold_search(g, 5) == []
+        with_singletons = top_k_by_threshold_search(g, 5, min_size=1)
+        assert len(with_singletons) == 1  # only the singleton {1}
+
+    def test_parameter_validation(self, ranked_graph):
+        with pytest.raises(ParameterError):
+            top_k_by_threshold_search(ranked_graph, 0)
+        with pytest.raises(ParameterError):
+            top_k_by_threshold_search(ranked_graph, 2, shrink_factor=1.5)
+        with pytest.raises(ParameterError):
+            top_k_by_threshold_search(ranked_graph, 2, initial_alpha=0.0)

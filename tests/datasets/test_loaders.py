@@ -1,0 +1,51 @@
+"""Unit tests for dataset caching loaders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.loaders import cache_directory, clear_cache, load_cached_dataset
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the dataset cache at a temporary directory for every test."""
+    monkeypatch.setenv("REPRO_MULE_CACHE", str(tmp_path / "cache"))
+    yield
+
+
+class TestCacheDirectory:
+    def test_created_on_demand(self, tmp_path):
+        path = cache_directory()
+        assert path.exists()
+        assert str(path).startswith(str(tmp_path))
+
+
+class TestLoadCachedDataset:
+    def test_first_load_creates_cache_file(self):
+        graph = load_cached_dataset("ba5000", scale=0.01, seed=1)
+        assert graph.num_vertices > 0
+        assert len(list(cache_directory().glob("*.edges"))) == 1
+
+    def test_second_load_reads_identical_graph(self):
+        first = load_cached_dataset("ba5000", scale=0.01, seed=1)
+        second = load_cached_dataset("ba5000", scale=0.01, seed=1)
+        assert first == second
+
+    def test_refresh_regenerates(self):
+        load_cached_dataset("ba5000", scale=0.01, seed=1)
+        refreshed = load_cached_dataset("ba5000", scale=0.01, seed=1, refresh=True)
+        assert refreshed.num_vertices > 0
+
+    def test_distinct_parameters_use_distinct_files(self):
+        load_cached_dataset("ba5000", scale=0.01, seed=1)
+        load_cached_dataset("ba5000", scale=0.01, seed=2)
+        load_cached_dataset("ba5000", scale=0.02, seed=1)
+        assert len(list(cache_directory().glob("*.edges"))) == 3
+
+    def test_clear_cache(self):
+        load_cached_dataset("ba5000", scale=0.01, seed=1)
+        load_cached_dataset("ba6000", scale=0.01, seed=1)
+        removed = clear_cache()
+        assert removed == 2
+        assert list(cache_directory().glob("*.edges")) == []

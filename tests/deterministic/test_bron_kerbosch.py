@@ -1,0 +1,112 @@
+"""Unit tests for the Bron--Kerbosch maximal clique enumerators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deterministic.bron_kerbosch import (
+    bron_kerbosch_basic,
+    bron_kerbosch_degeneracy,
+    bron_kerbosch_pivot,
+    enumerate_maximal_cliques,
+)
+from repro.deterministic.graph import Graph
+from repro.deterministic.maximal_cliques import is_maximal_clique
+from repro.core.bounds import moon_moser_bound
+from repro.generators.erdos_renyi import erdos_renyi_skeleton
+
+
+def cliques_of(graph: Graph, method: str) -> set[frozenset]:
+    return {frozenset(c) for c in enumerate_maximal_cliques(graph, method=method)}
+
+
+ALL_METHODS = ("basic", "pivot", "degeneracy")
+
+
+class TestSmallGraphs:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_single_edge(self, method):
+        g = Graph(edges=[(1, 2)])
+        assert cliques_of(g, method) == {frozenset({1, 2})}
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_path(self, method):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        assert cliques_of(g, method) == {frozenset({1, 2}), frozenset({2, 3})}
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_triangle_with_pendant(self, method):
+        g = Graph(edges=[(1, 2), (1, 3), (2, 3), (3, 4)])
+        assert cliques_of(g, method) == {frozenset({1, 2, 3}), frozenset({3, 4})}
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_isolated_vertex_is_singleton_clique(self, method):
+        g = Graph(edges=[(1, 2)], vertices=[3])
+        assert frozenset({3}) in cliques_of(g, method)
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_complete_graph_single_clique(self, method):
+        g = Graph(edges=[(u, v) for u in range(1, 6) for v in range(u + 1, 6)])
+        assert cliques_of(g, method) == {frozenset(range(1, 6))}
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_empty_graph_yields_nothing_or_empty(self, method):
+        # An empty graph has no vertices; the classical formulation emits the
+        # empty clique once.  We accept either the empty output or {∅}.
+        out = cliques_of(Graph(), method)
+        assert out in (set(), {frozenset()})
+
+
+class TestAgreementAndCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_methods_agree_on_random_graphs(self, seed):
+        g = erdos_renyi_skeleton(12, 0.4, rng=seed)
+        basic = cliques_of(g, "basic")
+        pivot = cliques_of(g, "pivot")
+        degen = cliques_of(g, "degeneracy")
+        assert basic == pivot == degen
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_every_output_is_a_maximal_clique(self, seed):
+        g = erdos_renyi_skeleton(14, 0.35, rng=100 + seed)
+        for clique in bron_kerbosch_pivot(g):
+            assert is_maximal_clique(g, clique)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_no_duplicates(self, seed):
+        g = erdos_renyi_skeleton(13, 0.45, rng=200 + seed)
+        cliques = list(bron_kerbosch_degeneracy(g))
+        assert len(cliques) == len(set(cliques))
+
+    def test_every_vertex_covered(self):
+        g = erdos_renyi_skeleton(20, 0.2, rng=4)
+        covered = set()
+        for clique in bron_kerbosch_pivot(g):
+            covered |= clique
+        assert covered == set(g.vertices())
+
+
+class TestMoonMoserWorstCase:
+    @pytest.mark.parametrize("n", [3, 6, 9])
+    def test_moon_moser_graph_reaches_bound(self, n):
+        # Complete multipartite graph with parts of size 3.
+        parts = [list(range(i * 3 + 1, i * 3 + 4)) for i in range(n // 3)]
+        edges = []
+        for i, part_a in enumerate(parts):
+            for part_b in parts[i + 1 :]:
+                edges.extend((a, b) for a in part_a for b in part_b)
+        g = Graph(vertices=range(1, n + 1), edges=edges)
+        count = sum(1 for _ in bron_kerbosch_pivot(g))
+        assert count == moon_moser_bound(n)
+
+
+class TestMethodSelection:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_maximal_cliques(Graph(edges=[(1, 2)]), method="magic")
+
+    def test_basic_generator_is_lazy(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        generator = bron_kerbosch_basic(g)
+        first = next(generator)
+        assert isinstance(first, frozenset)

@@ -1,0 +1,197 @@
+"""Unit tests for the deterministic Graph structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deterministic.graph import Graph, normalize_edge
+from repro.errors import EdgeError, VertexError
+
+
+class TestNormalizeEdge:
+    def test_orders_integer_endpoints(self):
+        assert normalize_edge(3, 1) == (1, 3)
+        assert normalize_edge(1, 3) == (1, 3)
+
+    def test_orders_string_endpoints(self):
+        assert normalize_edge("b", "a") == ("a", "b")
+
+    def test_mixed_types_are_deterministic(self):
+        first = normalize_edge(1, "a")
+        second = normalize_edge("a", 1)
+        assert first == second
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(EdgeError):
+            normalize_edge(2, 2)
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.vertices()) == []
+        assert list(g.edges()) == []
+
+    def test_vertices_only(self):
+        g = Graph(vertices=[1, 2, 3])
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_edges_create_vertices(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(edges=[(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected_on_add(self):
+        g = Graph()
+        with pytest.raises(EdgeError):
+            g.add_edge(5, 5)
+
+    def test_add_existing_vertex_is_noop(self):
+        g = Graph(vertices=[1])
+        g.add_vertex(1)
+        assert g.num_vertices == 1
+
+
+class TestQueries:
+    def test_has_edge_symmetric(self):
+        g = Graph(edges=[(1, 2)])
+        assert g.has_edge(1, 2)
+        assert g.has_edge(2, 1)
+        assert not g.has_edge(1, 3)
+
+    def test_neighbors(self):
+        g = Graph(edges=[(1, 2), (1, 3)])
+        assert g.neighbors(1) == {2, 3}
+        assert g.neighbors(2) == {1}
+
+    def test_neighbors_returns_copy(self):
+        g = Graph(edges=[(1, 2)])
+        nbrs = g.neighbors(1)
+        nbrs.add(99)
+        assert 99 not in g.neighbors(1)
+
+    def test_neighbors_missing_vertex(self):
+        g = Graph()
+        with pytest.raises(VertexError):
+            g.neighbors(42)
+
+    def test_degree(self):
+        g = Graph(edges=[(1, 2), (1, 3), (1, 4)])
+        assert g.degree(1) == 3
+        assert g.degree(4) == 1
+
+    def test_degree_missing_vertex(self):
+        with pytest.raises(VertexError):
+            Graph().degree(1)
+
+    def test_common_neighbors(self):
+        g = Graph(edges=[(1, 3), (2, 3), (1, 4), (2, 4), (1, 5)])
+        assert g.common_neighbors(1, 2) == {3, 4}
+
+    def test_density_of_complete_graph(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        assert g.density() == pytest.approx(1.0)
+
+    def test_density_small_graphs(self):
+        assert Graph().density() == 0.0
+        assert Graph(vertices=[1]).density() == 0.0
+
+    def test_edges_listed_once(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 1)])
+        assert sorted(g.edges()) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_contains_len_iter(self):
+        g = Graph(vertices=[1, 2])
+        assert 1 in g
+        assert 3 not in g
+        assert len(g) == 2
+        assert set(iter(g)) == {1, 2}
+
+
+class TestCliquePredicate:
+    def test_empty_and_singleton_are_cliques(self):
+        g = Graph(vertices=[1, 2])
+        assert g.is_clique([])
+        assert g.is_clique([1])
+
+    def test_triangle_is_clique(self, deterministic_square):
+        assert deterministic_square.is_clique([1, 2, 3])
+
+    def test_square_without_chord_is_not_clique(self, deterministic_square):
+        assert not deterministic_square.is_clique([1, 2, 3, 4])
+
+    def test_unknown_vertex_raises(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(VertexError):
+            g.is_clique([1, 99])
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(EdgeError):
+            g.remove_edge(1, 3)
+
+    def test_remove_vertex_removes_incident_edges(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        g.remove_vertex(2)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+        assert g.has_edge(1, 3)
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(VertexError):
+            Graph().remove_vertex(7)
+
+
+class TestDerivedGraphs:
+    def test_subgraph(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4), (1, 3)])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+
+    def test_subgraph_ignores_unknown_vertices(self):
+        g = Graph(edges=[(1, 2)])
+        sub = g.subgraph([1, 2, 99])
+        assert sub.num_vertices == 2
+
+    def test_copy_is_independent(self):
+        g = Graph(edges=[(1, 2)])
+        h = g.copy()
+        h.add_edge(2, 3)
+        assert g.num_edges == 1
+        assert h.num_edges == 2
+
+    def test_equality(self):
+        assert Graph(edges=[(1, 2)]) == Graph(edges=[(2, 1)])
+        assert Graph(edges=[(1, 2)]) != Graph(edges=[(1, 3)])
+
+    def test_relabeled_maps_back(self):
+        g = Graph(edges=[("c", "a"), ("a", "b")])
+        relabeled, forward, backward = g.relabeled()
+        assert sorted(relabeled.vertices()) == [1, 2, 3]
+        assert relabeled.num_edges == 2
+        for original, new in forward.items():
+            assert backward[new] == original
+
+    def test_connected_components(self):
+        g = Graph(edges=[(1, 2), (3, 4)], vertices=[5])
+        components = sorted(g.connected_components(), key=lambda c: min(c))
+        assert components == [{1, 2}, {3, 4}, {5}]
+
+    def test_repr_mentions_sizes(self):
+        assert "n=2" in repr(Graph(edges=[(1, 2)]))

@@ -1,0 +1,71 @@
+"""Unit tests for deterministic maximal-clique utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deterministic.graph import Graph
+from repro.deterministic.maximal_cliques import (
+    clique_number,
+    clique_size_histogram,
+    count_maximal_cliques,
+    is_maximal_clique,
+    maximum_clique,
+)
+
+
+@pytest.fixture
+def sample() -> Graph:
+    # Two triangles sharing vertex 3 plus a pendant vertex 6.
+    return Graph(edges=[(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (3, 5), (5, 6)])
+
+
+class TestIsMaximalClique:
+    def test_true_for_maximal_triangle(self, sample):
+        assert is_maximal_clique(sample, {1, 2, 3})
+
+    def test_false_for_extendable_edge(self, sample):
+        assert not is_maximal_clique(sample, {1, 2})
+
+    def test_false_for_non_clique(self, sample):
+        assert not is_maximal_clique(sample, {1, 4})
+
+    def test_pendant_edge_is_maximal(self, sample):
+        assert is_maximal_clique(sample, {5, 6})
+
+    def test_empty_set_only_maximal_in_empty_graph(self, sample):
+        assert not is_maximal_clique(sample, set())
+        assert is_maximal_clique(Graph(), set())
+
+    def test_singleton_isolated_vertex(self):
+        g = Graph(vertices=[1])
+        assert is_maximal_clique(g, {1})
+
+
+class TestMaximumClique:
+    def test_maximum_clique_size(self, sample):
+        assert len(maximum_clique(sample)) == 3
+
+    def test_clique_number(self, sample):
+        assert clique_number(sample) == 3
+
+    def test_empty_graph(self):
+        assert maximum_clique(Graph()) == frozenset()
+        assert clique_number(Graph()) == 0
+
+    def test_maximum_clique_is_a_clique(self, sample):
+        assert sample.is_clique(maximum_clique(sample))
+
+
+class TestHistogramsAndCounts:
+    def test_size_histogram(self, sample):
+        histogram = clique_size_histogram(sample)
+        assert histogram == {2: 1, 3: 2}
+
+    def test_count_matches_histogram_total(self, sample):
+        assert count_maximal_cliques(sample) == sum(clique_size_histogram(sample).values())
+
+    def test_complete_graph_single_clique(self):
+        g = Graph(edges=[(u, v) for u in range(1, 5) for v in range(u + 1, 5)])
+        assert count_maximal_cliques(g) == 1
+        assert clique_size_histogram(g) == {4: 1}

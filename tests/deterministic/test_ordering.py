@@ -1,0 +1,74 @@
+"""Unit tests for degeneracy orderings and core numbers."""
+
+from __future__ import annotations
+
+from repro.deterministic.graph import Graph
+from repro.deterministic.ordering import core_numbers, degeneracy, degeneracy_ordering
+from repro.generators.erdos_renyi import erdos_renyi_skeleton
+
+
+def complete_graph(n: int) -> Graph:
+    return Graph(edges=[(u, v) for u in range(1, n + 1) for v in range(u + 1, n + 1)])
+
+
+class TestDegeneracyOrdering:
+    def test_empty_graph(self):
+        assert degeneracy_ordering(Graph()) == []
+
+    def test_order_contains_every_vertex_once(self):
+        g = erdos_renyi_skeleton(30, 0.2, rng=5)
+        order = degeneracy_ordering(g)
+        assert sorted(order) == sorted(g.vertices())
+
+    def test_pendant_vertex_removed_first(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3), (3, 4)])
+        assert degeneracy_ordering(g)[0] == 4
+
+    def test_isolated_vertices_first(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3)], vertices=[9])
+        assert degeneracy_ordering(g)[0] == 9
+
+
+class TestCoreNumbers:
+    def test_complete_graph_core(self):
+        cores = core_numbers(complete_graph(5))
+        assert set(cores.values()) == {4}
+
+    def test_path_graph_core(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4)])
+        assert set(core_numbers(g).values()) == {1}
+
+    def test_triangle_with_pendant(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3), (3, 4)])
+        cores = core_numbers(g)
+        assert cores[4] == 1
+        assert cores[1] == cores[2] == cores[3] == 2
+
+    def test_empty_graph(self):
+        assert core_numbers(Graph()) == {}
+
+    def test_core_number_at_most_degree(self):
+        g = erdos_renyi_skeleton(40, 0.15, rng=3)
+        cores = core_numbers(g)
+        for v in g.vertices():
+            assert cores[v] <= g.degree(v)
+
+
+class TestDegeneracy:
+    def test_complete_graph(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+    def test_tree_has_degeneracy_one(self):
+        g = Graph(edges=[(1, 2), (1, 3), (3, 4), (3, 5)])
+        assert degeneracy(g) == 1
+
+    def test_empty_graph(self):
+        assert degeneracy(Graph()) == 0
+
+    def test_degeneracy_bounds_minimum_degree(self):
+        g = erdos_renyi_skeleton(25, 0.3, rng=8)
+        d = degeneracy(g)
+        min_degree = min(g.degree(v) for v in g.vertices())
+        assert d >= min_degree or d >= 0
+        max_degree = max(g.degree(v) for v in g.vertices())
+        assert d <= max_degree

@@ -1,0 +1,150 @@
+"""Unit tests for the domain-specific generators (collaboration, PPI, p2p, wiki-vote)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.generators.p2p import p2p_like_graph
+from repro.generators.ppi import ppi_like_graph
+from repro.generators.social import collaboration_graph, wiki_vote_like_graph
+
+
+class TestCollaborationGraph:
+    def test_vertex_count(self):
+        g = collaboration_graph(200, 150, rng=1)
+        assert g.num_vertices == 200
+
+    def test_probabilities_follow_coauthorship_model(self):
+        g = collaboration_graph(100, 80, rng=2)
+        # Every probability must be of the form 1 - e^{-c/10} for integer c >= 1.
+        valid = {1 - math.exp(-c / 10) for c in range(1, 60)}
+        for _, _, p in g.edges():
+            assert any(abs(p - v) < 1e-12 for v in valid)
+
+    def test_papers_create_cliques(self):
+        g = collaboration_graph(60, 20, min_authors_per_paper=3, max_authors_per_paper=3, rng=3)
+        # At least one triangle must exist (a 3-author paper induces one).
+        skeleton = g.skeleton()
+        has_triangle = any(
+            len(skeleton.common_neighbors(u, v)) > 0 for u, v in skeleton.edges()
+        )
+        assert has_triangle
+
+    def test_clustering_higher_than_p2p(self):
+        """Collaboration graphs must be clique-rich compared to p2p overlays."""
+        collab = collaboration_graph(150, 130, rng=4).skeleton()
+        p2p = p2p_like_graph(150, rng=4).skeleton()
+
+        def triangle_share(skeleton):
+            edges = list(skeleton.edges())
+            if not edges:
+                return 0.0
+            closed = sum(
+                1 for u, v in edges if skeleton.common_neighbors(u, v)
+            )
+            return closed / len(edges)
+
+        assert triangle_share(collab) > triangle_share(p2p)
+
+    def test_reproducibility(self):
+        assert collaboration_graph(80, 50, rng=9) == collaboration_graph(80, 50, rng=9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            collaboration_graph(0, 10)
+        with pytest.raises(ParameterError):
+            collaboration_graph(10, -1)
+        with pytest.raises(ParameterError):
+            collaboration_graph(10, 5, min_authors_per_paper=5, max_authors_per_paper=3)
+
+
+class TestWikiVoteGraph:
+    def test_vertex_count(self):
+        g = wiki_vote_like_graph(200, 40, rng=1)
+        assert g.num_vertices == 240
+
+    def test_candidates_receive_most_edges(self):
+        g = wiki_vote_like_graph(300, 30, votes_per_voter=8, rng=2)
+        candidate_degrees = [g.degree(v) for v in range(1, 31)]
+        voter_degrees = [g.degree(v) for v in range(31, 331)]
+        assert max(candidate_degrees) > max(voter_degrees)
+
+    def test_probabilities_in_range(self):
+        g = wiki_vote_like_graph(100, 20, rng=3)
+        assert all(0.0 < p <= 1.0 for _, _, p in g.edges())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            wiki_vote_like_graph(0, 10)
+        with pytest.raises(ParameterError):
+            wiki_vote_like_graph(10, 5, votes_per_voter=6)
+        with pytest.raises(ParameterError):
+            wiki_vote_like_graph(10, 5, votes_per_voter=0)
+
+
+class TestPpiGraph:
+    def test_vertex_count(self):
+        g = ppi_like_graph(400, rng=1)
+        assert g.num_vertices == 400
+
+    def test_sparse_like_the_real_network(self):
+        """The fruit-fly PPI graph has roughly one edge per vertex."""
+        g = ppi_like_graph(1000, rng=2)
+        assert 0.4 <= g.num_edges / g.num_vertices <= 2.0
+
+    def test_contains_small_complexes(self):
+        g = ppi_like_graph(300, rng=3)
+        skeleton = g.skeleton()
+        has_triangle = any(
+            skeleton.common_neighbors(u, v) for u, v in skeleton.edges()
+        )
+        assert has_triangle
+
+    def test_many_low_degree_proteins(self):
+        g = ppi_like_graph(500, rng=4)
+        low_degree = sum(1 for v in g.vertices() if g.degree(v) <= 1)
+        assert low_degree > 0.3 * g.num_vertices
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            ppi_like_graph(0)
+        with pytest.raises(ParameterError):
+            ppi_like_graph(100, complex_size_range=(5, 3))
+        with pytest.raises(ParameterError):
+            ppi_like_graph(100, singleton_fraction=1.0)
+
+    def test_reproducibility(self):
+        assert ppi_like_graph(200, rng=7) == ppi_like_graph(200, rng=7)
+
+
+class TestP2pGraph:
+    def test_vertex_count(self):
+        g = p2p_like_graph(300, rng=1)
+        assert g.num_vertices == 300
+
+    def test_moderate_average_degree(self):
+        g = p2p_like_graph(1000, rng=2)
+        average_degree = 2 * g.num_edges / g.num_vertices
+        assert 2.0 <= average_degree <= 10.0
+
+    def test_low_clustering(self):
+        from repro.uncertain.statistics import global_clustering_coefficient
+
+        p2p = p2p_like_graph(400, rng=3)
+        collab = collaboration_graph(400, 350, rng=3)
+        assert global_clustering_coefficient(p2p) < 0.2
+        assert global_clustering_coefficient(p2p) < global_clustering_coefficient(collab)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            p2p_like_graph(2)
+        with pytest.raises(ParameterError):
+            p2p_like_graph(100, core_fraction=0.0)
+        with pytest.raises(ParameterError):
+            p2p_like_graph(100, core_degree=0)
+
+    def test_reproducibility(self):
+        assert p2p_like_graph(150, rng=5) == p2p_like_graph(150, rng=5)

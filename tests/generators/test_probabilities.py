@@ -1,0 +1,133 @@
+"""Unit tests for edge-probability models."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ParameterError, ProbabilityError
+from repro.generators.probabilities import (
+    beta_probabilities,
+    bimodal_confidence_probabilities,
+    coauthorship_probabilities_from_counts,
+    coauthorship_probability,
+    constant_probability,
+    uniform_probabilities,
+)
+
+
+class TestConstant:
+    def test_returns_fixed_value(self):
+        model = constant_probability(0.42)
+        assert model(1, 2) == 0.42
+        assert model("a", "b") == 0.42
+
+    def test_invalid_constant(self):
+        with pytest.raises(ProbabilityError):
+            constant_probability(0.0)
+        with pytest.raises(ProbabilityError):
+            constant_probability(1.2)
+
+
+class TestUniform:
+    def test_values_in_range(self):
+        model = uniform_probabilities(0.2, 0.8, rng=1)
+        samples = [model(i, i + 1) for i in range(200)]
+        assert all(0.2 <= p <= 0.8 for p in samples)
+
+    def test_default_full_range_never_zero(self):
+        model = uniform_probabilities(rng=2)
+        assert all(0.0 < model(i, i + 1) <= 1.0 for i in range(500))
+
+    def test_seeded_reproducibility(self):
+        first = [uniform_probabilities(rng=7)(i, i + 1) for i in range(10)]
+        second = [uniform_probabilities(rng=7)(i, i + 1) for i in range(10)]
+        assert first == second
+
+    def test_invalid_range(self):
+        with pytest.raises(ParameterError):
+            uniform_probabilities(0.8, 0.2)
+        with pytest.raises(ParameterError):
+            uniform_probabilities(-0.1, 0.5)
+        with pytest.raises(ParameterError):
+            uniform_probabilities(0.5, 1.5)
+
+    def test_accepts_random_instance(self):
+        model = uniform_probabilities(rng=random.Random(3))
+        assert 0.0 < model(1, 2) <= 1.0
+
+
+class TestBeta:
+    def test_values_in_range(self):
+        model = beta_probabilities(2.0, 5.0, rng=4)
+        samples = [model(i, i + 1) for i in range(300)]
+        assert all(0.0 < p <= 1.0 for p in samples)
+
+    def test_skew_direction(self):
+        low_skew = beta_probabilities(2.0, 8.0, rng=5)
+        high_skew = beta_probabilities(8.0, 2.0, rng=5)
+        low_mean = sum(low_skew(i, i + 1) for i in range(500)) / 500
+        high_mean = sum(high_skew(i, i + 1) for i in range(500)) / 500
+        assert low_mean < 0.5 < high_mean
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ParameterError):
+            beta_probabilities(0.0, 1.0)
+        with pytest.raises(ParameterError):
+            beta_probabilities(1.0, -2.0)
+
+
+class TestBimodal:
+    def test_values_in_expected_ranges(self):
+        model = bimodal_confidence_probabilities(
+            high_fraction=0.5,
+            high_range=(0.7, 0.9),
+            low_range=(0.1, 0.3),
+            rng=6,
+        )
+        samples = [model(i, i + 1) for i in range(400)]
+        assert all((0.1 <= p <= 0.3) or (0.7 <= p <= 0.9) for p in samples)
+
+    def test_high_fraction_respected_roughly(self):
+        model = bimodal_confidence_probabilities(high_fraction=0.8, rng=7)
+        samples = [model(i, i + 1) for i in range(1000)]
+        high = sum(1 for p in samples if p >= 0.6)
+        assert 0.7 <= high / len(samples) <= 0.9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            bimodal_confidence_probabilities(high_fraction=1.5)
+        with pytest.raises(ParameterError):
+            bimodal_confidence_probabilities(high_range=(0.9, 0.7))
+
+
+class TestCoauthorship:
+    def test_paper_formula(self):
+        # p = 1 - e^{-c/10}, the DBLP model used by the paper.
+        for c in (1, 5, 10, 50):
+            assert coauthorship_probability(c) == pytest.approx(1 - math.exp(-c / 10))
+
+    def test_monotone_in_paper_count(self):
+        values = [coauthorship_probability(c) for c in range(1, 30)]
+        assert values == sorted(values)
+
+    def test_zero_papers_gives_tiny_probability(self):
+        assert 0.0 < coauthorship_probability(0) < 1e-6
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            coauthorship_probability(-1)
+        with pytest.raises(ParameterError):
+            coauthorship_probability(3, scale=0)
+
+    def test_custom_scale(self):
+        assert coauthorship_probability(5, scale=5) == pytest.approx(1 - math.exp(-1))
+
+    def test_model_from_counts(self):
+        model = coauthorship_probabilities_from_counts({(1, 2): 10})
+        assert model(1, 2) == pytest.approx(1 - math.exp(-1.0))
+        assert model(2, 1) == pytest.approx(1 - math.exp(-1.0))
+        # Missing pairs default to one joint paper.
+        assert model(3, 4) == pytest.approx(1 - math.exp(-0.1))

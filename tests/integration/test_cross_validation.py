@@ -1,0 +1,124 @@
+"""Integration tests: all enumerators agree on the same inputs.
+
+These tests tie the whole stack together: generators build inputs, the
+three independent enumerators (MULE, DFS-NOIP, brute force) plus the
+deterministic Bron--Kerbosch oracle must produce identical outputs wherever
+their domains overlap, and the verification layer must accept all of it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.verification import matches_deterministic_cliques, verify_result
+from repro.core.brute_force import brute_force_alpha_maximal_cliques
+from repro.core.dfs_noip import dfs_noip
+from repro.core.large_mule import large_mule
+from repro.core.mule import mule
+from repro.deterministic.bron_kerbosch import enumerate_maximal_cliques
+from repro.generators.erdos_renyi import erdos_renyi_skeleton, random_uncertain_graph
+from repro.generators.planted import planted_clique_graph, planted_partition_graph
+from repro.generators.ppi import ppi_like_graph
+from repro.generators.social import collaboration_graph
+from repro.uncertain.builder import from_skeleton
+from repro.uncertain.graph import UncertainGraph
+
+
+class TestThreeWayAgreement:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_mule_dfsnoip_bruteforce_agree(self, seed):
+        graph = random_uncertain_graph(8, 0.55, rng=seed)
+        for alpha in (0.7, 0.3, 0.05):
+            sets_mule = mule(graph, alpha).vertex_sets()
+            sets_noip = dfs_noip(graph, alpha).vertex_sets()
+            sets_brute = brute_force_alpha_maximal_cliques(graph, alpha).vertex_sets()
+            assert sets_mule == sets_noip == sets_brute
+
+    @pytest.mark.parametrize("density", [0.2, 0.5, 0.8])
+    def test_agreement_across_densities(self, density):
+        graph = random_uncertain_graph(9, density, rng=99)
+        alpha = 0.1
+        assert (
+            mule(graph, alpha).vertex_sets()
+            == brute_force_alpha_maximal_cliques(graph, alpha).vertex_sets()
+        )
+
+    def test_agreement_on_planted_partition(self):
+        graph = planted_partition_graph(3, 4, rng=5)
+        for alpha in (0.5, 0.1):
+            assert mule(graph, alpha).vertex_sets() == dfs_noip(graph, alpha).vertex_sets()
+
+
+class TestDeterministicDegenerateCase:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_certain_graph_alpha_one_equals_bron_kerbosch(self, seed):
+        skeleton = erdos_renyi_skeleton(14, 0.35, rng=seed)
+        certain = from_skeleton(skeleton, lambda u, v: 1.0)
+        result = mule(certain, 1.0)
+        expected = {frozenset(c) for c in enumerate_maximal_cliques(skeleton)}
+        assert result.vertex_sets() == expected
+        assert matches_deterministic_cliques(certain, result)
+
+    def test_certain_graph_any_alpha_equals_bron_kerbosch(self):
+        skeleton = erdos_renyi_skeleton(12, 0.4, rng=77)
+        certain = from_skeleton(skeleton, lambda u, v: 1.0)
+        for alpha in (0.9, 0.5, 0.01):
+            assert matches_deterministic_cliques(certain, mule(certain, alpha))
+
+
+class TestLargeMuleConsistency:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_large_mule_equals_filtered_mule_on_domain_graphs(self, seed):
+        graph = collaboration_graph(40, 30, rng=seed)
+        alpha, t = 0.05, 3
+        full = {c for c in mule(graph, alpha).vertex_sets() if len(c) >= t}
+        assert large_mule(graph, alpha, t).vertex_sets() == full
+
+
+class TestPlantedStructureRecovery:
+    def test_planted_cliques_recovered(self):
+        graph, planted = planted_clique_graph(
+            60, [5, 4], clique_probability=0.95, background_density=0.01, rng=8
+        )
+        alpha = 0.5
+        found = mule(graph, alpha).vertex_sets()
+        for clique in planted:
+            # The planted clique must survive as (a subset of) a reported
+            # α-maximal clique; with sparse low-probability background the
+            # planted set itself is almost always the maximal one.
+            assert any(clique <= reported for reported in found)
+
+    def test_planted_communities_found_as_large_cliques(self):
+        graph = planted_partition_graph(
+            3, 5, intra_probability=0.95, intra_density=1.0, inter_density=0.0, rng=3
+        )
+        result = mule(graph, 0.5)
+        sizes = sorted(record.size for record in result)
+        assert sizes[-3:] == [5, 5, 5]
+
+
+class TestVerificationLayerOnRealisticInputs:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: ppi_like_graph(120, rng=1),
+            lambda: collaboration_graph(60, 45, rng=2),
+            lambda: random_uncertain_graph(25, 0.3, rng=3),
+        ],
+    )
+    def test_mule_output_verifies_cleanly(self, maker):
+        graph = maker()
+        for alpha in (0.5, 0.05):
+            result = mule(graph, alpha)
+            assert verify_result(graph, result) == []
+
+
+class TestEndToEndFileRoundTrip:
+    def test_enumeration_results_stable_across_serialization(self, tmp_path):
+        from repro.uncertain.io import read_edge_list, write_edge_list
+
+        graph = random_uncertain_graph(15, 0.4, rng=13)
+        path = tmp_path / "graph.edges"
+        write_edge_list(graph, path)
+        reloaded = read_edge_list(path, vertex_type=int)
+        assert mule(graph, 0.2).vertex_sets() == mule(reloaded, 0.2).vertex_sets()

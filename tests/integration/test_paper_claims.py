@@ -1,0 +1,117 @@
+"""Integration tests pinning the paper's qualitative claims.
+
+Each test corresponds to a claim made in the paper's analysis or evaluation
+sections and checks the *shape* of the behaviour (who wins, what grows, what
+shrinks) on CI-sized inputs.  The full-size quantitative reproduction lives
+in ``benchmarks/``; these tests keep the claims true at every commit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import uncertain_clique_bound
+from repro.core.dfs_noip import dfs_noip
+from repro.core.large_mule import large_mule
+from repro.core.mule import MuleConfig, mule
+from repro.datasets.registry import load_dataset
+from repro.generators.barabasi_albert import barabasi_albert_uncertain
+from repro.generators.erdos_renyi import random_uncertain_graph
+
+
+@pytest.fixture(scope="module")
+def ba_graph():
+    """A small Barabási–Albert uncertain graph (CI-sized BA5000 analog)."""
+    return barabasi_albert_uncertain(150, 6, rng=42)
+
+
+class TestSection4Claims:
+    def test_mule_does_less_work_than_dfs_noip(self, ba_graph):
+        """Figure 1's core claim, measured in probability multiplications."""
+        alpha = 0.01
+        work_mule = mule(ba_graph, alpha).statistics.probability_multiplications
+        work_noip = dfs_noip(ba_graph, alpha).statistics.probability_multiplications
+        assert work_noip > 2 * work_mule
+
+    def test_gap_widens_as_alpha_decreases(self, ba_graph):
+        """The paper reports the MULE advantage growing as α shrinks."""
+        ratios = []
+        for alpha in (0.5, 0.01):
+            m = mule(ba_graph, alpha).statistics.probability_multiplications
+            d = dfs_noip(ba_graph, alpha).statistics.probability_multiplications
+            ratios.append(d / m)
+        assert ratios[1] > ratios[0]
+
+    def test_edge_pruning_reduces_search_effort(self, ba_graph):
+        """Observation 3 pruning is an effort win at high α."""
+        alpha = 0.8
+        pruned = mule(ba_graph, alpha, config=MuleConfig(prune_edges=True))
+        unpruned = mule(ba_graph, alpha, config=MuleConfig(prune_edges=False))
+        assert pruned.vertex_sets() == unpruned.vertex_sets()
+        assert (
+            pruned.statistics.candidates_examined
+            <= unpruned.statistics.candidates_examined
+        )
+
+
+class TestSection5Shapes:
+    def test_output_size_drops_sharply_with_alpha(self, ba_graph):
+        """Figure 3: the number of α-maximal cliques falls as α grows.
+
+        The paper notes small local non-monotonicities are possible (a large
+        clique can split into several smaller maximal cliques as α grows), so
+        the assertion compares the low-α regime against the high-α regime
+        rather than requiring strict monotonicity step by step.
+        """
+        counts = [mule(ba_graph, alpha).num_cliques for alpha in (0.0001, 0.01, 0.5, 0.9)]
+        assert counts[0] > counts[-1]
+        assert counts[1] > counts[-1]
+        assert max(counts[:2]) > 1.5 * counts[-1]
+
+    def test_search_effort_tracks_output_size(self):
+        """Figure 4: runtime (here: recursive calls) grows with output size."""
+        sizes = (60, 120, 180)
+        points = []
+        for n in sizes:
+            graph = barabasi_albert_uncertain(n, 6, rng=7)
+            result = mule(graph, 0.001)
+            points.append((result.num_cliques, result.statistics.recursive_calls))
+        points.sort()
+        outputs = [p[0] for p in points]
+        calls = [p[1] for p in points]
+        assert outputs[0] < outputs[-1]
+        assert calls == sorted(calls)
+
+    def test_large_mule_reduces_work_as_threshold_grows(self):
+        """Figures 5–6: runtime and output fall steeply with the size threshold."""
+        graph = random_uncertain_graph(60, 0.25, min_edge_probability=0.3, rng=5)
+        alpha = 0.01
+        outputs, calls = [], []
+        for t in (2, 3, 4, 5):
+            result = large_mule(graph, alpha, t)
+            outputs.append(result.num_cliques)
+            calls.append(result.statistics.recursive_calls)
+        assert outputs == sorted(outputs, reverse=True)
+        assert calls[-1] <= calls[0]
+
+    def test_dataset_analogs_enumerable_at_scale(self):
+        """The Table 1 analogs stay tractable for MULE at reduced scale."""
+        for name in ("ppi", "ca-grqc", "p2p-gnutella08"):
+            graph = load_dataset(name, scale=0.05, seed=1)
+            result = mule(graph, 0.5)
+            assert result.num_cliques > 0
+
+
+class TestSection3Claims:
+    def test_extremal_count_exceeds_moon_moser(self):
+        """The uncertain bound C(n, ⌊n/2⌋) exceeds 3^{n/3} for n ≥ 5."""
+        from repro.core.bounds import moon_moser_bound
+
+        for n in (5, 8, 11, 14):
+            assert uncertain_clique_bound(n, 0.5) > moon_moser_bound(n)
+
+    def test_no_random_graph_beats_the_bound(self):
+        for seed in range(5):
+            graph = random_uncertain_graph(10, 0.9, rng=seed)
+            for alpha in (0.3, 0.05):
+                assert mule(graph, alpha).num_cliques <= uncertain_clique_bound(10, alpha)

@@ -1,0 +1,38 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.uncertain.graph import UncertainGraph
+
+__all__ = ["uncertain_graphs", "probabilities", "alphas"]
+
+#: Edge probabilities bounded away from 0 so products stay representable.
+probabilities = st.floats(
+    min_value=0.05, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+#: Thresholds used by the enumeration algorithms.
+alphas = st.floats(min_value=0.001, max_value=1.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def uncertain_graphs(
+    draw, *, min_vertices: int = 0, max_vertices: int = 9, max_density: float = 1.0
+):
+    """Generate small random uncertain graphs with integer vertices ``1..n``.
+
+    Each possible edge is included with a drawn per-graph density and gets an
+    independent probability in [0.05, 1.0].  Graphs are small enough that the
+    brute-force oracle stays fast.
+    """
+    n = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    graph = UncertainGraph(vertices=range(1, n + 1))
+    if n >= 2:
+        density = draw(st.floats(min_value=0.0, max_value=max_density))
+        for u in range(1, n + 1):
+            for v in range(u + 1, n + 1):
+                if draw(st.floats(min_value=0.0, max_value=1.0)) < density:
+                    graph.add_edge(u, v, draw(probabilities))
+    return graph

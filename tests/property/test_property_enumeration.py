@@ -1,0 +1,127 @@
+"""Property-based tests for the enumeration algorithms (hypothesis).
+
+Every property below is an invariant stated in (or directly implied by) the
+paper's definitions and theorems, checked on randomly generated uncertain
+graphs against the literal brute-force oracle.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import is_non_redundant_family, uncertain_clique_bound
+from repro.core.brute_force import brute_force_alpha_maximal_cliques
+from repro.core.dfs_noip import dfs_noip
+from repro.core.large_mule import large_mule
+from repro.core.mule import mule
+
+from .strategies import alphas, uncertain_graphs
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestDefinitionInvariants:
+    @RELAXED
+    @given(graph=uncertain_graphs(), alpha=alphas)
+    def test_every_emitted_clique_is_an_alpha_clique(self, graph, alpha):
+        for record in mule(graph, alpha):
+            assert graph.clique_probability(record.vertices) >= alpha
+
+    @RELAXED
+    @given(graph=uncertain_graphs(), alpha=alphas)
+    def test_every_emitted_clique_is_maximal(self, graph, alpha):
+        result = mule(graph, alpha)
+        emitted = result.vertex_sets()
+        for clique in emitted:
+            for v in graph.vertices():
+                if v in clique:
+                    continue
+                assert graph.clique_probability(set(clique) | {v}) < alpha
+
+    @RELAXED
+    @given(graph=uncertain_graphs(), alpha=alphas)
+    def test_no_duplicates_and_antichain(self, graph, alpha):
+        result = mule(graph, alpha)
+        assert len(result.vertex_sets()) == result.num_cliques
+        assert is_non_redundant_family(result.vertex_sets())
+
+    @RELAXED
+    @given(graph=uncertain_graphs(), alpha=alphas)
+    def test_recorded_probabilities_are_exact(self, graph, alpha):
+        for record in mule(graph, alpha):
+            exact = graph.clique_probability(record.vertices)
+            assert abs(record.probability - exact) <= 1e-9 * max(1.0, exact)
+
+    @RELAXED
+    @given(graph=uncertain_graphs(), alpha=alphas)
+    def test_every_vertex_belongs_to_some_clique(self, graph, alpha):
+        """Each vertex is a 1-probability clique, so it must appear somewhere."""
+        result = mule(graph, alpha)
+        covered = set()
+        for record in result:
+            covered |= set(record.vertices)
+        assert covered == set(graph.vertices())
+
+
+class TestOracleAgreement:
+    @RELAXED
+    @given(graph=uncertain_graphs(max_vertices=8), alpha=alphas)
+    def test_mule_equals_brute_force(self, graph, alpha):
+        assert (
+            mule(graph, alpha).vertex_sets()
+            == brute_force_alpha_maximal_cliques(graph, alpha).vertex_sets()
+        )
+
+    @RELAXED
+    @given(graph=uncertain_graphs(max_vertices=8), alpha=alphas)
+    def test_dfs_noip_equals_mule(self, graph, alpha):
+        assert dfs_noip(graph, alpha).vertex_sets() == mule(graph, alpha).vertex_sets()
+
+    @RELAXED
+    @given(
+        graph=uncertain_graphs(max_vertices=8),
+        alpha=alphas,
+        threshold=st.integers(min_value=2, max_value=5),
+    )
+    def test_large_mule_equals_filtered_mule(self, graph, alpha, threshold):
+        expected = {
+            c for c in mule(graph, alpha).vertex_sets() if len(c) >= threshold
+        }
+        assert large_mule(graph, alpha, threshold).vertex_sets() == expected
+
+
+class TestStructuralTheorems:
+    @RELAXED
+    @given(graph=uncertain_graphs(), alpha=alphas)
+    def test_theorem1_bound_never_exceeded(self, graph, alpha):
+        bound_alpha = alpha if alpha < 1.0 else 1.0
+        assert mule(graph, alpha).num_cliques <= uncertain_clique_bound(
+            graph.num_vertices, bound_alpha
+        )
+
+    @RELAXED
+    @given(graph=uncertain_graphs(), low=alphas, high=alphas)
+    def test_higher_alpha_cliques_are_subsets_of_lower_alpha_cliques(
+        self, graph, low, high
+    ):
+        """Every α₂-maximal clique (α₂ ≥ α₁) is contained in some α₁-maximal clique."""
+        if low > high:
+            low, high = high, low
+        low_sets = mule(graph, low).vertex_sets()
+        for clique in mule(graph, high).vertex_sets():
+            assert any(clique <= bigger for bigger in low_sets)
+
+    @RELAXED
+    @given(graph=uncertain_graphs(), alpha=alphas)
+    def test_pruning_flag_never_changes_output(self, graph, alpha):
+        from repro.core.mule import MuleConfig
+
+        assert (
+            mule(graph, alpha, config=MuleConfig(prune_edges=False)).vertex_sets()
+            == mule(graph, alpha, config=MuleConfig(prune_edges=True)).vertex_sets()
+        )

@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DatasetError,
+    EdgeError,
+    FormatError,
+    GraphError,
+    ParameterError,
+    ProbabilityError,
+    ReproError,
+    VertexError,
+)
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for exc_type in (
+            GraphError,
+            VertexError,
+            EdgeError,
+            ProbabilityError,
+            ParameterError,
+            DatasetError,
+            FormatError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_vertex_and_edge_errors_are_graph_errors(self):
+        assert issubclass(VertexError, GraphError)
+        assert issubclass(EdgeError, GraphError)
+
+    def test_repro_error_is_an_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_catching_base_class_catches_subclasses(self):
+        with pytest.raises(ReproError):
+            raise EdgeError("boom")
+
+    def test_errors_carry_messages(self):
+        err = ProbabilityError("p must be in (0, 1]")
+        assert "p must be in (0, 1]" in str(err)

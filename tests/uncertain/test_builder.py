@@ -1,0 +1,114 @@
+"""Unit tests for the uncertain graph builder helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deterministic.graph import Graph
+from repro.errors import EdgeError, ParameterError, ProbabilityError
+from repro.uncertain.builder import UncertainGraphBuilder, from_edge_triples, from_skeleton
+
+
+class TestBuilderBasics:
+    def test_fluent_chaining(self):
+        graph = (
+            UncertainGraphBuilder()
+            .add_edge(1, 2, 0.9)
+            .add_edge(2, 3, 0.8)
+            .add_vertex(4)
+            .build()
+        )
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 2
+
+    def test_add_vertices_bulk(self):
+        builder = UncertainGraphBuilder().add_vertices([1, 2, 3])
+        assert builder.num_vertices == 3
+
+    def test_add_edges_bulk(self):
+        graph = UncertainGraphBuilder().add_edges([(1, 2, 0.5), (3, 4, 0.6)]).build()
+        assert graph.num_edges == 2
+
+    def test_counts_before_build(self):
+        builder = UncertainGraphBuilder().add_edge(1, 2, 0.5)
+        assert builder.num_vertices == 2
+        assert builder.num_edges == 1
+
+    def test_invalid_probability_rejected_eagerly(self):
+        with pytest.raises(ProbabilityError):
+            UncertainGraphBuilder().add_edge(1, 2, 0.0)
+
+    def test_invalid_merge_policy(self):
+        with pytest.raises(ParameterError):
+            UncertainGraphBuilder(merge_policy="average")
+
+
+class TestMergePolicies:
+    def test_error_policy_raises_on_duplicate(self):
+        builder = UncertainGraphBuilder().add_edge(1, 2, 0.5)
+        with pytest.raises(EdgeError):
+            builder.add_edge(2, 1, 0.6)
+
+    def test_duplicate_with_same_canonical_edge_detected(self):
+        builder = UncertainGraphBuilder().add_edge(1, 2, 0.5)
+        with pytest.raises(EdgeError):
+            builder.add_edge(2, 1, 0.7)
+
+    def test_keep_first(self):
+        graph = (
+            UncertainGraphBuilder(merge_policy="keep-first")
+            .add_edge(1, 2, 0.5)
+            .add_edge(1, 2, 0.9)
+            .build()
+        )
+        assert graph.probability(1, 2) == 0.5
+
+    def test_keep_last(self):
+        graph = (
+            UncertainGraphBuilder(merge_policy="keep-last")
+            .add_edge(1, 2, 0.5)
+            .add_edge(1, 2, 0.9)
+            .build()
+        )
+        assert graph.probability(1, 2) == 0.9
+
+    def test_max_policy(self):
+        graph = (
+            UncertainGraphBuilder(merge_policy="max")
+            .add_edge(1, 2, 0.5)
+            .add_edge(1, 2, 0.3)
+            .build()
+        )
+        assert graph.probability(1, 2) == 0.5
+
+    def test_min_policy(self):
+        graph = (
+            UncertainGraphBuilder(merge_policy="min")
+            .add_edge(1, 2, 0.5)
+            .add_edge(1, 2, 0.3)
+            .build()
+        )
+        assert graph.probability(1, 2) == 0.3
+
+
+class TestConvenienceConstructors:
+    def test_from_skeleton_constant_model(self):
+        skeleton = Graph(edges=[(1, 2), (2, 3)])
+        graph = from_skeleton(skeleton, lambda u, v: 0.7)
+        assert graph.num_edges == 2
+        assert graph.probability(1, 2) == 0.7
+
+    def test_from_skeleton_preserves_isolated_vertices(self):
+        skeleton = Graph(edges=[(1, 2)], vertices=[9])
+        graph = from_skeleton(skeleton, lambda u, v: 0.5)
+        assert graph.has_vertex(9)
+
+    def test_from_edge_triples(self):
+        graph = from_edge_triples([(1, 2, 0.4), (2, 3, 0.6)])
+        assert graph.num_edges == 2
+
+    def test_from_edge_triples_respects_merge_policy(self):
+        graph = from_edge_triples(
+            [(1, 2, 0.4), (1, 2, 0.8)], merge_policy="max"
+        )
+        assert graph.probability(1, 2) == 0.8

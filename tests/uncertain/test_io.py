@@ -1,0 +1,126 @@
+"""Unit tests for uncertain-graph serialization (edge list, JSON, networkx)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import FormatError
+from repro.uncertain.graph import UncertainGraph
+from repro.uncertain.io import (
+    from_json,
+    from_networkx,
+    read_edge_list,
+    read_json,
+    to_json,
+    to_networkx,
+    write_edge_list,
+    write_json,
+)
+
+
+class TestEdgeListFormat:
+    def test_round_trip(self, tmp_path, triangle):
+        path = tmp_path / "graph.edges"
+        write_edge_list(triangle, path)
+        loaded = read_edge_list(path, vertex_type=int)
+        assert loaded == triangle
+
+    def test_round_trip_preserves_isolated_vertices(self, tmp_path):
+        g = UncertainGraph(edges=[(1, 2, 0.5)], vertices=[7])
+        path = tmp_path / "iso.edges"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path, vertex_type=int)
+        assert loaded.has_vertex(7)
+        assert loaded.num_vertices == 3
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "manual.edges"
+        path.write_text("# a comment\n\n1 2 0.5\n  \n2 3 0.75\n", encoding="utf-8")
+        graph = read_edge_list(path, vertex_type=int)
+        assert graph.num_edges == 2
+
+    def test_string_vertices_by_default(self, tmp_path):
+        path = tmp_path / "strings.edges"
+        path.write_text("alice bob 0.9\n", encoding="utf-8")
+        graph = read_edge_list(path)
+        assert graph.has_edge("alice", "bob")
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("1 2\n", encoding="utf-8")
+        with pytest.raises(FormatError):
+            read_edge_list(path)
+
+    def test_bad_probability_raises(self, tmp_path):
+        path = tmp_path / "badp.edges"
+        path.write_text("1 2 high\n", encoding="utf-8")
+        with pytest.raises(FormatError):
+            read_edge_list(path)
+
+    def test_bad_vertex_type_raises(self, tmp_path):
+        path = tmp_path / "badv.edges"
+        path.write_text("a b 0.5\n", encoding="utf-8")
+        with pytest.raises(FormatError):
+            read_edge_list(path, vertex_type=int)
+
+
+class TestJsonFormat:
+    def test_round_trip_in_memory(self, two_cliques):
+        assert from_json(to_json(two_cliques)) == two_cliques
+
+    def test_round_trip_on_disk(self, tmp_path, path_graph):
+        path = tmp_path / "graph.json"
+        write_json(path_graph, path)
+        assert read_json(path) == path_graph
+
+    def test_payload_shape(self, triangle):
+        payload = to_json(triangle)
+        assert set(payload) == {"vertices", "edges"}
+        assert len(payload["edges"]) == triangle.num_edges
+        json.dumps(payload)  # must be JSON-serialisable
+
+    def test_missing_edges_key_raises(self):
+        with pytest.raises(FormatError):
+            from_json({"vertices": [1, 2]})
+
+    def test_malformed_edge_entry_raises(self):
+        with pytest.raises(FormatError):
+            from_json({"vertices": [], "edges": [[1, 2]]})
+
+    def test_invalid_json_file_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(FormatError):
+            read_json(path)
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self, two_cliques):
+        nxg = to_networkx(two_cliques)
+        back = from_networkx(nxg)
+        assert back == two_cliques
+
+    def test_probability_attribute_name(self, triangle):
+        nxg = to_networkx(triangle, probability_attr="weight")
+        assert nxg.edges[1, 2]["weight"] == 0.9
+        back = from_networkx(nxg, probability_attr="weight")
+        assert back == triangle
+
+    def test_missing_attribute_uses_default(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_edge("a", "b")
+        graph = from_networkx(nxg, default=0.25)
+        assert graph.probability("a", "b") == 0.25
+
+    def test_self_loops_skipped(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_edge(1, 1, probability=0.5)
+        nxg.add_edge(1, 2, probability=0.5)
+        graph = from_networkx(nxg)
+        assert graph.num_edges == 1

@@ -1,0 +1,103 @@
+"""Unit tests for uncertain-graph operations (pruning, components, filtering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.uncertain.graph import UncertainGraph
+from repro.uncertain.operations import (
+    connected_components,
+    filter_edges,
+    largest_component,
+    neighborhood_subgraph,
+    prune_edges_below_alpha,
+    prune_isolated_vertices,
+)
+
+
+class TestAlphaPruning:
+    def test_drops_only_light_edges(self, triangle):
+        pruned = prune_edges_below_alpha(triangle, 0.5)
+        assert pruned.num_edges == 3
+        assert not pruned.has_edge(3, 4)
+
+    def test_keeps_vertices_by_default(self, triangle):
+        pruned = prune_edges_below_alpha(triangle, 0.5)
+        assert pruned.num_vertices == 4
+
+    def test_drop_isolated(self, triangle):
+        pruned = prune_edges_below_alpha(triangle, 0.5, drop_isolated=True)
+        assert pruned.num_vertices == 3
+
+    def test_threshold_is_inclusive(self):
+        g = UncertainGraph(edges=[(1, 2, 0.5)])
+        assert prune_edges_below_alpha(g, 0.5).num_edges == 1
+
+    def test_original_not_modified(self, triangle):
+        prune_edges_below_alpha(triangle, 0.99)
+        assert triangle.num_edges == 4
+
+    def test_invalid_alpha(self, triangle):
+        with pytest.raises(ProbabilityError):
+            prune_edges_below_alpha(triangle, 0.0)
+        with pytest.raises(ProbabilityError):
+            prune_edges_below_alpha(triangle, 1.5)
+
+    def test_observation3_preserves_alpha_cliques(self, two_cliques):
+        """Pruning must not change which vertex sets are α-cliques."""
+        alpha = 0.5
+        pruned = prune_edges_below_alpha(two_cliques, alpha)
+        for subset in [{1, 2, 3}, {4, 5, 6}, {1, 2}, {3, 4}]:
+            original = two_cliques.clique_probability(subset) >= alpha
+            after = pruned.clique_probability(subset) >= alpha
+            assert original == after
+
+
+class TestIsolatedAndFilter:
+    def test_prune_isolated_vertices(self):
+        g = UncertainGraph(edges=[(1, 2, 0.5)], vertices=[3, 4])
+        pruned = prune_isolated_vertices(g)
+        assert sorted(pruned.vertices()) == [1, 2]
+
+    def test_filter_edges_by_predicate(self, path_graph):
+        heavy = filter_edges(path_graph, lambda u, v, p: p >= 0.6)
+        assert heavy.num_edges == 2
+        assert heavy.num_vertices == path_graph.num_vertices
+
+
+class TestNeighborhoodSubgraph:
+    def test_ego_network_includes_center(self, triangle):
+        ego = neighborhood_subgraph(triangle, 3)
+        assert sorted(ego.vertices()) == [1, 2, 3, 4]
+
+    def test_ego_network_without_center(self, triangle):
+        ego = neighborhood_subgraph(triangle, 3, include_center=False)
+        assert 3 not in ego.vertices()
+        assert sorted(ego.vertices()) == [1, 2, 4]
+
+
+class TestComponents:
+    def test_connected_components(self, two_cliques):
+        components = connected_components(two_cliques)
+        assert len(components) == 1  # joined by the weak 3-4 edge
+
+    def test_components_after_pruning(self, two_cliques):
+        pruned = prune_edges_below_alpha(two_cliques, 0.5)
+        components = sorted(connected_components(pruned), key=lambda c: min(c))
+        assert components == [{1, 2, 3}, {4, 5, 6}]
+
+    def test_isolated_vertices_are_components(self):
+        g = UncertainGraph(edges=[(1, 2, 0.5)], vertices=[7])
+        components = connected_components(g)
+        assert {7} in components
+
+    def test_largest_component(self):
+        g = UncertainGraph(
+            edges=[(1, 2, 0.5), (2, 3, 0.5), (10, 11, 0.5)]
+        )
+        largest = largest_component(g)
+        assert sorted(largest.vertices()) == [1, 2, 3]
+
+    def test_largest_component_empty_graph(self):
+        assert largest_component(UncertainGraph()).num_vertices == 0

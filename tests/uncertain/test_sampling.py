@@ -1,0 +1,130 @@
+"""Unit tests for possible-world sampling and exact world enumeration."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.uncertain.graph import UncertainGraph
+from repro.uncertain.sampling import (
+    enumerate_possible_worlds,
+    estimate_clique_probability,
+    sample_possible_world,
+    sample_possible_worlds,
+    world_probability,
+)
+
+
+class TestSampleWorld:
+    def test_world_has_same_vertices(self, triangle):
+        world = sample_possible_world(triangle, rng=1)
+        assert set(world.vertices()) == set(triangle.vertices())
+
+    def test_world_edges_subset_of_possible(self, triangle):
+        world = sample_possible_world(triangle, rng=2)
+        for u, v in world.edges():
+            assert triangle.has_edge(u, v)
+
+    def test_certain_edges_always_present(self):
+        g = UncertainGraph(edges=[(1, 2, 1.0), (2, 3, 1.0)])
+        for seed in range(5):
+            world = sample_possible_world(g, rng=seed)
+            assert world.num_edges == 2
+
+    def test_seeded_sampling_is_reproducible(self, triangle):
+        first = sample_possible_world(triangle, rng=42)
+        second = sample_possible_world(triangle, rng=42)
+        assert first == second
+
+    def test_accepts_random_instance(self, triangle):
+        rng = random.Random(7)
+        world = sample_possible_world(triangle, rng=rng)
+        assert world.num_vertices == 4
+
+    def test_sample_many(self, triangle):
+        worlds = list(sample_possible_worlds(triangle, 10, rng=3))
+        assert len(worlds) == 10
+
+    def test_negative_count_rejected(self, triangle):
+        with pytest.raises(ParameterError):
+            list(sample_possible_worlds(triangle, -1))
+
+
+class TestEnumerateWorlds:
+    def test_number_of_worlds(self):
+        g = UncertainGraph(edges=[(1, 2, 0.5), (2, 3, 0.25)])
+        worlds = list(enumerate_possible_worlds(g))
+        assert len(worlds) == 4
+
+    def test_probabilities_sum_to_one(self, path_graph):
+        total = sum(p for _, p in enumerate_possible_worlds(path_graph))
+        assert total == pytest.approx(1.0)
+
+    def test_single_edge_probabilities(self):
+        g = UncertainGraph(edges=[(1, 2, 0.25)])
+        by_edges = {world.num_edges: p for world, p in enumerate_possible_worlds(g)}
+        assert by_edges[1] == pytest.approx(0.25)
+        assert by_edges[0] == pytest.approx(0.75)
+
+    def test_refuses_large_graphs(self):
+        g = UncertainGraph(
+            edges=[(i, i + 1, 0.5) for i in range(1, 30)]
+        )
+        with pytest.raises(ParameterError):
+            list(enumerate_possible_worlds(g, max_edges=20))
+
+    def test_exact_clique_probability_matches_world_sum(self, two_cliques):
+        """Σ P(world) over worlds where C is a clique equals clq(C, G)."""
+        target = {1, 2, 3}
+        total = sum(
+            p
+            for world, p in enumerate_possible_worlds(two_cliques)
+            if world.is_clique(target)
+        )
+        assert total == pytest.approx(two_cliques.clique_probability(target))
+
+
+class TestWorldProbability:
+    def test_full_world(self):
+        g = UncertainGraph(edges=[(1, 2, 0.5), (2, 3, 0.4)])
+        world = sample_possible_world(g, rng=0)
+        p = world_probability(g, world)
+        assert 0.0 <= p <= 1.0
+
+    def test_empty_world_probability(self):
+        g = UncertainGraph(edges=[(1, 2, 0.5), (2, 3, 0.4)])
+        from repro.deterministic.graph import Graph
+
+        empty = Graph(vertices=[1, 2, 3])
+        assert world_probability(g, empty) == pytest.approx(0.5 * 0.6)
+
+    def test_impossible_world_is_zero(self):
+        g = UncertainGraph(edges=[(1, 2, 0.5)], vertices=[3])
+        from repro.deterministic.graph import Graph
+
+        impossible = Graph(edges=[(1, 3)])
+        assert world_probability(g, impossible) == 0.0
+
+    def test_world_probabilities_match_enumeration(self):
+        g = UncertainGraph(edges=[(1, 2, 0.3), (1, 3, 0.7), (2, 3, 0.5)])
+        for world, p in enumerate_possible_worlds(g):
+            assert world_probability(g, world) == pytest.approx(p)
+
+
+class TestMonteCarloEstimate:
+    def test_estimate_close_to_exact(self, two_cliques):
+        exact = two_cliques.clique_probability({1, 2, 3})
+        estimate = estimate_clique_probability(
+            two_cliques, {1, 2, 3}, samples=4000, rng=11
+        )
+        assert estimate == pytest.approx(exact, abs=0.05)
+
+    def test_certain_clique_estimated_as_one(self):
+        g = UncertainGraph(edges=[(1, 2, 1.0), (2, 3, 1.0), (1, 3, 1.0)])
+        assert estimate_clique_probability(g, {1, 2, 3}, samples=50, rng=0) == 1.0
+
+    def test_invalid_sample_count(self, triangle):
+        with pytest.raises(ParameterError):
+            estimate_clique_probability(triangle, {1, 2}, samples=0)

@@ -1,0 +1,76 @@
+"""Unit tests for uncertain-graph summary statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.uncertain.graph import UncertainGraph
+from repro.uncertain.statistics import (
+    degree_histogram,
+    expected_degree_by_vertex,
+    probability_histogram,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_counts(self, triangle):
+        summary = summarize(triangle)
+        assert summary.num_vertices == 4
+        assert summary.num_edges == 4
+
+    def test_degree_statistics(self, triangle):
+        summary = summarize(triangle)
+        assert summary.min_degree == 1
+        assert summary.max_degree == 3
+        assert summary.mean_degree == pytest.approx(2.0)
+
+    def test_probability_statistics(self, triangle):
+        summary = summarize(triangle)
+        assert summary.min_probability == pytest.approx(0.4)
+        assert summary.max_probability == pytest.approx(0.9)
+        assert summary.mean_probability == pytest.approx((0.9 * 3 + 0.4) / 4)
+
+    def test_expected_edges(self, triangle):
+        assert summarize(triangle).expected_edges == pytest.approx(0.9 * 3 + 0.4)
+
+    def test_empty_graph(self):
+        summary = summarize(UncertainGraph())
+        assert summary.num_vertices == 0
+        assert summary.num_edges == 0
+        assert summary.mean_degree == 0.0
+        assert summary.mean_probability == 0.0
+
+    def test_as_table_row(self, triangle):
+        row = summarize(triangle).as_table_row(name="toy", category="test")
+        assert row["Input Graph"] == "toy"
+        assert row["# Vertices"] == 4
+        assert row["# Edges"] == 4
+
+
+class TestHistograms:
+    def test_degree_histogram(self, triangle):
+        assert degree_histogram(triangle) == {1: 1, 2: 2, 3: 1}
+
+    def test_probability_histogram_totals(self, path_graph):
+        histogram = probability_histogram(path_graph, bins=10)
+        assert sum(histogram.values()) == path_graph.num_edges
+
+    def test_probability_histogram_bin_labels(self, path_graph):
+        histogram = probability_histogram(path_graph, bins=4)
+        assert len(histogram) == 4
+        assert all(label.startswith("(") for label in histogram)
+
+    def test_probability_one_lands_in_last_bin(self):
+        g = UncertainGraph(edges=[(1, 2, 1.0)])
+        histogram = probability_histogram(g, bins=5)
+        assert histogram["(0.80, 1.00]"] == 1
+
+    def test_invalid_bins(self, triangle):
+        with pytest.raises(ValueError):
+            probability_histogram(triangle, bins=0)
+
+    def test_expected_degree_by_vertex(self, path_graph):
+        expected = expected_degree_by_vertex(path_graph)
+        assert expected[1] == pytest.approx(0.9)
+        assert expected[3] == pytest.approx(0.7 + 0.5)
