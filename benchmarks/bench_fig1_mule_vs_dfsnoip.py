@@ -28,10 +28,10 @@ FIGURE1_GRAPHS = ["wiki-vote", "ba5000", "ca-grqc", "ppi"]
 
 @pytest.mark.parametrize("graph_name", FIGURE1_GRAPHS)
 @pytest.mark.parametrize("alpha", FIGURE1_ALPHAS)
-def bench_fig1_mule(graph_name, alpha, dataset, run_once, record_rows):
+def bench_fig1_mule(graph_name, alpha, dataset, run_once, record_rows, bench_controls):
     """Time MULE on one (graph, α) cell of Figure 1."""
     graph = dataset(graph_name)
-    result = run_once(mule, graph, alpha)
+    result = run_once(mule, graph, alpha, controls=bench_controls)
     record_rows(
         "Figure 1",
         "MULE vs DFS-NOIP runtime (seconds) per graph and alpha",
@@ -59,12 +59,13 @@ def bench_fig1_mule(graph_name, alpha, dataset, run_once, record_rows):
 
 @pytest.mark.parametrize("graph_name", FIGURE1_GRAPHS)
 @pytest.mark.parametrize("alpha", FIGURE1_ALPHAS)
-def bench_fig1_dfs_noip(graph_name, alpha, dataset, run_once, record_rows):
+def bench_fig1_dfs_noip(graph_name, alpha, dataset, run_once, record_rows, bench_controls):
     """Time DFS-NOIP on one (graph, α) cell of Figure 1 and check agreement."""
     graph = dataset(graph_name)
-    result = run_once(dfs_noip, graph, alpha)
-    reference = mule(graph, alpha)
-    assert result.vertex_sets() == reference.vertex_sets()
+    result = run_once(dfs_noip, graph, alpha, controls=bench_controls)
+    reference = mule(graph, alpha, controls=bench_controls)
+    if not (result.truncated or reference.truncated):
+        assert result.vertex_sets() == reference.vertex_sets()
     record_rows(
         "Figure 1",
         "MULE vs DFS-NOIP runtime (seconds) per graph and alpha",
@@ -84,7 +85,7 @@ def bench_fig1_dfs_noip(graph_name, alpha, dataset, run_once, record_rows):
     # little work on the scaled-down analogs and the (approximate) counters
     # are within noise of each other, so the assertion targets the small-α
     # cells where the paper's effect is strongest.
-    if alpha < 0.5:
+    if alpha < 0.5 and not (result.truncated or reference.truncated):
         assert (
             result.statistics.probability_multiplications
             > reference.statistics.probability_multiplications

@@ -15,6 +15,14 @@ provides:
 * ``run_once`` — run a callable exactly once under pytest-benchmark
   (the enumerations here take 0.1 s – 10 s, so statistical repetition is
   wasteful; the structural counters recorded alongside are deterministic).
+* ``bench_controls`` — optional engine run controls built from
+  ``REPRO_BENCH_MAX_CLIQUES`` / ``REPRO_BENCH_TIME_BUDGET``.  Benches that
+  thread the fixture through (currently the Figure 1 comparison, used as
+  the CI smoke run) are bounded on slow machines; truncated results skip
+  output-agreement assertions and record their ``stop_reason``.  The other
+  figure benches assert shape properties that are only meaningful for
+  complete enumerations, so they opt in as they gain truncation-safe
+  assertions.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from collections import OrderedDict
 import pytest
 
 from repro.analysis.comparison import format_table
+from repro.core.engine import RunControls
 from repro.datasets.loaders import load_cached_dataset
 from repro.uncertain.graph import UncertainGraph
 
@@ -49,6 +58,25 @@ def bench_scale() -> float:
 def bench_seed() -> int:
     """Seed used for dataset generation, so runs are reproducible."""
     return _bench_seed()
+
+
+@pytest.fixture(scope="session")
+def bench_controls() -> RunControls | None:
+    """Engine run controls from the environment (``None`` = unlimited).
+
+    ``REPRO_BENCH_MAX_CLIQUES=1000`` and/or ``REPRO_BENCH_TIME_BUDGET=5``
+    (seconds, per enumeration) bound every benchmark that threads this
+    fixture through (see the module docstring for which ones do), which
+    keeps smoke runs on tiny machines predictable.
+    """
+    max_cliques = os.environ.get("REPRO_BENCH_MAX_CLIQUES")
+    time_budget = os.environ.get("REPRO_BENCH_TIME_BUDGET")
+    if max_cliques is None and time_budget is None:
+        return None
+    return RunControls(
+        max_cliques=int(max_cliques) if max_cliques is not None else None,
+        time_budget_seconds=float(time_budget) if time_budget is not None else None,
+    )
 
 
 @pytest.fixture(scope="session")

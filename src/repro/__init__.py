@@ -22,6 +22,19 @@ from .core.bounds import (
 )
 from .core.brute_force import brute_force_alpha_maximal_cliques, is_alpha_maximal_clique
 from .core.dfs_noip import dfs_noip
+from .core.engine import (
+    CompiledGraph,
+    EnumerationStrategy,
+    LargeCliqueStrategy,
+    MuleStrategy,
+    NoIncrementalStrategy,
+    RunControls,
+    RunReport,
+    StopReason,
+    TopKStrategy,
+    compile_graph,
+    run_search,
+)
 from .core.fast_mule import fast_mule
 from .core.large_mule import LargeMuleConfig, large_mule
 from .core.mule import MuleConfig, iter_alpha_maximal_cliques, mule
@@ -65,6 +78,18 @@ __all__ = [
     "EnumerationResult",
     "CliqueRecord",
     "SearchStatistics",
+    # enumeration engine
+    "CompiledGraph",
+    "compile_graph",
+    "run_search",
+    "RunControls",
+    "RunReport",
+    "StopReason",
+    "EnumerationStrategy",
+    "MuleStrategy",
+    "NoIncrementalStrategy",
+    "LargeCliqueStrategy",
+    "TopKStrategy",
     # bounds and extremal constructions
     "moon_moser_bound",
     "uncertain_clique_bound",

@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Sequence
 
 from ..core.dfs_noip import dfs_noip
+from ..core.engine import RunControls
+from ..core.fast_mule import fast_mule
 from ..core.large_mule import LargeMuleConfig, large_mule
 from ..core.mule import MuleConfig, mule
 from ..core.result import EnumerationResult
@@ -35,9 +37,16 @@ __all__ = [
 
 MeasurementRow = dict[str, object]
 
-_ALGORITHMS: dict[str, Callable[[UncertainGraph, float], EnumerationResult]] = {
-    "mule": lambda graph, alpha: mule(graph, alpha),
-    "dfs-noip": lambda graph, alpha: dfs_noip(graph, alpha),
+_ALGORITHMS: dict[
+    str, Callable[[UncertainGraph, float, RunControls | None], EnumerationResult]
+] = {
+    "mule": lambda graph, alpha, controls: mule(graph, alpha, controls=controls),
+    "fast-mule": lambda graph, alpha, controls: fast_mule(
+        graph, alpha, controls=controls
+    ),
+    "dfs-noip": lambda graph, alpha, controls: dfs_noip(
+        graph, alpha, controls=controls
+    ),
 }
 
 
@@ -46,11 +55,12 @@ def compare_algorithms(
     alphas: Sequence[float],
     *,
     algorithms: Sequence[str] = ("mule", "dfs-noip"),
+    controls: RunControls | None = None,
 ) -> list[MeasurementRow]:
     """Reproduce the Figure 1 comparison rows.
 
     For every (graph, α, algorithm) combination, run the enumerator and
-    record its runtime, output size and search-effort counters.  Both
+    record its runtime, output size and search-effort counters.  All
     algorithms enumerate the same cliques, so ``num_cliques`` must agree
     within each (graph, α) pair — the benchmark asserts this.
 
@@ -61,14 +71,18 @@ def compare_algorithms(
     alphas:
         The probability thresholds to test.
     algorithms:
-        Subset of ``{"mule", "dfs-noip"}``.
+        Subset of ``{"mule", "fast-mule", "dfs-noip"}``.
+    controls:
+        Optional :class:`~repro.core.engine.controls.RunControls` applied to
+        every run, so a sweep over large graphs can be bounded; truncated
+        rows carry their ``stop_reason``.
     """
     rows: list[MeasurementRow] = []
     for graph_name, graph in graphs.items():
         for alpha in alphas:
             for algorithm in algorithms:
                 runner = _ALGORITHMS[algorithm]
-                result = runner(graph, alpha)
+                result = runner(graph, alpha, controls)
                 rows.append(_row(graph_name, graph, alpha, result))
     return rows
 
@@ -78,13 +92,14 @@ def alpha_sweep(
     alphas: Sequence[float],
     *,
     prune_edges: bool = True,
+    controls: RunControls | None = None,
 ) -> list[MeasurementRow]:
     """Reproduce the Figure 2/3 sweeps: MULE runtime and output size vs α."""
     rows: list[MeasurementRow] = []
     config = MuleConfig(prune_edges=prune_edges)
     for graph_name, graph in graphs.items():
         for alpha in alphas:
-            result = mule(graph, alpha, config=config)
+            result = mule(graph, alpha, config=config, controls=controls)
             rows.append(_row(graph_name, graph, alpha, result))
     return rows
 
@@ -95,6 +110,7 @@ def size_threshold_sweep(
     size_thresholds: Sequence[int],
     *,
     shared_neighborhood_filtering: bool = True,
+    controls: RunControls | None = None,
 ) -> list[MeasurementRow]:
     """Reproduce the Figure 5/6 sweeps: LARGE-MULE vs the size threshold ``t``."""
     rows: list[MeasurementRow] = []
@@ -104,7 +120,7 @@ def size_threshold_sweep(
     for graph_name, graph in graphs.items():
         for alpha in alphas:
             for t in size_thresholds:
-                result = large_mule(graph, alpha, t, config=config)
+                result = large_mule(graph, alpha, t, config=config, controls=controls)
                 row = _row(graph_name, graph, alpha, result)
                 row["size_threshold"] = t
                 rows.append(row)
@@ -140,6 +156,7 @@ def _row(
         "recursive_calls": result.statistics.recursive_calls,
         "candidates_examined": result.statistics.candidates_examined,
         "probability_multiplications": result.statistics.probability_multiplications,
+        "stop_reason": result.stop_reason,
     }
 
 

@@ -27,6 +27,7 @@ from pathlib import Path
 from ..analysis.statistics import clique_statistics
 from ..core.bounds import moon_moser_bound, uncertain_clique_bound
 from ..core.dfs_noip import dfs_noip
+from ..core.engine import RunControls
 from ..core.fast_mule import fast_mule
 from ..core.large_mule import large_mule
 from ..core.mule import mule
@@ -73,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     enumerate_parser.add_argument(
         "--quiet", action="store_true", help="suppress the per-clique listing"
     )
+    _add_run_control_arguments(enumerate_parser)
 
     stats_parser = subparsers.add_parser(
         "stats", help="print summary statistics of a graph file or dataset"
@@ -97,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_input_arguments(compare_parser)
     compare_parser.add_argument("--alpha", type=float, required=True)
+    _add_run_control_arguments(compare_parser)
 
     core_parser = subparsers.add_parser(
         "core", help="compute the (k, eta)-core decomposition of an uncertain graph"
@@ -122,6 +125,30 @@ def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2015, help="dataset generation seed")
 
 
+def _add_run_control_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-cliques",
+        type=int,
+        default=None,
+        help="stop after emitting this many cliques (default: unlimited)",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop the search after this much wall-clock time (default: unlimited)",
+    )
+
+
+def _run_controls(args: argparse.Namespace) -> RunControls | None:
+    if args.max_cliques is None and args.time_budget is None:
+        return None
+    return RunControls(
+        max_cliques=args.max_cliques, time_budget_seconds=args.time_budget
+    )
+
+
 def _load_graph(args: argparse.Namespace) -> UncertainGraph:
     if args.input is not None:
         return read_edge_list(args.input, vertex_type=str)
@@ -130,17 +157,18 @@ def _load_graph(args: argparse.Namespace) -> UncertainGraph:
 
 def _command_enumerate(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
+    controls = _run_controls(args)
     if args.algorithm == "mule":
-        result = mule(graph, args.alpha)
+        result = mule(graph, args.alpha, controls=controls)
     elif args.algorithm == "fast-mule":
-        result = fast_mule(graph, args.alpha)
+        result = fast_mule(graph, args.alpha, controls=controls)
     elif args.algorithm == "dfs-noip":
-        result = dfs_noip(graph, args.alpha)
+        result = dfs_noip(graph, args.alpha, controls=controls)
     else:
         if args.min_size is None:
             print("error: --min-size is required with --algorithm=large-mule", file=sys.stderr)
             return 2
-        result = large_mule(graph, args.alpha, args.min_size)
+        result = large_mule(graph, args.alpha, args.min_size, controls=controls)
 
     stats = clique_statistics(result)
     print(
@@ -148,6 +176,11 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         f"(alpha={args.alpha}) in {result.elapsed_seconds:.3f}s "
         f"on graph with n={graph.num_vertices}, m={graph.num_edges}"
     )
+    if result.truncated:
+        print(
+            f"note: enumeration truncated ({result.stop_reason}); "
+            "the listed cliques are a depth-first prefix of the full output"
+        )
     print(f"clique sizes: {stats.size_histogram}")
     if not args.quiet:
         for record in result.cliques:
@@ -159,6 +192,7 @@ def _command_enumerate(args: argparse.Namespace) -> int:
             "alpha": args.alpha,
             "num_cliques": result.num_cliques,
             "elapsed_seconds": result.elapsed_seconds,
+            "stop_reason": result.stop_reason,
             "cliques": [
                 {"vertices": list(record.as_tuple()), "probability": record.probability}
                 for record in result.cliques
@@ -204,9 +238,9 @@ def _command_bound(args: argparse.Namespace) -> int:
 
 def _command_compare(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    fast = mule(graph, args.alpha)
-    slow = dfs_noip(graph, args.alpha)
-    agree = fast.vertex_sets() == slow.vertex_sets()
+    controls = _run_controls(args)
+    fast = mule(graph, args.alpha, controls=controls)
+    slow = dfs_noip(graph, args.alpha, controls=controls)
     print(
         f"graph: n={graph.num_vertices}, m={graph.num_edges}, alpha={args.alpha}"
     )
@@ -219,6 +253,15 @@ def _command_compare(args: argparse.Namespace) -> int:
         f"({slow.statistics.probability_multiplications} probability multiplications)"
     )
     speedup = slow.elapsed_seconds / max(fast.elapsed_seconds, 1e-9)
+    if fast.truncated or slow.truncated:
+        # Truncated runs may stop at different points of the search, so
+        # differing outputs say nothing about algorithm correctness.
+        print(
+            f"speed-up: {speedup:.1f}x, outputs not compared "
+            f"(truncated: mule={fast.stop_reason}, dfs-noip={slow.stop_reason})"
+        )
+        return 0
+    agree = fast.vertex_sets() == slow.vertex_sets()
     print(f"speed-up: {speedup:.1f}x, outputs {'agree' if agree else 'DISAGREE'}")
     return 0 if agree else 1
 

@@ -11,6 +11,11 @@ Public entry points:
 * :func:`repro.core.top_k.top_k_maximal_cliques` — the related-work top-k
   problem.
 * :mod:`repro.core.bounds` — Theorem 1 bounds and extremal constructions.
+
+All enumerators are thin wrappers over the shared iterative search engine
+(:mod:`repro.core.engine`): a compiled bitmask graph stage, an
+explicit-stack kernel with run controls (``max_cliques``,
+``time_budget_seconds``), and pluggable enumeration strategies.
 """
 
 from .bounds import (
@@ -31,6 +36,19 @@ from .clique_probability import (
     log_clique_probability,
 )
 from .dfs_noip import dfs_noip, iter_alpha_maximal_cliques_noip
+from .engine import (
+    CompiledGraph,
+    EnumerationStrategy,
+    LargeCliqueStrategy,
+    MuleStrategy,
+    NoIncrementalStrategy,
+    RunControls,
+    RunReport,
+    StopReason,
+    TopKStrategy,
+    compile_graph,
+    run_search,
+)
 from .fast_mule import fast_mule, iter_alpha_maximal_cliques_fast
 from .large_mule import LargeMuleConfig, iter_large_alpha_maximal_cliques, large_mule
 from .mule import MuleConfig, iter_alpha_maximal_cliques, mule
@@ -61,6 +79,17 @@ __all__ = [
     "generate_i",
     "generate_x",
     "initial_candidates",
+    "CompiledGraph",
+    "compile_graph",
+    "run_search",
+    "RunControls",
+    "RunReport",
+    "StopReason",
+    "EnumerationStrategy",
+    "MuleStrategy",
+    "NoIncrementalStrategy",
+    "LargeCliqueStrategy",
+    "TopKStrategy",
     "shared_neighborhood_filter",
     "PruningReport",
     "CliqueRecord",

@@ -19,6 +19,13 @@ out in Section 4 of the paper).
 
 :class:`CandidateSet` wraps a plain ``dict[vertex, factor]`` with the
 generation operations of Algorithms 3 (``GenerateI``) and 4 (``GenerateX``).
+
+This module is the reference (paper pseudo-code) formulation of the
+bookkeeping; the shared engine (:mod:`repro.core.engine`) carries the same
+``I``/``X`` state as bitmask + factor-dict pairs for speed.  The sorted view
+of a :class:`CandidateSet` is cached and invalidated on mutation, so
+repeated :meth:`CandidateSet.items_sorted` calls cost O(k log k) only after
+a mutation, not on every visit.
 """
 
 from __future__ import annotations
@@ -39,10 +46,11 @@ class CandidateSet:
     lexicographic exploration order required by Algorithm 2 (line 4).
     """
 
-    __slots__ = ("_factors",)
+    __slots__ = ("_factors", "_sorted_items")
 
     def __init__(self, factors: Mapping[Vertex, float] | None = None) -> None:
         self._factors: dict[Vertex, float] = dict(factors) if factors else {}
+        self._sorted_items: list[tuple[Vertex, float]] | None = None
 
     @classmethod
     def from_pairs(cls, pairs: Iterable[tuple[Vertex, float]]) -> "CandidateSet":
@@ -52,14 +60,29 @@ class CandidateSet:
     def add(self, vertex: Vertex, factor: float) -> None:
         """Insert (or overwrite) a vertex with its factor."""
         self._factors[vertex] = factor
+        self._sorted_items = None
 
     def factor(self, vertex: Vertex) -> float:
         """Return the stored factor for ``vertex`` (KeyError if absent)."""
         return self._factors[vertex]
 
+    def items(self) -> Iterable[tuple[Vertex, float]]:
+        """Iterate ``(vertex, factor)`` pairs in insertion order (no sort)."""
+        return self._factors.items()
+
     def items_sorted(self) -> list[tuple[Vertex, float]]:
-        """Return ``(vertex, factor)`` pairs sorted by increasing vertex id."""
-        return sorted(self._factors.items(), key=lambda kv: kv[0])
+        """Return ``(vertex, factor)`` pairs sorted by increasing vertex id.
+
+        The sort is computed lazily and cached until the next mutation, so
+        repeated calls on an unchanged set are O(k) instead of O(k log k).
+        A fresh list is returned each call (the cache is never aliased), so
+        callers may mutate the result freely.
+        """
+        if self._sorted_items is None:
+            self._sorted_items = sorted(
+                self._factors.items(), key=lambda kv: kv[0]
+            )
+        return list(self._sorted_items)
 
     def vertices(self) -> set[Vertex]:
         """Return the set of vertices currently in the candidate set."""
@@ -126,7 +149,7 @@ def generate_i(
     """
     adjacency = graph.adjacency(new_max)
     result: dict[Vertex, float] = {}
-    for u, r in candidates.items_sorted():
+    for u, r in candidates.items():
         if u <= new_max:
             continue
         p = adjacency.get(u)
@@ -153,7 +176,7 @@ def generate_x(
     """
     adjacency = graph.adjacency(new_max)
     result: dict[Vertex, float] = {}
-    for v, s in exclusions.items_sorted():
+    for v, s in exclusions.items():
         p = adjacency.get(v)
         if p is None:
             continue

@@ -5,7 +5,7 @@ same depth-first exploration of vertex subsets as MULE but recomputes clique
 probabilities and maximality from scratch at every step:
 
 * deciding whether a candidate vertex keeps the working set an α-clique
-  costs Θ(|C|) probability multiplications instead of O(1);
+  costs Θ(|C|²) probability multiplications instead of O(1);
 * testing whether the working set is α-maximal scans every outside vertex
   and recomputes its extension factor, a Θ(n · |C|) operation instead of the
   O(1) emptiness test on MULE's ``I`` and ``X`` sets.
@@ -14,64 +14,28 @@ The paper uses DFS-NOIP as the comparison baseline of Figure 1, where MULE
 outperforms it by one to two orders of magnitude as α decreases.  The
 enumeration output of the two algorithms is identical (both enumerate the
 full set of α-maximal cliques); only the work performed differs.
+
+Since the engine refactor the module is a thin wrapper over the shared
+iterative kernel driven by
+:class:`~repro.core.engine.strategies.NoIncrementalStrategy`, which keeps
+the from-scratch cost profile while sharing the walk, the run controls and
+the streaming interface with every other enumerator.
 """
 
 from __future__ import annotations
 
-import sys
 from collections.abc import Hashable, Iterator
 
 from ..uncertain.graph import UncertainGraph, validate_probability
-from ..uncertain.operations import prune_edges_below_alpha
+from .engine.compiled import compile_graph
+from .engine.controls import RunControls, RunReport
+from .engine.kernel import run_search
+from .engine.strategies import NoIncrementalStrategy
 from .result import CliqueRecord, EnumerationResult, SearchStatistics, Stopwatch
 
 __all__ = ["dfs_noip", "iter_alpha_maximal_cliques_noip"]
 
 Vertex = Hashable
-
-
-def _clique_probability_from_scratch(
-    graph: UncertainGraph, vertices: list[int], stats: SearchStatistics
-) -> float:
-    """Recompute ``clq(C, G)`` by multiplying every internal edge probability."""
-    probability = 1.0
-    for i, u in enumerate(vertices):
-        adjacency = graph.adjacency(u)
-        for v in vertices[i + 1 :]:
-            p = adjacency.get(v)
-            stats.probability_multiplications += 1
-            if p is None:
-                return 0.0
-            probability *= p
-    return probability
-
-
-def _is_alpha_maximal_from_scratch(
-    graph: UncertainGraph,
-    clique: list[int],
-    clique_probability: float,
-    alpha: float,
-    stats: SearchStatistics,
-) -> bool:
-    """Scan all outside vertices, recomputing extension factors from scratch."""
-    stats.maximality_checks += 1
-    members = set(clique)
-    for w in graph.vertices():
-        if w in members:
-            continue
-        adjacency = graph.adjacency(w)
-        factor = 1.0
-        feasible = True
-        for u in clique:
-            p = adjacency.get(u)
-            stats.probability_multiplications += 1
-            if p is None:
-                feasible = False
-                break
-            factor *= p
-        if feasible and clique_probability * factor >= alpha:
-            return False
-    return True
 
 
 def iter_alpha_maximal_cliques_noip(
@@ -80,18 +44,19 @@ def iter_alpha_maximal_cliques_noip(
     *,
     prune_edges: bool = True,
     statistics: SearchStatistics | None = None,
+    controls: RunControls | None = None,
+    report: RunReport | None = None,
 ) -> Iterator[tuple[frozenset, float]]:
     """Lazily yield α-maximal cliques using the non-incremental DFS baseline.
 
-    The recursion mirrors Algorithm 7 of the paper:
+    The walk mirrors Algorithm 7 of the paper:
 
-    1. filter the candidate list, dropping vertices that are not larger than
-       ``max(C)`` or whose addition breaks the α-clique property (both
-       checks recompute probabilities from scratch);
+    1. at every node, filter the candidate list, dropping vertices that are
+       not larger than ``max(C)`` or whose addition breaks the α-clique
+       property (both checks recompute probabilities from scratch);
     2. if no candidate survives, test ``C`` for α-maximality from scratch
        and emit it if it passes;
-    3. otherwise branch on every surviving candidate, emitting extended sets
-       that are already α-maximal and recursing into the rest.
+    3. otherwise branch on every surviving candidate in ascending order.
     """
     alpha = validate_probability(alpha, what="alpha")
     stats = statistics if statistics is not None else SearchStatistics()
@@ -99,54 +64,15 @@ def iter_alpha_maximal_cliques_noip(
     if graph.num_vertices == 0:
         return
 
-    working = prune_edges_below_alpha(graph, alpha) if prune_edges else graph
-    relabeled, _forward, backward = working.relabeled()
-
-    needed_depth = relabeled.num_vertices + 512
-    if sys.getrecursionlimit() < needed_depth:
-        sys.setrecursionlimit(needed_depth)
-
-    def emit(clique: list[int], probability: float) -> tuple[frozenset, float]:
-        return frozenset(backward[v] for v in clique), probability
-
-    def search(clique: list[int], candidates: list[int]) -> Iterator[tuple[frozenset, float]]:
-        stats.recursive_calls += 1
-        current_max = clique[-1] if clique else 0
-        clique_probability = _clique_probability_from_scratch(relabeled, clique, stats)
-
-        surviving: list[int] = []
-        for u in candidates:
-            stats.candidates_examined += 1
-            if u <= current_max:
-                continue
-            extended = _clique_probability_from_scratch(relabeled, clique + [u], stats)
-            if extended < alpha:
-                continue
-            surviving.append(u)
-
-        if not surviving:
-            if clique and _is_alpha_maximal_from_scratch(
-                relabeled, clique, clique_probability, alpha, stats
-            ):
-                yield emit(clique, clique_probability)
-            return
-
-        for v in sorted(surviving):
-            extended_clique = clique + [v]
-            extended_probability = _clique_probability_from_scratch(
-                relabeled, extended_clique, stats
-            )
-            if _is_alpha_maximal_from_scratch(
-                relabeled, extended_clique, extended_probability, alpha, stats
-            ):
-                yield emit(extended_clique, extended_probability)
-            else:
-                next_candidates = [
-                    w for w in surviving if w in relabeled.adjacency(v)
-                ]
-                yield from search(extended_clique, next_candidates)
-
-    yield from search([], sorted(relabeled.vertices()))
+    compiled = compile_graph(graph, alpha=alpha if prune_edges else None)
+    yield from run_search(
+        compiled,
+        alpha,
+        NoIncrementalStrategy(),
+        statistics=stats,
+        controls=controls,
+        report=report,
+    )
 
 
 def dfs_noip(
@@ -154,6 +80,7 @@ def dfs_noip(
     alpha: float,
     *,
     prune_edges: bool = True,
+    controls: RunControls | None = None,
 ) -> EnumerationResult:
     """Enumerate all α-maximal cliques with the DFS-NOIP baseline (Algorithm 7).
 
@@ -168,10 +95,16 @@ def dfs_noip(
     [[1, 2, 3]]
     """
     statistics = SearchStatistics()
+    report = RunReport()
     records: list[CliqueRecord] = []
     with Stopwatch() as timer:
         for members, probability in iter_alpha_maximal_cliques_noip(
-            graph, alpha, prune_edges=prune_edges, statistics=statistics
+            graph,
+            alpha,
+            prune_edges=prune_edges,
+            statistics=statistics,
+            controls=controls,
+            report=report,
         ):
             records.append(CliqueRecord(vertices=members, probability=probability))
     return EnumerationResult(
@@ -180,4 +113,5 @@ def dfs_noip(
         cliques=records,
         statistics=statistics,
         elapsed_seconds=timer.elapsed,
+        stop_reason=report.stop_reason,
     )

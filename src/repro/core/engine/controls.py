@@ -1,0 +1,94 @@
+"""Run controls for the iterative search kernel.
+
+Production workloads rarely want "enumerate everything, however long it
+takes": interactive callers want the first few cliques quickly, batch
+pipelines want a wall-clock ceiling per graph, and services want both.
+:class:`RunControls` expresses those limits declaratively and
+:class:`RunReport` records how a run actually ended, so truncated output is
+always distinguishable from complete output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ParameterError
+
+__all__ = ["RunControls", "RunReport", "StopReason"]
+
+
+class StopReason:
+    """How an enumeration run ended (string constants, not an enum, so the
+    values serialize naturally in CLI/JSON output)."""
+
+    COMPLETED = "completed"
+    MAX_CLIQUES = "max-cliques"
+    TIME_BUDGET = "time-budget"
+
+
+@dataclass(frozen=True)
+class RunControls:
+    """Declarative limits on a single enumeration run.
+
+    Parameters
+    ----------
+    max_cliques:
+        Stop after emitting this many cliques (``None`` = unlimited).  The
+        emitted cliques are a prefix of the full enumeration in depth-first
+        discovery order; they are all genuinely α-maximal.
+    time_budget_seconds:
+        Stop once this much wall-clock time has elapsed inside the kernel
+        (``None`` = unlimited).  The budget is checked every
+        ``check_every_frames`` search nodes, so the overrun is bounded by
+        the cost of that many nodes.
+    check_every_frames:
+        How many search nodes to expand between time-budget checks.  The
+        default keeps the ``perf_counter`` overhead negligible.
+    """
+
+    max_cliques: int | None = None
+    time_budget_seconds: float | None = None
+    check_every_frames: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_cliques is not None and self.max_cliques < 1:
+            raise ParameterError(
+                f"max_cliques must be positive, got {self.max_cliques}"
+            )
+        if self.time_budget_seconds is not None and self.time_budget_seconds < 0:
+            raise ParameterError(
+                f"time_budget_seconds must be non-negative, got {self.time_budget_seconds}"
+            )
+        if self.check_every_frames < 1:
+            raise ParameterError(
+                f"check_every_frames must be positive, got {self.check_every_frames}"
+            )
+
+    @property
+    def unlimited(self) -> bool:
+        """True when neither limit is set (the kernel skips all checks)."""
+        return self.max_cliques is None and self.time_budget_seconds is None
+
+
+@dataclass
+class RunReport:
+    """What actually happened during a kernel run (filled in place).
+
+    Attributes
+    ----------
+    stop_reason:
+        One of the :class:`StopReason` constants.
+    cliques_emitted:
+        Number of cliques yielded before the run ended.
+    frames_expanded:
+        Number of search nodes the kernel visited.
+    """
+
+    stop_reason: str = StopReason.COMPLETED
+    cliques_emitted: int = 0
+    frames_expanded: int = 0
+
+    @property
+    def truncated(self) -> bool:
+        """True when the run stopped before exhausting the search space."""
+        return self.stop_reason != StopReason.COMPLETED

@@ -1,0 +1,165 @@
+"""The explicit-stack iterative search kernel.
+
+:func:`run_search` performs the depth-first exploration shared by every
+enumeration algorithm in the repository.  Compared to the recursive
+``enum()`` closures it replaces, the kernel:
+
+* **never recurses** — search depth is bounded by memory, not by the
+  interpreter's recursion limit, so no enumerator mutates
+  ``sys.setrecursionlimit`` anymore and 10⁵-vertex clique chains are fine;
+* **streams** — it is a generator yielding ``(clique, probability)`` pairs
+  in depth-first discovery order; callers can pause, interleave, or abandon
+  the search at any point;
+* **honours run controls** — ``max_cliques`` and ``time_budget_seconds``
+  stop the walk early with the reason recorded on a
+  :class:`~repro.core.engine.controls.RunReport`.
+
+The per-node bookkeeping (candidate generation, pruning, emission) is
+delegated to an :class:`~repro.core.engine.strategies.EnumerationStrategy`.
+The correspondence to the recursive formulation of Algorithm 2:
+
+* pushing a frame = entering ``Enum-Uncertain-MC``;
+* ``strategy.expand`` = the emission test at the top of the call plus the
+  (single!) sort of the candidate set — the seed implementation re-sorted
+  the candidates of every ancestor on every visit;
+* ``strategy.descend`` = lines 5–7 (``GenerateI``/``GenerateX``);
+* ``strategy.retire`` = line 9 (move the branched-on vertex into ``X``),
+  deferred until the subtree finishes, exactly as the recursion does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from time import perf_counter
+
+from ..result import SearchStatistics
+from .compiled import CompiledGraph
+from .controls import RunControls, RunReport, StopReason
+from .strategies import EnumerationStrategy
+
+__all__ = ["run_search"]
+
+_UNLIMITED = RunControls()
+
+
+def run_search(
+    compiled: CompiledGraph,
+    alpha: float,
+    strategy: EnumerationStrategy,
+    *,
+    statistics: SearchStatistics | None = None,
+    controls: RunControls | None = None,
+    report: RunReport | None = None,
+) -> Iterator[tuple[frozenset, float]]:
+    """Run one iterative depth-first enumeration and yield its emissions.
+
+    Parameters
+    ----------
+    compiled:
+        The compiled graph (see :func:`~repro.core.engine.compiled.compile_graph`).
+    alpha:
+        The probability threshold, already validated by the caller.
+    strategy:
+        The enumeration strategy; bound to this run via ``strategy.bind``.
+    statistics:
+        Optional :class:`~repro.core.result.SearchStatistics` updated in place.
+    controls:
+        Optional :class:`~repro.core.engine.controls.RunControls`; ``None``
+        means unlimited.
+    report:
+        Optional :class:`~repro.core.engine.controls.RunReport` filled in
+        place with the stop reason and progress counters.
+
+    Yields
+    ------
+    tuple(frozenset, float)
+        Each emitted clique (original vertex labels) with its probability,
+        in depth-first discovery order.
+    """
+    statistics = statistics if statistics is not None else SearchStatistics()
+    report = report if report is not None else RunReport()
+    controls = controls if controls is not None else _UNLIMITED
+    # A report object may be reused across runs: reset all of it, not just
+    # the stop reason, or stale counters would trip the max_cliques check.
+    report.stop_reason = StopReason.COMPLETED
+    report.cliques_emitted = 0
+    report.frames_expanded = 0
+
+    strategy.bind(compiled, alpha, statistics)
+    if compiled.n == 0:
+        return
+
+    labels = compiled.labels
+    max_cliques = controls.max_cliques
+    deadline = (
+        perf_counter() + controls.time_budget_seconds
+        if controls.time_budget_seconds is not None
+        else None
+    )
+    check_every = controls.check_every_frames
+
+    expand = strategy.expand
+    descend = strategy.descend
+    retire = strategy.retire
+
+    clique: list[int] = []
+    root = strategy.root()
+    candidates, probability = expand(root, clique)
+    report.frames_expanded += 1
+    if probability is not None:
+        yield frozenset(labels[i] for i in clique), probability
+        report.cliques_emitted += 1
+        if max_cliques is not None and report.cliques_emitted >= max_cliques:
+            report.stop_reason = StopReason.MAX_CLIQUES
+            return
+    if not candidates:
+        return
+
+    # Frame layout: [state, candidates, n_candidates, next_index,
+    # pending_retire_vertex].  ``pending`` is the candidate whose subtree
+    # just finished (or was pruned); it is retired exactly once, when the
+    # frame next surfaces.
+    stack: list[list] = [[root, candidates, len(candidates), 0, -1]]
+    frames_since_check = 0
+
+    while stack:
+        frame = stack[-1]
+        pending = frame[4]
+        if pending >= 0:
+            retire(frame[0], pending)
+            frame[4] = -1
+
+        index = frame[3]
+        if index >= frame[2]:
+            stack.pop()
+            if clique:
+                clique.pop()
+            continue
+        frame[3] = index + 1
+        u = frame[1][index]
+        frame[4] = u
+
+        child = descend(frame[0], u, clique)
+        if child is None:
+            continue
+
+        clique.append(u)
+        child_candidates, probability = expand(child, clique)
+        report.frames_expanded += 1
+        if probability is not None:
+            yield frozenset(labels[i] for i in clique), probability
+            report.cliques_emitted += 1
+            if max_cliques is not None and report.cliques_emitted >= max_cliques:
+                report.stop_reason = StopReason.MAX_CLIQUES
+                return
+        if deadline is not None:
+            frames_since_check += 1
+            if frames_since_check >= check_every:
+                frames_since_check = 0
+                if perf_counter() >= deadline:
+                    report.stop_reason = StopReason.TIME_BUDGET
+                    return
+        if child_candidates:
+            stack.append([child, child_candidates, len(child_candidates), 0, -1])
+        else:
+            clique.pop()

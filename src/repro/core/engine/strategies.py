@@ -1,0 +1,456 @@
+"""Pluggable enumeration strategies for the iterative search kernel.
+
+The kernel (:mod:`repro.core.engine.kernel`) owns the depth-first walk —
+the explicit stack, the working clique, emission plumbing and run controls.
+Everything algorithm-specific lives behind the
+:class:`EnumerationStrategy` protocol:
+
+* **candidate generation** — which vertices may extend the current clique,
+  and in what order (:meth:`~EnumerationStrategy.expand` /
+  :meth:`~EnumerationStrategy.descend`);
+* **branch pruning** — :meth:`~EnumerationStrategy.descend` returns ``None``
+  to cut a subtree (LARGE-MULE's ``|C'| + |I'| < t`` bound);
+* **emission test** — :meth:`~EnumerationStrategy.expand` decides whether
+  the node's clique is reported and with what probability.
+
+Four implementations reproduce the paper's algorithms:
+
+=========================  ==================================================
+:class:`MuleStrategy`      MULE (Algorithms 1–4): incremental ``I``/``X``
+                           maintenance on bitmasks, O(1) maximality test.
+:class:`NoIncrementalStrategy`
+                           DFS-NOIP (Algorithm 7): identical output, but
+                           probabilities and maximality recomputed from
+                           scratch at every node — the Figure 1 baseline.
+:class:`LargeCliqueStrategy`
+                           LARGE-MULE (Algorithms 5–6): MULE plus the
+                           size-≥t emission filter and branch bound.
+:class:`TopKStrategy`      The related-work top-k problem: MULE restricted
+                           to cliques of at least ``min_size`` vertices,
+                           ranked by the caller.
+=========================  ==================================================
+
+A strategy's node *state* is opaque to the kernel; the incremental
+strategies use a 5-slot list ``[q, cand_mask, cand_factors, excl_mask,
+excl_factors]`` mirroring the ``(C, q, I, X)`` tuple of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from ...errors import ParameterError
+from ..result import SearchStatistics
+from .compiled import CompiledGraph
+
+__all__ = [
+    "EnumerationStrategy",
+    "MuleStrategy",
+    "NoIncrementalStrategy",
+    "LargeCliqueStrategy",
+    "TopKStrategy",
+    "bit_list",
+]
+
+_EMPTY: tuple[int, ...] = ()
+
+# Node-state slots of the incremental (MULE-family) strategies.
+_Q, _CAND_MASK, _CAND_FACTOR, _EXCL_MASK, _EXCL_FACTOR = range(5)
+
+
+def bit_list(mask: int) -> list[int]:
+    """Return the indices of the set bits of ``mask`` in increasing order."""
+    out: list[int] = []
+    append = out.append
+    while mask:
+        low = mask & -mask
+        append(low.bit_length() - 1)
+        mask ^= low
+    return out
+
+
+class EnumerationStrategy(ABC):
+    """The protocol every enumeration strategy implements.
+
+    Lifecycle: the kernel calls :meth:`bind` once per run, :meth:`root` to
+    obtain the initial node state, then drives the search calling
+    :meth:`expand` once per visited node, :meth:`descend` once per candidate
+    branch, and :meth:`retire` once per *finished* candidate subtree.
+    """
+
+    #: Human-readable name recorded on results produced with this strategy.
+    algorithm: str = "custom"
+
+    def bind(
+        self,
+        compiled: CompiledGraph,
+        alpha: float,
+        statistics: SearchStatistics,
+    ) -> None:
+        """Attach the strategy to one search run (compiled graph, α, counters)."""
+        self._compiled = compiled
+        self._alpha = alpha
+        self._stats = statistics
+
+    @abstractmethod
+    def root(self) -> object:
+        """Return the node state of the empty clique."""
+
+    @abstractmethod
+    def expand(
+        self, state: object, clique: list[int]
+    ) -> tuple[Sequence[int], float | None]:
+        """Visit a node: return its candidate order and emission decision.
+
+        Parameters
+        ----------
+        state:
+            The node state produced by :meth:`root` or :meth:`descend`.
+        clique:
+            The kernel's working clique (vertex indices, read-only).
+
+        Returns
+        -------
+        (candidates, probability)
+            ``candidates`` is the branch order for this node, already sorted
+            ascending — it is computed **once** per node, never per visit.
+            ``probability`` is the clique probability when the node's clique
+            must be emitted, or ``None`` otherwise.
+        """
+
+    @abstractmethod
+    def descend(self, state: object, u: int, clique: list[int]) -> object | None:
+        """Build the child state for branching on candidate ``u``.
+
+        Returning ``None`` prunes the branch: the kernel never visits the
+        subtree (the child is still :meth:`retire`-d on the parent).
+        """
+
+    def retire(self, state: object, u: int) -> None:
+        """Called after candidate ``u``'s subtree is fully explored.
+
+        MULE-family strategies move ``u`` from the candidate side to the
+        exclusion side here; the default is a no-op.
+        """
+
+
+class MuleStrategy(EnumerationStrategy):
+    """MULE (Algorithms 1–4) on the compiled bitmask representation.
+
+    Carries the candidate set ``I`` and exclusion set ``X`` as
+    (bitmask, factor-dict) pairs; extending the clique costs one
+    multiplication per surviving candidate (``GenerateI``/``GenerateX``)
+    and the α-maximality test is the O(1) emptiness check of Theorem 2.
+    """
+
+    algorithm = "mule"
+
+    def bind(
+        self,
+        compiled: CompiledGraph,
+        alpha: float,
+        statistics: SearchStatistics,
+    ) -> None:
+        super().bind(compiled, alpha, statistics)
+        self._adj_mask = compiled.adjacency_mask
+        self._adj_prob = compiled.adjacency_probability
+        self._higher = compiled.higher_masks
+
+    def root(self) -> list:
+        n = self._compiled.n
+        return [1.0, self._compiled.all_mask, dict.fromkeys(range(n), 1.0), 0, {}]
+
+    def expand(
+        self, state: list, clique: list[int]
+    ) -> tuple[Sequence[int], float | None]:
+        stats = self._stats
+        stats.recursive_calls += 1
+        cand_mask = state[_CAND_MASK]
+        if not cand_mask and not state[_EXCL_MASK]:
+            stats.maximality_checks += 1
+            return _EMPTY, state[_Q]
+        return bit_list(cand_mask), None
+
+    def descend(self, state: list, u: int, clique: list[int]) -> list:
+        stats = self._stats
+        stats.candidates_examined += 1
+        alpha = self._alpha
+        cand_mask = state[_CAND_MASK]
+        cand_factor = state[_CAND_FACTOR]
+        excl_mask = state[_EXCL_MASK]
+        q = state[_Q] * cand_factor[u]
+        adjacency_mask = self._adj_mask[u]
+        adjacency_prob = self._adj_prob[u]
+
+        # The work counter follows the paper's cost model (Lemma 10): one
+        # multiplication for q' = q · r plus one unit per tuple of I and X
+        # examined by GenerateI/GenerateX.  The bitmask AND physically skips
+        # non-adjacent tuples, but counting the full sets keeps the metric
+        # identical to the reference (pseudo-code) implementation.
+        stats.probability_multiplications += (
+            1 + cand_mask.bit_count() + excl_mask.bit_count()
+        )
+
+        # GenerateI (Algorithm 3): candidates above u, adjacent to u, α-feasible.
+        new_cand_mask = 0
+        new_cand_factor: dict[int, float] = {}
+        m = cand_mask & adjacency_mask & self._higher[u]
+        while m:
+            low = m & -m
+            m ^= low
+            w = low.bit_length() - 1
+            factor = cand_factor[w] * adjacency_prob[w]
+            if q * factor >= alpha:
+                new_cand_mask |= low
+                new_cand_factor[w] = factor
+
+        # GenerateX (Algorithm 4): exclusions adjacent to u, α-feasible.
+        new_excl_mask = 0
+        new_excl_factor: dict[int, float] = {}
+        excl_factor = state[_EXCL_FACTOR]
+        m = excl_mask & adjacency_mask
+        while m:
+            low = m & -m
+            m ^= low
+            w = low.bit_length() - 1
+            factor = excl_factor[w] * adjacency_prob[w]
+            if q * factor >= alpha:
+                new_excl_mask |= low
+                new_excl_factor[w] = factor
+
+        return [q, new_cand_mask, new_cand_factor, new_excl_mask, new_excl_factor]
+
+    def retire(self, state: list, u: int) -> None:
+        state[_EXCL_MASK] |= 1 << u
+        state[_EXCL_FACTOR][u] = state[_CAND_FACTOR][u]
+
+
+class LargeCliqueStrategy(MuleStrategy):
+    """LARGE-MULE (Algorithms 5–6): only cliques with ≥ ``size_threshold`` vertices.
+
+    Identical bookkeeping to :class:`MuleStrategy` plus two differences:
+
+    * a branch is pruned (Algorithm 6, line 8) when even taking every
+      remaining candidate cannot reach ``size_threshold`` vertices — the
+      exclusion set of the pruned child is never built;
+    * a node with empty ``I`` and ``X`` is emitted only when the clique has
+      at least ``size_threshold`` vertices.
+    """
+
+    algorithm = "large-mule"
+
+    def __init__(self, size_threshold: int) -> None:
+        if size_threshold < 2:
+            raise ParameterError(
+                f"size_threshold must be at least 2, got {size_threshold}"
+            )
+        self.size_threshold = size_threshold
+
+    def expand(
+        self, state: list, clique: list[int]
+    ) -> tuple[Sequence[int], float | None]:
+        stats = self._stats
+        stats.recursive_calls += 1
+        cand_mask = state[_CAND_MASK]
+        if not cand_mask and not state[_EXCL_MASK]:
+            stats.maximality_checks += 1
+            if len(clique) >= self.size_threshold:
+                return _EMPTY, state[_Q]
+            return _EMPTY, None
+        return bit_list(cand_mask), None
+
+    def descend(self, state: list, u: int, clique: list[int]) -> list | None:
+        stats = self._stats
+        stats.candidates_examined += 1
+        alpha = self._alpha
+        cand_factor = state[_CAND_FACTOR]
+        q = state[_Q] * cand_factor[u]
+        adjacency_mask = self._adj_mask[u]
+        adjacency_prob = self._adj_prob[u]
+
+        # Same cost model as MuleStrategy.descend, except the X-side units
+        # are only charged when the branch survives the size bound (the
+        # pruned path never calls GenerateX).
+        stats.probability_multiplications += 1 + state[_CAND_MASK].bit_count()
+
+        new_cand_mask = 0
+        new_cand_factor: dict[int, float] = {}
+        m = state[_CAND_MASK] & adjacency_mask & self._higher[u]
+        while m:
+            low = m & -m
+            m ^= low
+            w = low.bit_length() - 1
+            factor = cand_factor[w] * adjacency_prob[w]
+            if q * factor >= alpha:
+                new_cand_mask |= low
+                new_cand_factor[w] = factor
+
+        if len(clique) + 1 + len(new_cand_factor) < self.size_threshold:
+            # Algorithm 6, line 8: no clique of size >= t is reachable, so
+            # the branch is cut before the exclusion set is even built.
+            stats.pruned_branches += 1
+            return None
+
+        stats.probability_multiplications += state[_EXCL_MASK].bit_count()
+        new_excl_mask = 0
+        new_excl_factor: dict[int, float] = {}
+        excl_factor = state[_EXCL_FACTOR]
+        m = state[_EXCL_MASK] & adjacency_mask
+        while m:
+            low = m & -m
+            m ^= low
+            w = low.bit_length() - 1
+            factor = excl_factor[w] * adjacency_prob[w]
+            if q * factor >= alpha:
+                new_excl_mask |= low
+                new_excl_factor[w] = factor
+
+        return [q, new_cand_mask, new_cand_factor, new_excl_mask, new_excl_factor]
+
+
+class TopKStrategy(MuleStrategy):
+    """The related-work top-k problem (Zou et al.): MULE with a size floor.
+
+    Singleton cliques trivially have probability 1 and would dominate any
+    probability ranking, so the strategy only emits cliques with at least
+    ``min_size`` vertices; the wrapper ranks the emissions and keeps the
+    best ``k``.  Runs with ``min_size=1`` emit everything MULE does.
+    """
+
+    algorithm = "top-k"
+
+    def __init__(self, min_size: int = 2) -> None:
+        if min_size <= 0:
+            raise ParameterError(f"min_size must be positive, got {min_size}")
+        self.min_size = min_size
+
+    def expand(
+        self, state: list, clique: list[int]
+    ) -> tuple[Sequence[int], float | None]:
+        stats = self._stats
+        stats.recursive_calls += 1
+        cand_mask = state[_CAND_MASK]
+        if not cand_mask and not state[_EXCL_MASK]:
+            stats.maximality_checks += 1
+            if len(clique) >= self.min_size:
+                return _EMPTY, state[_Q]
+            return _EMPTY, None
+        return bit_list(cand_mask), None
+
+
+class _NoipNode:
+    """Node state of the non-incremental baseline: the raw candidate pool,
+    the surviving candidates computed during :meth:`expand`, and — for
+    extensions found α-maximal at branch time — the precomputed emission
+    probability (such nodes are emitted without being searched, exactly as
+    Algorithm 7 emits ``C'`` without recursing)."""
+
+    __slots__ = ("pool", "surviving", "emission")
+
+    def __init__(self, pool: list[int], emission: float | None = None) -> None:
+        self.pool = pool
+        self.surviving: list[int] = []
+        self.emission = emission
+
+
+class NoIncrementalStrategy(EnumerationStrategy):
+    """DFS-NOIP (Algorithm 7): the paper's non-incremental baseline.
+
+    Enumerates exactly the same α-maximal cliques as :class:`MuleStrategy`
+    but carries no ``I``/``X`` bookkeeping: at every node it recomputes the
+    clique probability, every candidate's extension probability and (when a
+    clique might be emitted) the full maximality scan **from scratch**.
+    Every recomputed pairwise product is counted in
+    ``statistics.probability_multiplications``, which is what the Figure 1
+    comparison measures.
+    """
+
+    algorithm = "dfs-noip"
+
+    def root(self) -> _NoipNode:
+        return _NoipNode(list(range(self._compiled.n)))
+
+    def expand(
+        self, state: _NoipNode, clique: list[int]
+    ) -> tuple[Sequence[int], float | None]:
+        stats = self._stats
+        if state.emission is not None:
+            # The parent already proved this extension α-maximal (Algorithm 7
+            # emits C' without recursing into it), so the node is a pure
+            # emission: no candidate filtering, no further search.
+            return _EMPTY, state.emission
+        stats.recursive_calls += 1
+        clique_probability = self._probability_from_scratch(clique)
+        current_max = clique[-1] if clique else -1
+
+        surviving: list[int] = []
+        for u in state.pool:
+            stats.candidates_examined += 1
+            if u <= current_max:
+                continue
+            if self._probability_from_scratch(clique + [u]) >= self._alpha:
+                surviving.append(u)
+        state.surviving = surviving
+
+        if surviving:
+            return surviving, None
+        if clique and self._is_alpha_maximal_from_scratch(clique, clique_probability):
+            return _EMPTY, clique_probability
+        return _EMPTY, None
+
+    def descend(self, state: _NoipNode, u: int, clique: list[int]) -> _NoipNode:
+        # Algorithm 7 branch step: recompute the extended clique probability
+        # from scratch (again) and test α-maximality from scratch.  An
+        # α-maximal extension is emitted directly; everything else is
+        # searched with the neighborhood-restricted candidate pool.
+        extended = clique + [u]
+        extended_probability = self._probability_from_scratch(extended)
+        if self._is_alpha_maximal_from_scratch(extended, extended_probability):
+            return _NoipNode([], emission=extended_probability)
+        adjacency = self._compiled.adjacency_probability[u]
+        return _NoipNode([w for w in state.surviving if w in adjacency])
+
+    # ------------------------------------------------------------------ #
+    # From-scratch primitives (the whole point of the baseline)
+    # ------------------------------------------------------------------ #
+    def _probability_from_scratch(self, vertices: list[int]) -> float:
+        """Recompute ``clq(C, G)`` by multiplying every internal edge probability."""
+        stats = self._stats
+        adjacency_probability = self._compiled.adjacency_probability
+        probability = 1.0
+        for pos, u in enumerate(vertices):
+            row = adjacency_probability[u]
+            for v in vertices[pos + 1 :]:
+                p = row.get(v)
+                stats.probability_multiplications += 1
+                if p is None:
+                    return 0.0
+                probability *= p
+        return probability
+
+    def _is_alpha_maximal_from_scratch(
+        self, clique: list[int], clique_probability: float
+    ) -> bool:
+        """Scan all outside vertices, recomputing extension factors from scratch."""
+        stats = self._stats
+        stats.maximality_checks += 1
+        alpha = self._alpha
+        adjacency_probability = self._compiled.adjacency_probability
+        members = set(clique)
+        for w in range(self._compiled.n):
+            if w in members:
+                continue
+            row = adjacency_probability[w]
+            factor = 1.0
+            feasible = True
+            for u in clique:
+                p = row.get(u)
+                stats.probability_multiplications += 1
+                if p is None:
+                    feasible = False
+                    break
+                factor *= p
+            if feasible and clique_probability * factor >= alpha:
+                return False
+        return True

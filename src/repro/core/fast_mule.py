@@ -1,47 +1,40 @@
-"""FAST-MULE — a bitset-accelerated implementation of MULE.
+"""FAST-MULE — the bitset-accelerated entry point for MULE.
 
-The reference implementation in :mod:`repro.core.mule` follows the paper's
-pseudo-code closely (explicit ``I``/``X`` tuple sets, one dictionary per
-recursion level).  This module provides a drop-in variant tuned for CPython:
+Historically this module carried its own recursive bitmask implementation
+while :mod:`repro.core.mule` followed the paper's pseudo-code with explicit
+``I``/``X`` tuple sets.  The engine refactor promoted the bitmask
+representation into the shared :class:`~repro.core.engine.compiled.CompiledGraph`
+stage and the recursion into the iterative kernel, so **both** entry points
+now route through the same engine and differ only in their recorded
+algorithm label:
 
 * vertices are relabelled to ``0..n-1`` and every neighborhood is stored as
   an **integer bitmask**, so the "candidates adjacent to the new vertex
-  ``m`` and larger than ``m``" filter of ``GenerateI`` becomes two bitwise
-  ANDs instead of a per-candidate dictionary probe;
+  ``m`` and larger than ``m``" filter of ``GenerateI`` is two bitwise ANDs;
 * candidate/exclusion *factors* are kept in flat ``dict``s keyed by vertex
-  index, exactly mirroring the incremental maintenance of the paper, but
-  the *membership* filtering is done on the bitmasks;
-* the recursion allocates no intermediate objects besides those dicts.
+  index, exactly mirroring the incremental maintenance of the paper;
+* the search uses an explicit stack instead of recursion, so deep search
+  paths never touch the interpreter recursion limit.
 
-The semantics are identical to :func:`repro.core.mule.mule` — the test
-suite asserts equal outputs on randomized inputs — and the speed-up is a
-constant factor (typically 1.5–3× on the benchmark graphs).  The variant
-exists both as a practical fast path and as an ablation showing that the
-paper's algorithmic ideas, not implementation details, carry the Figure 1
-comparison.
+``fast_mule`` is kept as a stable public name (CLI, benchmarks and the
+ablation studies reference it); the test suite asserts it remains
+output-identical to :func:`repro.core.mule.mule`.
 """
 
 from __future__ import annotations
 
-import sys
 from collections.abc import Hashable, Iterator
 
-from ..errors import ParameterError
 from ..uncertain.graph import UncertainGraph, validate_probability
-from ..uncertain.operations import prune_edges_below_alpha
+from .engine.compiled import compile_graph
+from .engine.controls import RunControls, RunReport
+from .engine.kernel import run_search
+from .engine.strategies import MuleStrategy
 from .result import CliqueRecord, EnumerationResult, SearchStatistics, Stopwatch
 
 __all__ = ["fast_mule", "iter_alpha_maximal_cliques_fast"]
 
 Vertex = Hashable
-
-
-def _bits(mask: int) -> Iterator[int]:
-    """Yield the indices of the set bits of ``mask`` in increasing order."""
-    while mask:
-        low = mask & -mask
-        yield low.bit_length() - 1
-        mask ^= low
 
 
 def iter_alpha_maximal_cliques_fast(
@@ -50,6 +43,8 @@ def iter_alpha_maximal_cliques_fast(
     *,
     prune_edges: bool = True,
     statistics: SearchStatistics | None = None,
+    controls: RunControls | None = None,
+    report: RunReport | None = None,
 ) -> Iterator[tuple[frozenset, float]]:
     """Lazily yield every α-maximal clique using the bitset-accelerated search.
 
@@ -61,92 +56,15 @@ def iter_alpha_maximal_cliques_fast(
     if graph.num_vertices == 0:
         return
 
-    working = prune_edges_below_alpha(graph, alpha) if prune_edges else graph
-
-    # --- index the graph -------------------------------------------------
-    try:
-        ordered = sorted(working.vertices())
-    except TypeError:
-        ordered = sorted(working.vertices(), key=lambda v: (type(v).__name__, repr(v)))
-    index_of = {v: i for i, v in enumerate(ordered)}
-    labels = ordered
-    n = len(ordered)
-
-    adjacency_mask = [0] * n
-    adjacency_probability: list[dict[int, float]] = [dict() for _ in range(n)]
-    for u, v, p in working.edges():
-        iu, iv = index_of[u], index_of[v]
-        adjacency_mask[iu] |= 1 << iv
-        adjacency_mask[iv] |= 1 << iu
-        adjacency_probability[iu][iv] = p
-        adjacency_probability[iv][iu] = p
-
-    # higher_mask[m] has bits set for every vertex index strictly above m.
-    all_mask = (1 << n) - 1
-    higher_mask = [all_mask ^ ((1 << (m + 1)) - 1) for m in range(n)]
-
-    needed_depth = n + 512
-    if sys.getrecursionlimit() < needed_depth:
-        sys.setrecursionlimit(needed_depth)
-
-    def enum(
-        clique: list[int],
-        clique_probability: float,
-        candidate_mask: int,
-        candidate_factor: dict[int, float],
-        exclusion_mask: int,
-        exclusion_factor: dict[int, float],
-    ) -> Iterator[tuple[frozenset, float]]:
-        stats.recursive_calls += 1
-        if not candidate_mask and not exclusion_mask:
-            stats.maximality_checks += 1
-            yield frozenset(labels[i] for i in clique), clique_probability
-            return
-
-        for u in _bits(candidate_mask):
-            stats.candidates_examined += 1
-            r = candidate_factor[u]
-            extended_probability = clique_probability * r
-            stats.probability_multiplications += 1
-            adjacency_u = adjacency_probability[u]
-
-            # GenerateI: candidates above u, adjacent to u, still above α.
-            new_candidate_mask = 0
-            new_candidate_factor: dict[int, float] = {}
-            for w in _bits(candidate_mask & adjacency_mask[u] & higher_mask[u]):
-                factor = candidate_factor[w] * adjacency_u[w]
-                stats.probability_multiplications += 1
-                if extended_probability * factor >= alpha:
-                    new_candidate_mask |= 1 << w
-                    new_candidate_factor[w] = factor
-
-            # GenerateX: exclusions adjacent to u, still above α.
-            new_exclusion_mask = 0
-            new_exclusion_factor: dict[int, float] = {}
-            for w in _bits(exclusion_mask & adjacency_mask[u]):
-                factor = exclusion_factor[w] * adjacency_u[w]
-                stats.probability_multiplications += 1
-                if extended_probability * factor >= alpha:
-                    new_exclusion_mask |= 1 << w
-                    new_exclusion_factor[w] = factor
-
-            clique.append(u)
-            yield from enum(
-                clique,
-                extended_probability,
-                new_candidate_mask,
-                new_candidate_factor,
-                new_exclusion_mask,
-                new_exclusion_factor,
-            )
-            clique.pop()
-
-            # Move u from the candidate side to the exclusion side.
-            exclusion_mask |= 1 << u
-            exclusion_factor[u] = r
-
-    initial_factor = {i: 1.0 for i in range(n)}
-    yield from enum([], 1.0, all_mask if n else 0, initial_factor, 0, {})
+    compiled = compile_graph(graph, alpha=alpha if prune_edges else None)
+    yield from run_search(
+        compiled,
+        alpha,
+        MuleStrategy(),
+        statistics=stats,
+        controls=controls,
+        report=report,
+    )
 
 
 def fast_mule(
@@ -154,11 +72,12 @@ def fast_mule(
     alpha: float,
     *,
     prune_edges: bool = True,
+    controls: RunControls | None = None,
 ) -> EnumerationResult:
     """Enumerate all α-maximal cliques with the bitset-accelerated MULE.
 
     Produces exactly the same cliques as :func:`repro.core.mule.mule`; only
-    the constant factors differ.
+    the recorded algorithm label differs.
 
     Examples
     --------
@@ -167,10 +86,16 @@ def fast_mule(
     [[1, 2, 3]]
     """
     statistics = SearchStatistics()
+    report = RunReport()
     records: list[CliqueRecord] = []
     with Stopwatch() as timer:
         for members, probability in iter_alpha_maximal_cliques_fast(
-            graph, alpha, prune_edges=prune_edges, statistics=statistics
+            graph,
+            alpha,
+            prune_edges=prune_edges,
+            statistics=statistics,
+            controls=controls,
+            report=report,
         ):
             records.append(CliqueRecord(vertices=members, probability=probability))
     return EnumerationResult(
@@ -179,4 +104,5 @@ def fast_mule(
         cliques=records,
         statistics=statistics,
         elapsed_seconds=timer.elapsed,
+        stop_reason=report.stop_reason,
     )

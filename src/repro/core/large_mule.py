@@ -7,11 +7,14 @@ the speed-up reported in Figures 5–6 of the paper:
 
 1. **Shared Neighborhood Filtering** (Modani & Dey) prunes edges and
    vertices that cannot belong to any clique of size ≥ t before the search
-   starts (see :mod:`repro.core.pruning`).
-2. **Search-space pruning**: before recursing on an extended clique ``C'``,
-   the algorithm checks ``|C'| + |I'| ≥ t``; when the bound fails, no clique
-   of size ≥ t can be reached along this branch, so it is skipped
-   (Algorithm 6, line 8).
+   starts (see :mod:`repro.core.pruning`); since the engine refactor this
+   runs inside the shared
+   :func:`~repro.core.engine.compiled.compile_graph` pipeline.
+2. **Search-space pruning**: before descending into an extended clique
+   ``C'``, the strategy checks ``|C'| + |I'| ≥ t``; when the bound fails, no
+   clique of size ≥ t can be reached along this branch, so it is skipped
+   (Algorithm 6, line 8 — implemented by
+   :class:`~repro.core.engine.strategies.LargeCliqueStrategy`).
 
 Note on semantics: the paper's Lemma 13 phrases the guarantee as
 "enumerates every α-maximal clique with more than t vertices" while the
@@ -23,14 +26,15 @@ this behaviour by comparing against filtered MULE output.
 
 from __future__ import annotations
 
-import sys
 from collections.abc import Hashable, Iterator
 
 from ..errors import ParameterError
 from ..uncertain.graph import UncertainGraph, validate_probability
-from ..uncertain.operations import prune_edges_below_alpha
-from .candidates import CandidateSet, generate_i, generate_x, initial_candidates
-from .pruning import PruningReport, shared_neighborhood_filter
+from .engine.compiled import compile_graph
+from .engine.controls import RunControls, RunReport
+from .engine.kernel import run_search
+from .engine.strategies import LargeCliqueStrategy
+from .pruning import PruningReport
 from .result import CliqueRecord, EnumerationResult, SearchStatistics, Stopwatch
 
 __all__ = ["large_mule", "iter_large_alpha_maximal_cliques", "LargeMuleConfig"]
@@ -69,6 +73,8 @@ def iter_large_alpha_maximal_cliques(
     config: LargeMuleConfig | None = None,
     statistics: SearchStatistics | None = None,
     pruning_report: PruningReport | None = None,
+    controls: RunControls | None = None,
+    report: RunReport | None = None,
 ) -> Iterator[tuple[frozenset, float]]:
     """Lazily yield every α-maximal clique with at least ``size_threshold`` vertices.
 
@@ -84,6 +90,9 @@ def iter_large_alpha_maximal_cliques(
         Optional :class:`LargeMuleConfig`.
     statistics, pruning_report:
         Optional counter objects updated in place.
+    controls, report:
+        Optional run controls and stop-reason report (see
+        :mod:`repro.core.engine.controls`).
 
     Yields
     ------
@@ -99,63 +108,22 @@ def iter_large_alpha_maximal_cliques(
     if graph.num_vertices == 0:
         return
 
-    working = graph
-    if config.prune_edges:
-        working = prune_edges_below_alpha(working, alpha)
-    if config.shared_neighborhood_filtering:
-        working = shared_neighborhood_filter(
-            working, size_threshold, report=pruning_report
-        )
-    if working.num_vertices == 0:
-        return
-
-    relabeled, _forward, backward = working.relabeled()
-
-    needed_depth = relabeled.num_vertices + 512
-    if sys.getrecursionlimit() < needed_depth:
-        sys.setrecursionlimit(needed_depth)
-
-    t = size_threshold
-
-    def enum(
-        clique: list[int],
-        clique_probability: float,
-        candidates: CandidateSet,
-        exclusions: CandidateSet,
-    ) -> Iterator[tuple[frozenset, float]]:
-        stats.recursive_calls += 1
-        if not candidates and not exclusions:
-            stats.maximality_checks += 1
-            if len(clique) >= t:
-                yield (
-                    frozenset(backward[v] for v in clique),
-                    clique_probability,
-                )
-            return
-        for u, r in candidates.items_sorted():
-            stats.candidates_examined += 1
-            stats.probability_multiplications += 1
-            extended_probability = clique_probability * r
-            clique.append(u)
-            new_candidates = generate_i(
-                relabeled, u, extended_probability, candidates, alpha
-            )
-            stats.probability_multiplications += len(candidates)
-            if len(clique) + len(new_candidates) < t:
-                # Algorithm 6, line 8: no clique of size >= t is reachable.
-                stats.pruned_branches += 1
-                clique.pop()
-                exclusions.add(u, r)
-                continue
-            new_exclusions = generate_x(
-                relabeled, u, extended_probability, exclusions, alpha
-            )
-            stats.probability_multiplications += len(exclusions)
-            yield from enum(clique, extended_probability, new_candidates, new_exclusions)
-            clique.pop()
-            exclusions.add(u, r)
-
-    yield from enum([], 1.0, initial_candidates(relabeled), CandidateSet())
+    compiled = compile_graph(
+        graph,
+        alpha=alpha if config.prune_edges else None,
+        size_threshold=(
+            size_threshold if config.shared_neighborhood_filtering else None
+        ),
+        pruning_report=pruning_report,
+    )
+    yield from run_search(
+        compiled,
+        alpha,
+        LargeCliqueStrategy(size_threshold),
+        statistics=stats,
+        controls=controls,
+        report=report,
+    )
 
 
 def large_mule(
@@ -164,6 +132,7 @@ def large_mule(
     size_threshold: int,
     *,
     config: LargeMuleConfig | None = None,
+    controls: RunControls | None = None,
 ) -> EnumerationResult:
     """Enumerate every α-maximal clique with at least ``size_threshold`` vertices.
 
@@ -179,10 +148,17 @@ def large_mule(
     [[1, 2, 3]]
     """
     statistics = SearchStatistics()
+    report = RunReport()
     records: list[CliqueRecord] = []
     with Stopwatch() as timer:
         for members, probability in iter_large_alpha_maximal_cliques(
-            graph, alpha, size_threshold, config=config, statistics=statistics
+            graph,
+            alpha,
+            size_threshold,
+            config=config,
+            statistics=statistics,
+            controls=controls,
+            report=report,
         ):
             records.append(CliqueRecord(vertices=members, probability=probability))
     return EnumerationResult(
@@ -191,4 +167,5 @@ def large_mule(
         cliques=records,
         statistics=statistics,
         elapsed_seconds=timer.elapsed,
+        stop_reason=report.stop_reason,
     )

@@ -4,7 +4,7 @@ MULE enumerates every α-maximal clique of an uncertain graph using a
 depth-first search over vertex subsets in increasing vertex-identifier
 order, with three optimizations over the naive search (Section 4):
 
-1. **Candidate tracking** — the recursion carries the set ``I`` of vertices
+1. **Candidate tracking** — the search carries the set ``I`` of vertices
    that can still extend the current clique, so adjacency never has to be
    re-verified from scratch.
 2. **Incremental probability maintenance** — every candidate ``u`` carries
@@ -19,17 +19,24 @@ order, with three optimizations over the naive search (Section 4):
 The worst-case running time is ``O(n · 2^n)`` (Theorem 3), within a
 ``O(√n)`` factor of the output-size lower bound ``Ω(√n · 2^n)``
 (Observation 5 / Lemma 12).
+
+Since the engine refactor this module is a thin wrapper over the shared
+iterative kernel (:mod:`repro.core.engine`) driven by
+:class:`~repro.core.engine.strategies.MuleStrategy`: the search is
+non-recursive (no ``sys.setrecursionlimit`` mutation), streams its results,
+and honours :class:`~repro.core.engine.controls.RunControls`.
 """
 
 from __future__ import annotations
 
-import sys
 from collections.abc import Hashable, Iterator
 
 from ..errors import ParameterError
 from ..uncertain.graph import UncertainGraph, validate_probability
-from ..uncertain.operations import prune_edges_below_alpha
-from .candidates import CandidateSet, generate_i, generate_x, initial_candidates
+from .engine.compiled import compile_graph
+from .engine.controls import RunControls, RunReport
+from .engine.kernel import run_search
+from .engine.strategies import MuleStrategy
 from .result import CliqueRecord, EnumerationResult, SearchStatistics, Stopwatch
 
 __all__ = ["mule", "iter_alpha_maximal_cliques", "MuleConfig"]
@@ -47,8 +54,8 @@ class MuleConfig:
         ``p(e) < α``) before the search.  On by default; turning it off is
         only useful for the ablation benchmark.
     min_recursion_headroom:
-        Extra recursion depth reserved on top of the graph's vertex count
-        when adjusting the interpreter recursion limit.
+        Retained for backwards compatibility.  The iterative kernel never
+        recurses, so this value is validated but otherwise unused.
     """
 
     def __init__(self, *, prune_edges: bool = True, min_recursion_headroom: int = 512) -> None:
@@ -64,10 +71,12 @@ def iter_alpha_maximal_cliques(
     *,
     config: MuleConfig | None = None,
     statistics: SearchStatistics | None = None,
+    controls: RunControls | None = None,
+    report: RunReport | None = None,
 ) -> Iterator[tuple[frozenset, float]]:
     """Lazily yield ``(clique, probability)`` pairs for every α-maximal clique.
 
-    This is the generator core of MULE; :func:`mule` wraps it into an
+    This is the streaming core of MULE; :func:`mule` wraps it into an
     :class:`~repro.core.result.EnumerationResult`.  Cliques are yielded in
     the order the depth-first search discovers them.
 
@@ -81,6 +90,12 @@ def iter_alpha_maximal_cliques(
         Optional :class:`MuleConfig`.
     statistics:
         Optional counter object that will be updated in place.
+    controls:
+        Optional :class:`~repro.core.engine.controls.RunControls` bounding
+        the run (maximum cliques, wall-clock budget).
+    report:
+        Optional :class:`~repro.core.engine.controls.RunReport` recording
+        how the run ended.
 
     Yields
     ------
@@ -95,44 +110,15 @@ def iter_alpha_maximal_cliques(
     if graph.num_vertices == 0:
         return
 
-    working = prune_edges_below_alpha(graph, alpha) if config.prune_edges else graph
-    relabeled, _forward, backward = working.relabeled()
-
-    needed_depth = relabeled.num_vertices + config.min_recursion_headroom
-    if sys.getrecursionlimit() < needed_depth:
-        sys.setrecursionlimit(needed_depth)
-
-    def enum(
-        clique: list[int],
-        clique_probability: float,
-        candidates: CandidateSet,
-        exclusions: CandidateSet,
-    ) -> Iterator[tuple[frozenset, float]]:
-        stats.recursive_calls += 1
-        if not candidates and not exclusions:
-            stats.maximality_checks += 1
-            yield (
-                frozenset(backward[v] for v in clique),
-                clique_probability,
-            )
-            return
-        for u, r in candidates.items_sorted():
-            stats.candidates_examined += 1
-            stats.probability_multiplications += 1
-            extended_probability = clique_probability * r
-            clique.append(u)
-            new_candidates = generate_i(
-                relabeled, u, extended_probability, candidates, alpha
-            )
-            new_exclusions = generate_x(
-                relabeled, u, extended_probability, exclusions, alpha
-            )
-            stats.probability_multiplications += len(candidates) + len(exclusions)
-            yield from enum(clique, extended_probability, new_candidates, new_exclusions)
-            clique.pop()
-            exclusions.add(u, r)
-
-    yield from enum([], 1.0, initial_candidates(relabeled), CandidateSet())
+    compiled = compile_graph(graph, alpha=alpha if config.prune_edges else None)
+    yield from run_search(
+        compiled,
+        alpha,
+        MuleStrategy(),
+        statistics=stats,
+        controls=controls,
+        report=report,
+    )
 
 
 def mule(
@@ -140,6 +126,7 @@ def mule(
     alpha: float,
     *,
     config: MuleConfig | None = None,
+    controls: RunControls | None = None,
 ) -> EnumerationResult:
     """Enumerate all α-maximal cliques of ``graph`` with MULE (Algorithm 1).
 
@@ -153,6 +140,9 @@ def mule(
         certain edges.
     config:
         Optional :class:`MuleConfig` controlling preprocessing.
+    controls:
+        Optional :class:`~repro.core.engine.controls.RunControls`; when the
+        run is truncated the result's ``stop_reason`` says why.
 
     Returns
     -------
@@ -167,10 +157,16 @@ def mule(
     [[1, 2, 3]]
     """
     statistics = SearchStatistics()
+    report = RunReport()
     records: list[CliqueRecord] = []
     with Stopwatch() as timer:
         for members, probability in iter_alpha_maximal_cliques(
-            graph, alpha, config=config, statistics=statistics
+            graph,
+            alpha,
+            config=config,
+            statistics=statistics,
+            controls=controls,
+            report=report,
         ):
             records.append(CliqueRecord(vertices=members, probability=probability))
     return EnumerationResult(
@@ -179,4 +175,5 @@ def mule(
         cliques=records,
         statistics=statistics,
         elapsed_seconds=timer.elapsed,
+        stop_reason=report.stop_reason,
     )

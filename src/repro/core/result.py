@@ -105,6 +105,10 @@ class EnumerationResult:
         Search-effort counters.
     elapsed_seconds:
         Wall-clock enumeration time.
+    stop_reason:
+        ``"completed"`` for a full enumeration, or the
+        :class:`~repro.core.engine.controls.StopReason` that truncated the
+        run (``"max-cliques"``, ``"time-budget"``).
     """
 
     def __init__(
@@ -114,12 +118,19 @@ class EnumerationResult:
         cliques: Iterable[CliqueRecord],
         statistics: SearchStatistics | None = None,
         elapsed_seconds: float = 0.0,
+        stop_reason: str = "completed",
     ) -> None:
         self.algorithm = algorithm
         self.alpha = alpha
         self.cliques: list[CliqueRecord] = sorted(cliques)
         self.statistics = statistics or SearchStatistics()
         self.elapsed_seconds = elapsed_seconds
+        self.stop_reason = stop_reason
+
+    @property
+    def truncated(self) -> bool:
+        """True when run controls stopped the enumeration before completion."""
+        return self.stop_reason != "completed"
 
     # ------------------------------------------------------------------ #
     # Container protocol
@@ -163,6 +174,7 @@ class EnumerationResult:
             cliques=[r for r in self.cliques if r.size >= size],
             statistics=self.statistics,
             elapsed_seconds=self.elapsed_seconds,
+            stop_reason=self.stop_reason,
         )
 
     def top_k_by_probability(self, k: int) -> list[CliqueRecord]:

@@ -9,9 +9,11 @@ comparison.
 
 Two strategies are provided:
 
-* :func:`top_k_maximal_cliques` — run MULE at a caller-chosen α and keep the
-  ``k`` most probable α-maximal cliques (a direct reduction; exact whenever
-  at least ``k`` cliques have probability ≥ α).
+* :func:`top_k_maximal_cliques` — run the shared engine at a caller-chosen
+  α with :class:`~repro.core.engine.strategies.TopKStrategy` (MULE's search
+  restricted to cliques of at least ``min_size`` vertices) and keep the
+  ``k`` most probable emissions (a direct reduction; exact whenever at
+  least ``k`` cliques have probability ≥ α).
 * :func:`top_k_by_threshold_search` — repeatedly lower α geometrically until
   at least ``k`` α-maximal cliques are found, then report the best ``k``.
   This removes the need to guess α and is the strategy used by the example
@@ -23,13 +25,54 @@ from __future__ import annotations
 from collections.abc import Hashable
 
 from ..errors import ParameterError
-from ..uncertain.graph import UncertainGraph
-from .mule import MuleConfig, mule
-from .result import CliqueRecord, EnumerationResult
+from ..uncertain.graph import UncertainGraph, validate_probability
+from .engine.compiled import compile_graph
+from .engine.controls import RunReport
+from .engine.kernel import run_search
+from .engine.strategies import TopKStrategy
+from .mule import MuleConfig
+from .result import CliqueRecord, EnumerationResult, SearchStatistics, Stopwatch
 
 __all__ = ["top_k_maximal_cliques", "top_k_by_threshold_search"]
 
 Vertex = Hashable
+
+
+def _enumerate_at_least(
+    graph: UncertainGraph,
+    alpha: float,
+    min_size: int,
+    config: MuleConfig | None,
+) -> EnumerationResult:
+    """Run the engine with :class:`TopKStrategy`, keeping cliques of size ≥ ``min_size``."""
+    alpha = validate_probability(alpha, what="alpha")
+    config = config or MuleConfig()
+    statistics = SearchStatistics()
+    report = RunReport()
+    records: list[CliqueRecord] = []
+    with Stopwatch() as timer:
+        if graph.num_vertices > 0:
+            compiled = compile_graph(
+                graph, alpha=alpha if config.prune_edges else None
+            )
+            for members, probability in run_search(
+                compiled,
+                alpha,
+                TopKStrategy(min_size=min_size),
+                statistics=statistics,
+                report=report,
+            ):
+                records.append(
+                    CliqueRecord(vertices=members, probability=probability)
+                )
+    return EnumerationResult(
+        algorithm="top-k",
+        alpha=alpha,
+        cliques=records,
+        statistics=statistics,
+        elapsed_seconds=timer.elapsed,
+        stop_reason=report.stop_reason,
+    )
 
 
 def top_k_maximal_cliques(
@@ -57,8 +100,8 @@ def top_k_maximal_cliques(
         raise ParameterError(f"k must be positive, got {k}")
     if min_size <= 0:
         raise ParameterError(f"min_size must be positive, got {min_size}")
-    result: EnumerationResult = mule(graph, alpha, config=config)
-    return result.filter_minimum_size(min_size).top_k_by_probability(k)
+    result = _enumerate_at_least(graph, alpha, min_size, config)
+    return result.top_k_by_probability(k)
 
 
 def top_k_by_threshold_search(
@@ -99,8 +142,8 @@ def top_k_by_threshold_search(
     alpha = initial_alpha
     best: list[CliqueRecord] = []
     while True:
-        result = mule(graph, alpha, config=config)
-        best = result.filter_minimum_size(min_size).top_k_by_probability(k)
+        result = _enumerate_at_least(graph, alpha, min_size, config)
+        best = result.top_k_by_probability(k)
         if len(best) >= k or alpha <= min_alpha:
             return best
         alpha = max(alpha * shrink_factor, min_alpha)

@@ -84,6 +84,63 @@ class TestEnumerateCommand:
         assert exit_code == 0
         assert "dfs-noip" in capsys.readouterr().out
 
+    def test_max_cliques_truncates_output(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--max-cliques",
+                "1",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "1 alpha-maximal cliques" in out
+        assert "truncated" in out
+        assert "max-cliques" in out
+
+    def test_time_budget_flag_accepted(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--time-budget",
+                "60",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "2 alpha-maximal cliques" in out
+        assert "truncated" not in out
+
+    def test_stop_reason_in_json_output(self, graph_file, tmp_path):
+        output = tmp_path / "truncated.json"
+        main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--max-cliques",
+                "1",
+                "--quiet",
+                "--output",
+                str(output),
+            ]
+        )
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert payload["stop_reason"] == "max-cliques"
+        assert payload["num_cliques"] == 1
+
     def test_large_mule_requires_min_size(self, graph_file, capsys):
         exit_code = main(
             [
