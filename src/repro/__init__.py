@@ -39,8 +39,9 @@ from .core.fast_mule import fast_mule
 from .core.large_mule import LargeMuleConfig, large_mule
 from .core.mule import MuleConfig, iter_alpha_maximal_cliques, mule
 from .core.result import CliqueRecord, EnumerationResult, SearchStatistics
-from .core.top_k import top_k_by_threshold_search, top_k_maximal_cliques
+from .core.top_k import TopKResult, top_k_by_threshold_search, top_k_maximal_cliques
 from .datasets.registry import available_datasets, load_dataset
+from .parallel import Shard, ShardPlanner, parallel_mule
 from .deterministic.graph import Graph
 from .errors import (
     DatasetError,
@@ -74,6 +75,11 @@ __all__ = [
     "is_alpha_maximal_clique",
     "top_k_maximal_cliques",
     "top_k_by_threshold_search",
+    "TopKResult",
+    # parallel enumeration
+    "parallel_mule",
+    "ShardPlanner",
+    "Shard",
     # results
     "EnumerationResult",
     "CliqueRecord",

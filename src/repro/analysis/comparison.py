@@ -24,6 +24,8 @@ from ..core.fast_mule import fast_mule
 from ..core.large_mule import LargeMuleConfig, large_mule
 from ..core.mule import MuleConfig, mule
 from ..core.result import EnumerationResult
+from ..errors import ReproError
+from ..parallel import parallel_mule
 from ..uncertain.graph import UncertainGraph
 
 __all__ = [
@@ -32,6 +34,7 @@ __all__ = [
     "alpha_sweep",
     "size_threshold_sweep",
     "runtime_vs_output_size",
+    "parallel_scaling",
     "format_table",
 ]
 
@@ -45,6 +48,11 @@ _ALGORITHMS: dict[
         graph, alpha, controls=controls
     ),
     "dfs-noip": lambda graph, alpha, controls: dfs_noip(
+        graph, alpha, controls=controls
+    ),
+    # The sharded runner at its default worker count; use parallel_scaling
+    # for a controlled worker sweep.
+    "parallel-mule": lambda graph, alpha, controls: parallel_mule(
         graph, alpha, controls=controls
     ),
 }
@@ -137,6 +145,67 @@ def runtime_vs_output_size(
     regression fits) without touching the other figures.
     """
     return alpha_sweep(graphs, alphas)
+
+
+def parallel_scaling(
+    graphs: dict[str, UncertainGraph],
+    alphas: Sequence[float],
+    worker_counts: Sequence[int] = (1, 2, 4),
+    *,
+    controls: RunControls | None = None,
+) -> list[MeasurementRow]:
+    """Measure sharded-parallel speedup against the serial enumerator.
+
+    For every (graph, α) pair this runs serial :func:`mule` once as the
+    baseline and :func:`~repro.parallel.parallel_mule` at each worker
+    count, recording a ``workers`` column (0 for the serial baseline row)
+    and the ``speedup`` relative to the baseline.  Complete (untruncated)
+    runs additionally assert that the parallel clique set is identical to
+    the serial one, so the sweep doubles as a parity check.
+
+    Parameters
+    ----------
+    graphs:
+        Mapping of display name → uncertain graph.
+    alphas:
+        The probability thresholds to test.
+    worker_counts:
+        Worker-process counts to measure (default ``(1, 2, 4)``).
+    controls:
+        Optional run controls applied to every run; truncated rows skip the
+        parity assertion and carry their ``stop_reason``.
+    """
+    rows: list[MeasurementRow] = []
+    for graph_name, graph in graphs.items():
+        for alpha in alphas:
+            baseline = mule(graph, alpha, controls=controls)
+            row = _row(graph_name, graph, alpha, baseline)
+            row["workers"] = 0
+            row["speedup"] = 1.0
+            rows.append(row)
+            for workers in worker_counts:
+                result = parallel_mule(
+                    graph, alpha, workers=workers, controls=controls
+                )
+                if not baseline.truncated and not result.truncated:
+                    # Bit-identical means probabilities too, not just the
+                    # vertex sets; and a real exception, not assert — the
+                    # parity guarantee must survive `python -O`, which is
+                    # exactly how people run performance sweeps.
+                    expected = {r.vertices: r.probability for r in baseline}
+                    produced = {r.vertices: r.probability for r in result}
+                    if produced != expected:
+                        raise ReproError(
+                            f"parallel-mule(workers={workers}) disagrees with "
+                            f"serial mule on {graph_name} at alpha={alpha}"
+                        )
+                row = _row(graph_name, graph, alpha, result)
+                row["workers"] = workers
+                row["speedup"] = baseline.elapsed_seconds / max(
+                    result.elapsed_seconds, 1e-9
+                )
+                rows.append(row)
+    return rows
 
 
 def _row(

@@ -34,6 +34,7 @@ from ..core.mule import mule
 from ..datasets.registry import DATASETS, available_datasets, load_dataset
 from ..extensions.uncertain_core import uncertain_core_decomposition
 from ..errors import ReproError
+from ..parallel import parallel_mule
 from ..uncertain.graph import UncertainGraph
 from ..uncertain.io import read_edge_list, write_edge_list
 from ..uncertain.statistics import summarize
@@ -73,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     enumerate_parser.add_argument(
         "--quiet", action="store_true", help="suppress the per-clique listing"
+    )
+    enumerate_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "enumerate with this many parallel worker processes "
+            "(mule/fast-mule only; default: 1 = serial)"
+        ),
     )
     _add_run_control_arguments(enumerate_parser)
 
@@ -156,9 +166,22 @@ def _load_graph(args: argparse.Namespace) -> UncertainGraph:
 
 
 def _command_enumerate(args: argparse.Namespace) -> int:
+    # Flag validation comes before the (possibly huge) input parse.
+    if args.workers < 1:
+        print("error: --workers must be positive", file=sys.stderr)
+        return 2
+    if args.workers > 1 and args.algorithm not in ("mule", "fast-mule"):
+        print(
+            f"error: --workers is only supported with --algorithm=mule/fast-mule "
+            f"(got {args.algorithm})",
+            file=sys.stderr,
+        )
+        return 2
     graph = _load_graph(args)
     controls = _run_controls(args)
-    if args.algorithm == "mule":
+    if args.workers > 1:
+        result = parallel_mule(graph, args.alpha, workers=args.workers, controls=controls)
+    elif args.algorithm == "mule":
         result = mule(graph, args.alpha, controls=controls)
     elif args.algorithm == "fast-mule":
         result = fast_mule(graph, args.alpha, controls=controls)
@@ -177,9 +200,14 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         f"on graph with n={graph.num_vertices}, m={graph.num_edges}"
     )
     if result.truncated:
+        prefix_kind = (
+            "a sorted subset"
+            if result.algorithm == "parallel-mule"
+            else "a depth-first prefix"
+        )
         print(
             f"note: enumeration truncated ({result.stop_reason}); "
-            "the listed cliques are a depth-first prefix of the full output"
+            f"the listed cliques are {prefix_kind} of the full output"
         )
     print(f"clique sizes: {stats.size_histogram}")
     if not args.quiet:

@@ -57,6 +57,15 @@ class CompiledGraph:
     higher_masks:
         ``higher_masks[i]`` has exactly the bits of indices strictly greater
         than ``i`` set; used for the ``u > max(C)`` filter of ``GenerateI``.
+    root_mask:
+        Bitmask of the vertices the search may branch on at the **root** of
+        the depth-first tree (``all_mask`` by default).  Restricting it via
+        :meth:`restrict_roots` confines a search to the subtrees rooted at a
+        subset of first-branch vertices — the sharding primitive of the
+        parallel runner (:mod:`repro.parallel`).  Vertices outside the mask
+        are still *retired* into the exclusion set as the root frame
+        advances, so maximality tests inside the shard remain global and
+        every emitted clique is genuinely α-maximal.
     """
 
     __slots__ = (
@@ -67,6 +76,7 @@ class CompiledGraph:
         "adjacency_probability",
         "all_mask",
         "higher_masks",
+        "root_mask",
     )
 
     def __init__(
@@ -84,6 +94,7 @@ class CompiledGraph:
         self.higher_masks = [
             self.all_mask ^ ((1 << (i + 1)) - 1) for i in range(self.n)
         ]
+        self.root_mask = self.all_mask
 
     @classmethod
     def from_graph(
@@ -120,6 +131,30 @@ class CompiledGraph:
             adjacency_probability[iu][iv] = p
             adjacency_probability[iv][iu] = p
         return cls(ordered, adjacency_mask, adjacency_probability)
+
+    def restrict_roots(self, root_mask: int) -> "CompiledGraph":
+        """Return a shallow shard view confined to ``root_mask`` first branches.
+
+        The view shares every array with ``self`` (compilation is never
+        repeated), differing only in :attr:`root_mask`.  The search kernel
+        descends only into root-level branches whose bit is set (strategies
+        never see the others); all other root candidates are still retired
+        for exclusion-set bookkeeping.  The union of searches
+        over a partition of ``all_mask`` therefore emits exactly the cliques
+        of the unrestricted search, each exactly once (a clique is emitted
+        under the root branch of its smallest vertex).
+
+        >>> g = UncertainGraph(edges=[(1, 2, 0.9)])
+        >>> compiled = CompiledGraph.from_graph(g)
+        >>> shard = compiled.restrict_roots(0b01)
+        >>> shard.root_mask, shard.adjacency_mask is compiled.adjacency_mask
+        (1, True)
+        """
+        view = object.__new__(CompiledGraph)
+        for slot in CompiledGraph.__slots__:
+            setattr(view, slot, getattr(self, slot))
+        view.root_mask = root_mask & self.all_mask
+        return view
 
     # ------------------------------------------------------------------ #
     # Queries used by strategies and tests

@@ -39,11 +39,13 @@ class RunControls:
     time_budget_seconds:
         Stop once this much wall-clock time has elapsed inside the kernel
         (``None`` = unlimited).  The budget is checked every
-        ``check_every_frames`` search nodes, so the overrun is bounded by
-        the cost of that many nodes.
+        ``check_every_frames`` descent steps, so the overrun is bounded by
+        the cost of that many steps.
     check_every_frames:
-        How many search nodes to expand between time-budget checks.  The
-        default keeps the ``perf_counter`` overhead negligible.
+        How many descent steps (successful *or* pruned) between time-budget
+        checks.  Pruned descents count too, so a prune-dominated search
+        still honours the budget.  The default keeps the ``perf_counter``
+        overhead negligible.
     """
 
     max_cliques: int | None = None

@@ -90,6 +90,13 @@ def run_search(
         return
 
     labels = compiled.labels
+    # Shard restriction (CompiledGraph.restrict_roots): first-level branches
+    # outside root_mask are skipped without calling the strategy — but still
+    # retired into the exclusion side below — so *every* strategy honours
+    # sharding and maximality stays global within a shard.  Unrestricted
+    # searches skip the per-branch check entirely.
+    root_mask = compiled.root_mask
+    root_restricted = root_mask != compiled.all_mask
     max_cliques = controls.max_cliques
     deadline = (
         perf_counter() + controls.time_budget_seconds
@@ -139,7 +146,22 @@ def run_search(
         u = frame[1][index]
         frame[4] = u
 
-        child = descend(frame[0], u, clique)
+        if root_restricted and not clique and not (root_mask >> u) & 1:
+            child = None
+        else:
+            child = descend(frame[0], u, clique)
+        # Every descent — pruned or not — counts toward the time-budget
+        # check window.  Checking only after successful descents (the old
+        # behaviour) made the deadline unreachable on prune-dominated
+        # stretches: a strategy refusing millions of branches in a row
+        # never surfaced at the check below and blew past the budget.
+        if deadline is not None:
+            frames_since_check += 1
+            if frames_since_check >= check_every:
+                frames_since_check = 0
+                if perf_counter() >= deadline:
+                    report.stop_reason = StopReason.TIME_BUDGET
+                    return
         if child is None:
             continue
 
@@ -152,13 +174,6 @@ def run_search(
             if max_cliques is not None and report.cliques_emitted >= max_cliques:
                 report.stop_reason = StopReason.MAX_CLIQUES
                 return
-        if deadline is not None:
-            frames_since_check += 1
-            if frames_since_check >= check_every:
-                frames_since_check = 0
-                if perf_counter() >= deadline:
-                    report.stop_reason = StopReason.TIME_BUDGET
-                    return
         if child_candidates:
             stack.append([child, child_candidates, len(child_candidates), 0, -1])
         else:

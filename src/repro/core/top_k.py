@@ -18,24 +18,62 @@ Two strategies are provided:
   at least ``k`` α-maximal cliques are found, then report the best ``k``.
   This removes the need to guess α and is the strategy used by the example
   applications.
+
+Both accept :class:`~repro.core.engine.controls.RunControls` like every
+other enumerator, and both return a :class:`TopKResult` — a plain ``list``
+of records augmented with the run's provenance (``stop_reason`` /
+``truncated``), so a ranking computed from a truncated enumeration is never
+mistaken for the exact answer.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable
+from dataclasses import replace
+from time import monotonic
 
 from ..errors import ParameterError
 from ..uncertain.graph import UncertainGraph, validate_probability
 from .engine.compiled import compile_graph
-from .engine.controls import RunReport
+from .engine.controls import RunControls, RunReport, StopReason
 from .engine.kernel import run_search
 from .engine.strategies import TopKStrategy
 from .mule import MuleConfig
 from .result import CliqueRecord, EnumerationResult, SearchStatistics, Stopwatch
 
-__all__ = ["top_k_maximal_cliques", "top_k_by_threshold_search"]
+__all__ = ["TopKResult", "top_k_maximal_cliques", "top_k_by_threshold_search"]
 
 Vertex = Hashable
+
+
+class TopKResult(list):
+    """A ranked list of :class:`CliqueRecord` objects with run provenance.
+
+    Behaves exactly like the plain ``list`` the top-k functions used to
+    return (indexing, equality, iteration), with three extra attributes:
+
+    Attributes
+    ----------
+    alpha:
+        The threshold the final enumeration ran at (for
+        :func:`top_k_by_threshold_search`, the last α tried).
+    stop_reason:
+        :class:`~repro.core.engine.controls.StopReason` of the enumeration
+        that produced the ranking.
+    truncated:
+        True when run controls stopped that enumeration early — the ranking
+        then covers only the cliques emitted before the stop and may miss
+        more probable ones.
+    """
+
+    def __init__(self, records, *, alpha: float, stop_reason: str) -> None:
+        super().__init__(records)
+        self.alpha = alpha
+        self.stop_reason = stop_reason
+
+    @property
+    def truncated(self) -> bool:
+        return self.stop_reason != StopReason.COMPLETED
 
 
 def _enumerate_at_least(
@@ -43,6 +81,7 @@ def _enumerate_at_least(
     alpha: float,
     min_size: int,
     config: MuleConfig | None,
+    controls: RunControls | None = None,
 ) -> EnumerationResult:
     """Run the engine with :class:`TopKStrategy`, keeping cliques of size ≥ ``min_size``."""
     alpha = validate_probability(alpha, what="alpha")
@@ -60,6 +99,7 @@ def _enumerate_at_least(
                 alpha,
                 TopKStrategy(min_size=min_size),
                 statistics=statistics,
+                controls=controls,
                 report=report,
             ):
                 records.append(
@@ -82,7 +122,8 @@ def top_k_maximal_cliques(
     *,
     min_size: int = 2,
     config: MuleConfig | None = None,
-) -> list[CliqueRecord]:
+    controls: RunControls | None = None,
+) -> TopKResult:
     """Return the ``k`` α-maximal cliques with the highest clique probability.
 
     Ties are broken by larger size, then lexicographically by vertex tuple,
@@ -90,6 +131,11 @@ def top_k_maximal_cliques(
     probability 1 and would always dominate the ranking, so by default only
     cliques with at least ``min_size = 2`` vertices are considered; pass
     ``min_size=1`` to include singletons.
+
+    ``controls`` bounds the underlying enumeration like every other
+    enumerator; when it truncates the run, the returned
+    :class:`TopKResult` has ``truncated=True`` and ranks only the cliques
+    emitted before the stop.
 
     Raises
     ------
@@ -100,8 +146,12 @@ def top_k_maximal_cliques(
         raise ParameterError(f"k must be positive, got {k}")
     if min_size <= 0:
         raise ParameterError(f"min_size must be positive, got {min_size}")
-    result = _enumerate_at_least(graph, alpha, min_size, config)
-    return result.top_k_by_probability(k)
+    result = _enumerate_at_least(graph, alpha, min_size, config, controls)
+    return TopKResult(
+        result.top_k_by_probability(k),
+        alpha=result.alpha,
+        stop_reason=result.stop_reason,
+    )
 
 
 def top_k_by_threshold_search(
@@ -113,7 +163,8 @@ def top_k_by_threshold_search(
     min_alpha: float = 1e-9,
     min_size: int = 2,
     config: MuleConfig | None = None,
-) -> list[CliqueRecord]:
+    controls: RunControls | None = None,
+) -> TopKResult:
     """Return the ``k`` most probable maximal cliques without a caller-chosen α.
 
     The search starts at ``initial_alpha`` and geometrically lowers the
@@ -123,6 +174,13 @@ def top_k_by_threshold_search(
     ≥ α is found at threshold α, the final top-``k`` selection is exact as
     soon as ``k`` qualifying cliques with probability ≥ α exist.  As in
     :func:`top_k_maximal_cliques`, singletons are excluded by default.
+
+    ``controls`` applies to the search as a whole: ``time_budget_seconds``
+    is the budget across *all* threshold passes (each pass receives only
+    the time remaining), and ``max_cliques`` caps each pass.  A truncated
+    pass ends the descent immediately — lowering α further could not be
+    enumerated within the budget either — and the returned
+    :class:`TopKResult` carries the truncation in its provenance.
 
     Raises
     ------
@@ -139,11 +197,19 @@ def top_k_by_threshold_search(
     if not 0.0 < initial_alpha <= 1.0:
         raise ParameterError(f"initial_alpha must be in (0, 1], got {initial_alpha}")
 
+    deadline = None
+    if controls is not None and controls.time_budget_seconds is not None:
+        deadline = monotonic() + controls.time_budget_seconds
+
     alpha = initial_alpha
-    best: list[CliqueRecord] = []
     while True:
-        result = _enumerate_at_least(graph, alpha, min_size, config)
+        pass_controls = controls
+        if deadline is not None:
+            pass_controls = replace(
+                controls, time_budget_seconds=max(0.0, deadline - monotonic())
+            )
+        result = _enumerate_at_least(graph, alpha, min_size, config, pass_controls)
         best = result.top_k_by_probability(k)
-        if len(best) >= k or alpha <= min_alpha:
-            return best
+        if len(best) >= k or alpha <= min_alpha or result.truncated:
+            return TopKResult(best, alpha=alpha, stop_reason=result.stop_reason)
         alpha = max(alpha * shrink_factor, min_alpha)

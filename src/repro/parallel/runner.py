@@ -1,0 +1,331 @@
+"""Sharded parallel enumeration of α-maximal cliques.
+
+:func:`parallel_mule` compiles the graph **once**, splits the root candidate
+set into balanced shards (:class:`~repro.parallel.planner.ShardPlanner`),
+runs one MULE search per shard — across a ``ProcessPoolExecutor`` when real
+parallelism is available, sequentially in-process otherwise — and merges the
+per-shard emissions, :class:`~repro.core.result.SearchStatistics` and
+:class:`~repro.core.engine.controls.RunReport` objects into one
+:class:`~repro.core.result.EnumerationResult`.
+
+Correctness rests on the shard semantics of
+:meth:`CompiledGraph.restrict_roots`: shards own disjoint root subtrees,
+every α-maximal clique is emitted by exactly one shard (the one owning its
+smallest vertex), and the merged clique set — probabilities included — is
+**bit-identical** to serial :func:`repro.core.mule.mule` whenever no run
+control truncates a shard.
+
+Run-control semantics under sharding:
+
+* ``time_budget_seconds`` is a *global* wall-clock budget: the parent
+  computes an absolute deadline before dispatch and every shard receives
+  only the time remaining when it actually starts, so queued shards cannot
+  stretch the total run far past the budget (the overrun stays bounded by
+  one ``check_every_frames`` window per in-flight shard).
+* ``max_cliques`` bounds the merged output size: each shard is individually
+  capped, then the merged, sorted records are trimmed to the cap.  Unlike
+  the serial enumerator the retained subset is the *sorted* prefix, not the
+  depth-first prefix — shards finish in nondeterministic order, so a DFS
+  prefix is not meaningful across them.  ``stop_reason`` still reports the
+  truncation.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_all_start_methods, get_context
+from time import monotonic
+from typing import NamedTuple
+
+from ..core.engine.compiled import CompiledGraph, compile_graph
+from ..core.engine.controls import RunControls, RunReport, StopReason
+from ..core.engine.kernel import run_search
+from ..core.engine.strategies import MuleStrategy
+from ..core.mule import MuleConfig
+from ..core.result import CliqueRecord, EnumerationResult, SearchStatistics, Stopwatch
+from ..errors import ParameterError
+from ..uncertain.graph import UncertainGraph, validate_probability
+from .planner import Shard, ShardPlanner
+
+__all__ = ["ShardOutcome", "parallel_mule", "run_shards", "default_workers"]
+
+#: Oversubscription factor: shards per worker.  More shards than workers lets
+#: the pool rebalance when subtree costs defy the planner's degree estimate.
+_SHARDS_PER_WORKER = 4
+
+
+class ShardOutcome(NamedTuple):
+    """What one shard produced: its emissions, counters and stop report."""
+
+    shard: Shard
+    pairs: list[tuple[frozenset, float]]
+    statistics: SearchStatistics
+    report: RunReport
+
+
+def default_workers() -> int:
+    """Default worker count: the CPUs this process may actually use.
+
+    ``sched_getaffinity`` respects container/cgroup pinning (a pool sized
+    by raw ``cpu_count`` would oversubscribe a 2-of-64-core cpuset);
+    platforms without it fall back to ``cpu_count``.  Always at least 1.
+    """
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:
+        usable = os.cpu_count() or 1
+    return max(1, usable)
+
+
+def _enumerate_shard(
+    compiled: CompiledGraph,
+    alpha: float,
+    shard: Shard,
+    max_cliques: int | None,
+    deadline: float | None,
+    check_every: int,
+) -> ShardOutcome:
+    """Run one shard to completion (or until its run controls stop it)."""
+    time_budget = None
+    if deadline is not None:
+        # The deadline is absolute (time.monotonic in the parent); convert
+        # to the time remaining *now* so late-starting shards get less.
+        time_budget = max(0.0, deadline - monotonic())
+    controls = RunControls(
+        max_cliques=max_cliques,
+        time_budget_seconds=time_budget,
+        check_every_frames=check_every,
+    )
+    statistics = SearchStatistics()
+    report = RunReport()
+    restricted = compiled.restrict_roots(shard.root_mask)
+    pairs = list(
+        run_search(
+            restricted,
+            alpha,
+            MuleStrategy(),
+            statistics=statistics,
+            controls=controls,
+            report=report,
+        )
+    )
+    return ShardOutcome(shard, pairs, statistics, report)
+
+
+# ----------------------------------------------------------------------- #
+# Process-pool plumbing.  The compiled graph is shipped once per worker via
+# the pool initializer (not once per shard task), so the per-task payload is
+# just the shard and the scalar controls.
+# ----------------------------------------------------------------------- #
+_WORKER_STATE: tuple[CompiledGraph, float, int] | None = None
+
+
+def _worker_initializer(compiled: CompiledGraph, alpha: float, check_every: int) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (compiled, alpha, check_every)
+
+
+def _worker_run_shard(
+    task: tuple[Shard, int | None, float | None],
+) -> ShardOutcome:
+    shard, max_cliques, deadline = task
+    assert _WORKER_STATE is not None, "worker used before initialization"
+    compiled, alpha, check_every = _WORKER_STATE
+    return _enumerate_shard(compiled, alpha, shard, max_cliques, deadline, check_every)
+
+
+def _process_backend_available() -> bool:
+    """True when a fork-based process pool can be used on this platform.
+
+    ``fork`` shares the parent's memory pages, making worker start-up cheap
+    and sidestepping import-order issues; on platforms without it (Windows,
+    and macOS's default since 3.8 is spawn) the runner falls back to the
+    in-process sequential path rather than paying spawn's per-worker
+    interpreter boot on every call.
+    """
+    return "fork" in get_all_start_methods()
+
+
+def run_shards(
+    compiled: CompiledGraph,
+    alpha: float,
+    shards: list[Shard],
+    *,
+    workers: int,
+    controls: RunControls | None = None,
+    backend: str = "auto",
+) -> list[ShardOutcome]:
+    """Execute ``shards`` and return their outcomes in shard order.
+
+    Parameters
+    ----------
+    compiled:
+        The compiled graph (shared by every shard; never copied per shard —
+        the process backend ships it once per worker).
+    alpha:
+        The probability threshold, already validated.
+    shards:
+        The plan from :class:`~repro.parallel.planner.ShardPlanner`.
+    workers:
+        Process-pool size.  ``1`` always runs in-process.
+    controls:
+        Optional global run controls (see the module docstring for their
+        sharded semantics).
+    backend:
+        ``"auto"`` (processes when ``workers > 1`` and fork is available),
+        ``"process"`` (force the pool; raises
+        :class:`~repro.errors.ParameterError` on fork-less platforms), or
+        ``"inline"`` (sequential, in-process — deterministic and cheap,
+        used by the property tests).
+    """
+    if backend not in ("auto", "process", "inline"):
+        raise ParameterError(f"unknown backend {backend!r}")
+    if backend == "process" and not _process_backend_available():
+        # Refuse rather than silently degrade to a spawn pool (a fresh
+        # interpreter boot per worker); "auto" picks the sensible fallback.
+        raise ParameterError(
+            "backend='process' requires the fork start method; "
+            "use backend='auto' or 'inline' on this platform"
+        )
+    controls = controls or RunControls()
+    deadline = (
+        monotonic() + controls.time_budget_seconds
+        if controls.time_budget_seconds is not None
+        else None
+    )
+    max_cliques = controls.max_cliques
+    check_every = controls.check_every_frames
+
+    use_processes = backend == "process" or (
+        backend == "auto" and workers > 1 and _process_backend_available()
+    )
+    if not use_processes or len(shards) <= 1:
+        return [
+            _enumerate_shard(compiled, alpha, shard, max_cliques, deadline, check_every)
+            for shard in shards
+        ]
+
+    context = get_context("fork")
+    tasks = [(shard, max_cliques, deadline) for shard in shards]
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(shards)),
+        mp_context=context,
+        initializer=_worker_initializer,
+        initargs=(compiled, alpha, check_every),
+    ) as pool:
+        # Executor.map preserves task order, so the merge is deterministic
+        # regardless of which shard finishes first.
+        return list(pool.map(_worker_run_shard, tasks))
+
+
+def parallel_mule(
+    graph: UncertainGraph,
+    alpha: float,
+    *,
+    workers: int | None = None,
+    controls: RunControls | None = None,
+    config: MuleConfig | None = None,
+    num_shards: int | None = None,
+    backend: str = "auto",
+) -> EnumerationResult:
+    """Enumerate all α-maximal cliques with sharded parallel MULE.
+
+    The clique set (and every probability, bit for bit) is identical to
+    serial :func:`repro.core.mule.mule` whenever no run control truncates
+    the enumeration; only the recorded ``algorithm`` label and the division
+    of the search across OS processes differ.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph.
+    alpha:
+        The probability threshold ``0 < α ≤ 1``.
+    workers:
+        Number of worker processes (default: the machine's CPU count).
+        ``workers=1`` — and any platform without ``fork`` — runs the shards
+        sequentially in-process; the result is identical either way.
+    controls:
+        Optional :class:`~repro.core.engine.controls.RunControls`; see the
+        module docstring for how each limit behaves under sharding.
+    config:
+        Optional :class:`~repro.core.mule.MuleConfig` (preprocessing knobs).
+    num_shards:
+        Override the shard count (default ``workers × 4``, capped at the
+        number of vertices); the output does not depend on it.
+    backend:
+        Execution backend passed through to :func:`run_shards`.
+
+    Examples
+    --------
+    >>> g = UncertainGraph(edges=[(1, 2, 0.9), (2, 3, 0.9), (1, 3, 0.9)])
+    >>> sorted(sorted(r.vertices) for r in parallel_mule(g, 0.5, workers=2))
+    [[1, 2, 3]]
+    """
+    alpha = validate_probability(alpha, what="alpha")
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ParameterError(f"workers must be positive, got {workers}")
+    config = config or MuleConfig()
+
+    statistics = SearchStatistics()
+    records: list[CliqueRecord] = []
+    stop_reason = StopReason.COMPLETED
+    with Stopwatch() as timer:
+        if graph.num_vertices > 0:
+            compiled = compile_graph(
+                graph, alpha=alpha if config.prune_edges else None
+            )
+            if num_shards is None:
+                num_shards = workers * _SHARDS_PER_WORKER if workers > 1 else 1
+            shards = ShardPlanner(num_shards).plan(compiled)
+            outcomes = run_shards(
+                compiled,
+                alpha,
+                shards,
+                workers=workers,
+                controls=controls,
+                backend=backend,
+            )
+            for outcome in outcomes:
+                statistics = statistics.merge(outcome.statistics)
+                records.extend(
+                    CliqueRecord(vertices=members, probability=probability)
+                    for members, probability in outcome.pairs
+                )
+            stop_reason = _merge_stop_reasons(
+                outcome.report.stop_reason for outcome in outcomes
+            )
+            max_cliques = controls.max_cliques if controls is not None else None
+            if max_cliques is not None and len(records) > max_cliques:
+                records = sorted(records)[:max_cliques]
+                if stop_reason != StopReason.TIME_BUDGET:
+                    # Keep the precedence _merge_stop_reasons establishes: a
+                    # run that ran out of time anywhere must not claim its
+                    # output is the full cap-bounded set.
+                    stop_reason = StopReason.MAX_CLIQUES
+    return EnumerationResult(
+        algorithm="parallel-mule",
+        alpha=alpha,
+        cliques=records,
+        statistics=statistics,
+        elapsed_seconds=timer.elapsed,
+        stop_reason=stop_reason,
+    )
+
+
+def _merge_stop_reasons(reasons) -> str:
+    """Combine per-shard stop reasons: any truncation marks the whole run.
+
+    ``time-budget`` wins over ``max-cliques`` — a run that ran out of time
+    anywhere cannot claim its output is the full cap-bounded set.
+    """
+    merged = StopReason.COMPLETED
+    for reason in reasons:
+        if reason == StopReason.TIME_BUDGET:
+            return StopReason.TIME_BUDGET
+        if reason == StopReason.MAX_CLIQUES:
+            merged = StopReason.MAX_CLIQUES
+    return merged

@@ -40,22 +40,50 @@ Vertex = Hashable
 # --------------------------------------------------------------------------- #
 # Probabilistic edge-list text format
 # --------------------------------------------------------------------------- #
+def _edge_list_token(label: Vertex) -> str:
+    """Render ``label`` as one whitespace-delimited edge-list token.
+
+    The text format has no quoting or escaping, so a label whose string
+    form is empty, contains whitespace (``"protein A"`` would split into
+    two fields) or starts with ``#`` (the line would read back as a
+    comment) cannot survive a round-trip.  Such labels raise
+    :class:`~repro.errors.FormatError` instead of silently writing a file
+    the reader rejects — or worse, one it *mis*-reads.
+    """
+    token = str(label)
+    if not token or token.startswith("#") or any(ch.isspace() for ch in token):
+        raise FormatError(
+            f"vertex label {label!r} cannot be written to the edge-list "
+            "format (labels must be non-empty, contain no whitespace and "
+            "not start with '#'); use write_json for arbitrary labels"
+        )
+    return token
+
+
 def write_edge_list(graph: UncertainGraph, path: str | Path) -> None:
     """Write ``graph`` to ``path`` in the ``u v p`` text format.
 
     Isolated vertices are recorded as comment lines ``# vertex <label>`` so
     that a round-trip preserves the vertex set exactly.
+
+    Raises
+    ------
+    FormatError
+        If any vertex label cannot be represented as a single edge-list
+        token (empty, whitespace-bearing, or ``#``-leading string form) —
+        the format has no escaping, so such a file would not read back as
+        the same graph.  Nothing is written in that case.
     """
     path = Path(path)
     lines: list[str] = ["# uncertain graph edge list: u v p"]
     connected: set[Vertex] = set()
     for u, v, p in graph.edges():
-        lines.append(f"{u} {v} {p!r}")
+        lines.append(f"{_edge_list_token(u)} {_edge_list_token(v)} {p!r}")
         connected.add(u)
         connected.add(v)
     for v in graph.vertices():
         if v not in connected:
-            lines.append(f"# vertex {v}")
+            lines.append(f"# vertex {_edge_list_token(v)}")
     path.write_text("\n".join(lines) + "\n", encoding="utf-8")
 
 
@@ -76,7 +104,10 @@ def read_edge_list(
     ------
     FormatError
         If a data line does not have exactly three whitespace-separated
-        fields or contains an invalid probability.
+        fields, contains an invalid probability, or an isolated-vertex
+        record (``# vertex <label>``) is malformed.  Malformed vertex
+        records used to be skipped as ordinary comments, silently dropping
+        vertices from the round-trip.
     """
     path = Path(path)
     graph = UncertainGraph()
@@ -86,8 +117,19 @@ def read_edge_list(
             continue
         if line.startswith("#"):
             parts = line[1:].split()
-            if len(parts) == 2 and parts[0] == "vertex":
-                graph.add_vertex(vertex_type(parts[1]))
+            if parts and parts[0] == "vertex":
+                if len(parts) != 2:
+                    raise FormatError(
+                        f"{path}:{lineno}: malformed isolated-vertex record "
+                        f"{line!r} (expected '# vertex <label>')"
+                    )
+                try:
+                    graph.add_vertex(vertex_type(parts[1]))
+                except (TypeError, ValueError) as exc:
+                    raise FormatError(
+                        f"{path}:{lineno}: cannot parse vertex {parts[1]!r} "
+                        f"as {vertex_type.__name__}"
+                    ) from exc
             continue
         fields = line.split()
         if len(fields) != 3:

@@ -6,6 +6,7 @@ import pytest
 
 from repro.analysis.comparison import (
     alpha_sweep,
+    parallel_scaling,
     compare_algorithms,
     format_table,
     runtime_vs_output_size,
@@ -89,3 +90,35 @@ class TestFormatTable:
     def test_handles_missing_cells(self):
         text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
         assert "-" in text
+
+
+class TestParallelScaling:
+    def test_rows_cover_baseline_and_worker_counts(self, small_graphs):
+        rows = parallel_scaling(small_graphs, [0.3], worker_counts=(1, 2))
+        assert len(rows) == 2 * 1 * 3  # graphs × alphas × (baseline + 2 counts)
+        workers_seen = {row["workers"] for row in rows}
+        assert workers_seen == {0, 1, 2}
+
+    def test_parity_enforced_and_counts_agree(self, small_graphs):
+        rows = parallel_scaling(small_graphs, [0.2], worker_counts=(2,))
+        by_key = {}
+        for row in rows:
+            by_key.setdefault((row["graph"], row["alpha"]), set()).add(
+                row["num_cliques"]
+            )
+        assert all(len(counts) == 1 for counts in by_key.values())
+
+    def test_speedup_column_present(self, small_graphs):
+        rows = parallel_scaling(small_graphs, [0.3], worker_counts=(1,))
+        assert all("speedup" in row and row["speedup"] > 0 for row in rows)
+
+    def test_parallel_mule_registered_for_compare(self, small_graphs):
+        rows = compare_algorithms(
+            small_graphs, [0.3], algorithms=("mule", "parallel-mule")
+        )
+        by_key = {}
+        for row in rows:
+            by_key.setdefault((row["graph"], row["alpha"]), set()).add(
+                row["num_cliques"]
+            )
+        assert all(len(counts) == 1 for counts in by_key.values())

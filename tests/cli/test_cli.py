@@ -279,3 +279,72 @@ class TestOtherCommands:
         out = capsys.readouterr().out
         assert "ppi" in out
         assert "ba10000" in out
+
+
+class TestParallelEnumeration:
+    def test_workers_flag_runs_parallel_mule(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--workers",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "parallel-mule: 2 alpha-maximal cliques" in out
+        assert "1,2,3" in out
+
+    def test_workers_one_stays_serial(self, graph_file, capsys):
+        exit_code = main(
+            ["enumerate", "--input", str(graph_file), "--alpha", "0.5", "--workers", "1"]
+        )
+        assert exit_code == 0
+        assert "mule: 2 alpha-maximal cliques" in capsys.readouterr().out
+
+    def test_workers_rejected_for_unsupported_algorithm(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--algorithm",
+                "dfs-noip",
+                "--workers",
+                "2",
+            ]
+        )
+        assert exit_code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_non_positive_workers_rejected(self, graph_file, capsys):
+        exit_code = main(
+            ["enumerate", "--input", str(graph_file), "--alpha", "0.5", "--workers", "0"]
+        )
+        assert exit_code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_workers_with_run_controls(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--workers",
+                "2",
+                "--max-cliques",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "1 alpha-maximal cliques" in out
+        assert "truncated (max-cliques)" in out

@@ -305,3 +305,114 @@ class TestStrategyPluggability:
         )
         assert report.frames_expanded > 0
         assert report.cliques_emitted == 2
+
+
+class TestTimeBudgetOnPrunedDescents:
+    """Regression: the deadline check used to run only after a *successful*
+    descend, so a search whose strategy pruned every branch (descend
+    returning None) never saw the check and blew past its budget."""
+
+    @staticmethod
+    def _prune_heavy_graph():
+        # Dense 40-vertex certain graph: a LARGE-MULE run with an
+        # unreachable size threshold prunes every one of the ~40 root
+        # descents without ever expanding a child frame.
+        return UncertainGraph(
+            edges=[
+                (u, v, 0.9)
+                for u in range(1, 41)
+                for v in range(u + 1, 41)
+                if (u + v) % 3
+            ]
+        )
+
+    def test_deadline_fires_while_only_pruning(self):
+        from repro.core.engine import LargeCliqueStrategy
+
+        # Drive the kernel directly (the large_mule wrapper's shared
+        # neighborhood filter would empty the graph before the search):
+        # with an unreachable size threshold every root descend prunes.
+        graph = self._prune_heavy_graph()
+        report = RunReport()
+        emitted = list(
+            run_search(
+                compile_graph(graph, alpha=0.5),
+                0.5,
+                LargeCliqueStrategy(1000),
+                controls=RunControls(time_budget_seconds=0.0, check_every_frames=1),
+                report=report,
+            )
+        )
+        assert emitted == []
+        assert report.stop_reason == StopReason.TIME_BUDGET
+
+    def test_prune_only_search_completes_within_generous_budget(self):
+        from repro.core.engine import LargeCliqueStrategy
+
+        graph = self._prune_heavy_graph()
+        report = RunReport()
+        emitted = list(
+            run_search(
+                compile_graph(graph, alpha=0.5),
+                0.5,
+                LargeCliqueStrategy(1000),
+                controls=RunControls(time_budget_seconds=60.0),
+                report=report,
+            )
+        )
+        assert emitted == []
+        assert report.stop_reason == StopReason.COMPLETED
+
+    def test_sharded_root_skips_count_toward_deadline(self, random_graph_factory):
+        # A shard view prunes every root branch outside its mask; those
+        # skips must also count toward the check window.
+        graph = random_graph_factory(16, density=0.6, seed=19)
+        compiled = compile_graph(graph, alpha=0.05).restrict_roots(0)
+        report = RunReport()
+        list(
+            run_search(
+                compiled,
+                0.05,
+                MuleStrategy(),
+                controls=RunControls(time_budget_seconds=0.0, check_every_frames=1),
+                report=report,
+            )
+        )
+        assert report.stop_reason == StopReason.TIME_BUDGET
+
+
+class TestRootMaskRestriction:
+    def test_restrict_roots_shares_arrays(self, two_cliques):
+        compiled = compile_graph(two_cliques, alpha=0.5)
+        view = compiled.restrict_roots(0b11)
+        assert view.root_mask == 0b11
+        assert view.adjacency_mask is compiled.adjacency_mask
+        assert view.labels is compiled.labels
+        assert compiled.root_mask == compiled.all_mask  # original untouched
+
+    def test_restrict_roots_clips_to_vertex_range(self, triangle):
+        compiled = compile_graph(triangle, alpha=0.5)
+        view = compiled.restrict_roots(~0)
+        assert view.root_mask == compiled.all_mask
+
+    def test_shard_union_equals_full_search(self, random_graph_factory):
+        graph = random_graph_factory(14, density=0.5, seed=23)
+        compiled = compile_graph(graph, alpha=0.1)
+        full = {
+            members: probability
+            for members, probability in run_search(compiled, 0.1, MuleStrategy())
+        }
+        merged: dict = {}
+        half = compiled.n // 2
+        low = (1 << half) - 1
+        for mask in (low, compiled.all_mask ^ low):
+            for members, probability in run_search(
+                compiled.restrict_roots(mask), 0.1, MuleStrategy()
+            ):
+                assert members not in merged, "shards emitted a duplicate"
+                merged[members] = probability
+        assert merged == full
+
+    def test_empty_root_mask_emits_nothing(self, two_cliques):
+        compiled = compile_graph(two_cliques, alpha=0.5)
+        assert list(run_search(compiled.restrict_roots(0), 0.5, MuleStrategy())) == []

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.engine import RunControls, StopReason
 from repro.core.mule import mule
 from repro.core.top_k import top_k_by_threshold_search, top_k_maximal_cliques
 from repro.errors import ParameterError
@@ -100,3 +101,70 @@ class TestThresholdSearch:
             top_k_by_threshold_search(ranked_graph, 2, shrink_factor=1.5)
         with pytest.raises(ParameterError):
             top_k_by_threshold_search(ranked_graph, 2, initial_alpha=0.0)
+
+
+class TestTopKRunControls:
+    """Regression: top-k used to silently ignore run controls entirely."""
+
+    def test_max_cliques_truncates_and_is_surfaced(self, random_graph_factory):
+        graph = random_graph_factory(12, density=0.6, seed=3)
+        full = top_k_maximal_cliques(graph, 50, alpha=0.05)
+        assert len(full) > 3
+        assert not full.truncated
+
+        capped = top_k_maximal_cliques(
+            graph, 50, alpha=0.05, controls=RunControls(max_cliques=3)
+        )
+        assert len(capped) == 3
+        assert capped.truncated
+        assert capped.stop_reason == StopReason.MAX_CLIQUES
+
+    def test_time_budget_truncates_and_is_surfaced(self, random_graph_factory):
+        graph = random_graph_factory(14, density=0.6, seed=9)
+        result = top_k_maximal_cliques(
+            graph,
+            10,
+            alpha=0.05,
+            controls=RunControls(time_budget_seconds=0.0, check_every_frames=1),
+        )
+        assert result.truncated
+        assert result.stop_reason == StopReason.TIME_BUDGET
+
+    def test_unlimited_controls_behave_like_no_controls(self, ranked_graph):
+        plain = top_k_maximal_cliques(ranked_graph, 3, alpha=0.1)
+        controlled = top_k_maximal_cliques(
+            ranked_graph, 3, alpha=0.1, controls=RunControls()
+        )
+        assert list(plain) == list(controlled)
+        assert not controlled.truncated
+
+    def test_threshold_search_stops_on_exhausted_budget(self, random_graph_factory):
+        graph = random_graph_factory(14, density=0.6, seed=2)
+        result = top_k_by_threshold_search(
+            graph,
+            1000,
+            controls=RunControls(time_budget_seconds=0.0, check_every_frames=1),
+        )
+        assert result.truncated
+        assert result.stop_reason == StopReason.TIME_BUDGET
+
+    def test_threshold_search_forwards_max_cliques(self, ranked_graph):
+        result = top_k_by_threshold_search(
+            ranked_graph, 2, controls=RunControls(max_cliques=1)
+        )
+        # Each pass emits at most one clique; the descent stops at the
+        # first truncated pass and reports it instead of looping forever.
+        assert len(result) <= 1
+        assert result.truncated
+        assert result.stop_reason == StopReason.MAX_CLIQUES
+
+    def test_result_provenance_records_final_alpha(self, ranked_graph):
+        result = top_k_by_threshold_search(ranked_graph, 3, initial_alpha=0.5)
+        assert result.alpha <= 0.5
+        assert not result.truncated
+
+    def test_result_is_still_a_plain_list(self, ranked_graph):
+        result = top_k_maximal_cliques(ranked_graph, 2, alpha=0.1)
+        assert isinstance(result, list)
+        assert result == list(result)
+        assert result[0].vertices == frozenset({4, 5})

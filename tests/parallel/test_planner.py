@@ -1,0 +1,83 @@
+"""Unit tests for the shard planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import compile_graph
+from repro.errors import ParameterError
+from repro.parallel import Shard, ShardPlanner, plan_shards
+from repro.uncertain.graph import UncertainGraph
+
+
+def star(center: int, leaves: range, p: float = 0.9) -> list[tuple]:
+    return [(center, leaf, p) for leaf in leaves]
+
+
+class TestShardPlanner:
+    def test_rejects_non_positive_shard_count(self):
+        with pytest.raises(ParameterError):
+            ShardPlanner(0)
+
+    def test_empty_graph_plans_no_shards(self):
+        compiled = compile_graph(UncertainGraph())
+        assert ShardPlanner(4).plan(compiled) == []
+
+    def test_partition_is_exact(self, random_graph_factory):
+        compiled = compile_graph(random_graph_factory(20, density=0.4, seed=5))
+        shards = ShardPlanner(4).plan(compiled)
+        union = 0
+        for shard in shards:
+            assert union & shard.root_mask == 0, "shards overlap"
+            union |= shard.root_mask
+        assert union == compiled.all_mask
+
+    def test_no_empty_shards_even_when_over_provisioned(self):
+        graph = UncertainGraph(vertices=[1, 2, 3])
+        shards = ShardPlanner(10).plan(compile_graph(graph))
+        assert len(shards) == 3
+        assert all(len(shard) == 1 for shard in shards)
+
+    def test_roots_match_mask(self, random_graph_factory):
+        compiled = compile_graph(random_graph_factory(15, density=0.5, seed=1))
+        for shard in ShardPlanner(3).plan(compiled):
+            assert sum(1 << v for v in shard.roots) == shard.root_mask
+            assert list(shard.roots) == sorted(shard.roots)
+
+    def test_hub_does_not_drag_everything_into_one_shard(self):
+        # Vertex 0 (label 1) is a hub over 20 higher leaves; the remaining
+        # roots must land in the other shard rather than riding with it.
+        graph = UncertainGraph(edges=star(1, range(2, 22)))
+        shards = ShardPlanner(2).plan(compile_graph(graph))
+        hub_shard = next(s for s in shards if 0 in s.roots)
+        other = next(s for s in shards if 0 not in s.roots)
+        assert len(other) > len(hub_shard)
+
+    def test_weights_balanced_on_random_graph(self, random_graph_factory):
+        compiled = compile_graph(random_graph_factory(30, density=0.5, seed=9))
+        shards = ShardPlanner(4).plan(compiled)
+        weights = [shard.weight for shard in shards]
+        # LPT guarantees the heaviest shard is within one max-item of the
+        # mean; for this graph a loose 2x spread bound suffices.
+        assert max(weights) <= 2 * max(1, min(weights))
+
+    def test_respects_existing_root_restriction(self, random_graph_factory):
+        compiled = compile_graph(random_graph_factory(12, density=0.5, seed=3))
+        restricted = compiled.restrict_roots(0b111)
+        shards = ShardPlanner(2).plan(restricted)
+        union = 0
+        for shard in shards:
+            union |= shard.root_mask
+        assert union == 0b111
+
+    def test_plan_is_deterministic(self, random_graph_factory):
+        compiled = compile_graph(random_graph_factory(20, density=0.4, seed=2))
+        assert ShardPlanner(4).plan(compiled) == ShardPlanner(4).plan(compiled)
+
+    def test_plan_shards_convenience_wrapper(self, random_graph_factory):
+        compiled = compile_graph(random_graph_factory(10, density=0.4, seed=2))
+        assert plan_shards(compiled, 3) == ShardPlanner(3).plan(compiled)
+
+    def test_shard_is_sized(self):
+        shard = Shard(index=0, root_mask=0b101, roots=(0, 2), weight=7)
+        assert len(shard) == 2

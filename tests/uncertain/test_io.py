@@ -124,3 +124,69 @@ class TestNetworkxInterop:
         nxg.add_edge(1, 2, probability=0.5)
         graph = from_networkx(nxg)
         assert graph.num_edges == 1
+
+
+class TestEdgeListStrictness:
+    """Regression: unserialisable labels used to corrupt the round-trip.
+
+    ``write_edge_list`` emitted whitespace-bearing labels unquoted (the
+    reader then rejected or mis-split the line) and the reader silently
+    dropped malformed ``# vertex`` records.  Both directions are strict now.
+    """
+
+    def test_whitespace_edge_label_raises_on_write(self, tmp_path):
+        g = UncertainGraph(edges=[("protein A", "protein B", 0.5)])
+        with pytest.raises(FormatError):
+            write_edge_list(g, tmp_path / "bad.edges")
+
+    def test_whitespace_isolated_vertex_raises_on_write(self, tmp_path):
+        g = UncertainGraph(vertices=["lone vertex"])
+        with pytest.raises(FormatError):
+            write_edge_list(g, tmp_path / "bad.edges")
+
+    def test_empty_label_raises_on_write(self, tmp_path):
+        g = UncertainGraph(vertices=[""])
+        with pytest.raises(FormatError):
+            write_edge_list(g, tmp_path / "bad.edges")
+
+    def test_hash_leading_label_raises_on_write(self, tmp_path):
+        # "#x y p" would read back as a comment, silently dropping the edge.
+        g = UncertainGraph(edges=[("#x", "y", 0.5)])
+        with pytest.raises(FormatError):
+            write_edge_list(g, tmp_path / "bad.edges")
+
+    def test_nothing_written_when_rejected(self, tmp_path):
+        g = UncertainGraph(edges=[("a b", "c", 0.5)])
+        path = tmp_path / "bad.edges"
+        with pytest.raises(FormatError):
+            write_edge_list(g, path)
+        assert not path.exists()
+
+    def test_reader_rejects_malformed_vertex_record(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("# vertex lone vertex\n1 2 0.5\n", encoding="utf-8")
+        with pytest.raises(FormatError):
+            read_edge_list(path)
+
+    def test_reader_rejects_vertex_record_without_label(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("# vertex\n", encoding="utf-8")
+        with pytest.raises(FormatError):
+            read_edge_list(path)
+
+    def test_reader_rejects_unparseable_vertex_label(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("# vertex seven\n", encoding="utf-8")
+        with pytest.raises(FormatError):
+            read_edge_list(path, vertex_type=int)
+
+    def test_ordinary_comments_still_ignored(self, tmp_path):
+        path = tmp_path / "ok.edges"
+        path.write_text("# any old comment\n1 2 0.5\n", encoding="utf-8")
+        assert read_edge_list(path, vertex_type=int).num_edges == 1
+
+    def test_whitespace_free_string_labels_round_trip(self, tmp_path):
+        g = UncertainGraph(edges=[("alpha", "beta", 0.25)], vertices=["gamma"])
+        path = tmp_path / "ok.edges"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
