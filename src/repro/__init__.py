@@ -8,12 +8,35 @@ measurement harness reproducing every table and figure of its evaluation.
 
 Quickstart
 ----------
+The classic one-shot style — one free function per algorithm:
+
 >>> from repro import UncertainGraph, mule
 >>> g = UncertainGraph(edges=[(1, 2, 0.9), (2, 3, 0.9), (1, 3, 0.9), (3, 4, 0.4)])
 >>> [sorted(record.vertices) for record in mule(g, 0.5)]
 [[4], [1, 2, 3]]
+
+The session style — compile the graph once, run any number of requests
+(any algorithm, any α, serial or parallel) against the cached artifact:
+
+>>> from repro import EnumerationRequest, MiningSession
+>>> session = MiningSession(g)
+>>> outcome = session.enumerate(EnumerationRequest(algorithm="mule", alpha=0.5))
+>>> sorted(sorted(r.vertices) for r in outcome)
+[[1, 2, 3], [4]]
+>>> [o.num_cliques for o in session.sweep([0.5, 0.8])]
+[2, 4]
+>>> session.cache_info().compilations
+1
+
+See ``docs/api.md`` for the full request/outcome model and the caching
+semantics.
 """
 
+# NOTE: the .core imports must come first.  The api layer imports engine
+# submodules (which initialises the repro.core package, whose __init__
+# aggregates the wrapper modules, which import the api layer back); starting
+# from .core lets that cycle resolve, whereas starting from .api would hit
+# the partially-initialised api package from inside the wrappers.
 from .core.bounds import (
     extremal_uncertain_graph,
     moon_moser_bound,
@@ -40,6 +63,13 @@ from .core.large_mule import LargeMuleConfig, large_mule
 from .core.mule import MuleConfig, iter_alpha_maximal_cliques, mule
 from .core.result import CliqueRecord, EnumerationResult, SearchStatistics
 from .core.top_k import TopKResult, top_k_by_threshold_search, top_k_maximal_cliques
+from .api import (
+    CacheInfo,
+    CompiledGraphCache,
+    EnumerationOutcome,
+    EnumerationRequest,
+    MiningSession,
+)
 from .datasets.registry import available_datasets, load_dataset
 from .parallel import Shard, ShardPlanner, parallel_mule
 from .deterministic.graph import Graph
@@ -63,6 +93,12 @@ __all__ = [
     # graphs
     "UncertainGraph",
     "Graph",
+    # session API
+    "MiningSession",
+    "EnumerationRequest",
+    "EnumerationOutcome",
+    "CompiledGraphCache",
+    "CacheInfo",
     # enumeration algorithms
     "mule",
     "MuleConfig",

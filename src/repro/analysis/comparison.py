@@ -12,20 +12,22 @@ Every figure in the paper's evaluation is a sweep of one of three shapes:
 This module implements those sweeps once, returning plain list-of-dict rows
 (the same rows the paper plots), plus a small text-table formatter so the
 benchmarks can print paper-style summaries into ``bench_output.txt``.
+
+Every sweep runs through one :class:`~repro.api.MiningSession` per graph,
+so the graph is compiled once per sweep (α points are served by cheap
+derivation, algorithms at the same α share the artifact outright) while the
+recorded rows — counters included — stay bit-identical to calling the free
+functions per point.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
 
-from ..core.dfs_noip import dfs_noip
+from ..api import EnumerationRequest, MiningSession
 from ..core.engine import RunControls
-from ..core.fast_mule import fast_mule
-from ..core.large_mule import LargeMuleConfig, large_mule
-from ..core.mule import MuleConfig, mule
 from ..core.result import EnumerationResult
 from ..errors import ReproError
-from ..parallel import parallel_mule
 from ..uncertain.graph import UncertainGraph
 
 __all__ = [
@@ -40,20 +42,20 @@ __all__ = [
 
 MeasurementRow = dict[str, object]
 
-_ALGORITHMS: dict[
-    str, Callable[[UncertainGraph, float, RunControls | None], EnumerationResult]
-] = {
-    "mule": lambda graph, alpha, controls: mule(graph, alpha, controls=controls),
-    "fast-mule": lambda graph, alpha, controls: fast_mule(
-        graph, alpha, controls=controls
+_REQUESTS: dict[str, Callable[[float, RunControls | None], EnumerationRequest]] = {
+    "mule": lambda alpha, controls: EnumerationRequest(
+        algorithm="mule", alpha=alpha, controls=controls
     ),
-    "dfs-noip": lambda graph, alpha, controls: dfs_noip(
-        graph, alpha, controls=controls
+    "fast-mule": lambda alpha, controls: EnumerationRequest(
+        algorithm="fast-mule", alpha=alpha, controls=controls
+    ),
+    "dfs-noip": lambda alpha, controls: EnumerationRequest(
+        algorithm="dfs-noip", alpha=alpha, controls=controls
     ),
     # The sharded runner at its default worker count; use parallel_scaling
     # for a controlled worker sweep.
-    "parallel-mule": lambda graph, alpha, controls: parallel_mule(
-        graph, alpha, controls=controls
+    "parallel-mule": lambda alpha, controls: EnumerationRequest(
+        algorithm="mule", alpha=alpha, controls=controls, workers=None
     ),
 }
 
@@ -87,11 +89,14 @@ def compare_algorithms(
     """
     rows: list[MeasurementRow] = []
     for graph_name, graph in graphs.items():
-        for alpha in alphas:
-            for algorithm in algorithms:
-                runner = _ALGORITHMS[algorithm]
-                result = runner(graph, alpha, controls)
-                rows.append(_row(graph_name, graph, alpha, result))
+        points = [(alpha, algorithm) for alpha in alphas for algorithm in algorithms]
+        # One batch per graph: session.batch pre-warms a single derivation
+        # base, so the sweep compiles once regardless of the α order.
+        outcomes = MiningSession(graph).batch(
+            _REQUESTS[algorithm](alpha, controls) for alpha, algorithm in points
+        )
+        for (alpha, _), outcome in zip(points, outcomes):
+            rows.append(_row(graph_name, graph, alpha, outcome.to_result()))
     return rows
 
 
@@ -102,13 +107,19 @@ def alpha_sweep(
     prune_edges: bool = True,
     controls: RunControls | None = None,
 ) -> list[MeasurementRow]:
-    """Reproduce the Figure 2/3 sweeps: MULE runtime and output size vs α."""
+    """Reproduce the Figure 2/3 sweeps: MULE runtime and output size vs α.
+
+    Implemented as :meth:`~repro.api.MiningSession.sweep`, so each graph is
+    compiled exactly once for the whole α range (the rows are bit-identical
+    to per-α :func:`mule` calls; only the wall-clock column benefits).
+    """
     rows: list[MeasurementRow] = []
-    config = MuleConfig(prune_edges=prune_edges)
     for graph_name, graph in graphs.items():
-        for alpha in alphas:
-            result = mule(graph, alpha, config=config, controls=controls)
-            rows.append(_row(graph_name, graph, alpha, result))
+        outcomes = MiningSession(graph).sweep(
+            alphas, algorithm="mule", prune_edges=prune_edges, controls=controls
+        )
+        for alpha, outcome in zip(alphas, outcomes):
+            rows.append(_row(graph_name, graph, alpha, outcome.to_result()))
     return rows
 
 
@@ -120,18 +131,30 @@ def size_threshold_sweep(
     shared_neighborhood_filtering: bool = True,
     controls: RunControls | None = None,
 ) -> list[MeasurementRow]:
-    """Reproduce the Figure 5/6 sweeps: LARGE-MULE vs the size threshold ``t``."""
+    """Reproduce the Figure 5/6 sweeps: LARGE-MULE vs the size threshold ``t``.
+
+    With shared-neighborhood filtering on, every (α, t) combination needs
+    its own filtered compilation (the Modani–Dey filter depends on both);
+    with it off, the session serves every ``t`` at the same α from one
+    artifact.
+    """
     rows: list[MeasurementRow] = []
-    config = LargeMuleConfig(
-        shared_neighborhood_filtering=shared_neighborhood_filtering
-    )
     for graph_name, graph in graphs.items():
-        for alpha in alphas:
-            for t in size_thresholds:
-                result = large_mule(graph, alpha, t, config=config, controls=controls)
-                row = _row(graph_name, graph, alpha, result)
-                row["size_threshold"] = t
-                rows.append(row)
+        points = [(alpha, t) for alpha in alphas for t in size_thresholds]
+        outcomes = MiningSession(graph).batch(
+            EnumerationRequest(
+                algorithm="large",
+                alpha=alpha,
+                size_threshold=t,
+                shared_neighborhood_filtering=shared_neighborhood_filtering,
+                controls=controls,
+            )
+            for alpha, t in points
+        )
+        for (alpha, t), outcome in zip(points, outcomes):
+            row = _row(graph_name, graph, alpha, outcome.to_result())
+            row["size_threshold"] = t
+            rows.append(row)
     return rows
 
 
@@ -177,16 +200,36 @@ def parallel_scaling(
     """
     rows: list[MeasurementRow] = []
     for graph_name, graph in graphs.items():
+        session = MiningSession(graph)
+        # The baseline/parallel runs interleave per α, so pre-warm one
+        # derivation base covering the whole α range up front.
+        session.prepare(
+            [
+                EnumerationRequest(algorithm="mule", alpha=alpha, controls=controls)
+                for alpha in alphas
+            ]
+        )
         for alpha in alphas:
-            baseline = mule(graph, alpha, controls=controls)
+            baseline = session.enumerate(
+                EnumerationRequest(algorithm="mule", alpha=alpha, controls=controls)
+            ).to_result()
             row = _row(graph_name, graph, alpha, baseline)
             row["workers"] = 0
             row["speedup"] = 1.0
             rows.append(row)
             for workers in worker_counts:
-                result = parallel_mule(
-                    graph, alpha, workers=workers, controls=controls
-                )
+                # execution="parallel" keeps the shard/merge path (and the
+                # parallel-mule label) even for the workers=1 row; every
+                # run reuses the session's single compiled artifact.
+                result = session.enumerate(
+                    EnumerationRequest(
+                        algorithm="mule",
+                        alpha=alpha,
+                        controls=controls,
+                        workers=workers,
+                        execution="parallel",
+                    )
+                ).to_result()
                 if not baseline.truncated and not result.truncated:
                     # Bit-identical means probabilities too, not just the
                     # vertex sets; and a real exception, not assert — the

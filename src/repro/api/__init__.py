@@ -1,0 +1,35 @@
+"""The session API — compile-once caching and a single enumeration entry point.
+
+This package is the serving surface of the library (and the layer the
+ROADMAP's batching/caching scale-out items live in):
+
+* :class:`MiningSession` — a per-graph facade owning a compiled-graph
+  cache; :meth:`~MiningSession.enumerate` dispatches any algorithm,
+  :meth:`~MiningSession.sweep` / :meth:`~MiningSession.batch` run many
+  (α, request) points over one compilation.
+* :class:`EnumerationRequest` — the typed request model (algorithm, α or
+  ``k``, preprocessing knobs, run controls, workers).
+* :class:`EnumerationOutcome` — the uniform result (records + statistics +
+  report + stop/truncation provenance) every entry point returns.
+* :class:`CompiledGraphCache` / :class:`CacheInfo` — the artifact store,
+  shareable across sessions, with derivation-aware lookup and hit/miss
+  accounting.
+
+The legacy free functions (``mule``, ``fast_mule``, ``dfs_noip``,
+``large_mule``, ``top_k_*``, ``parallel_mule``) delegate here; use the
+session directly whenever you run more than one enumeration on a graph.
+"""
+
+from .cache import CacheInfo, CompiledGraphCache
+from .outcome import EnumerationOutcome
+from .request import ALGORITHMS, EnumerationRequest
+from .session import MiningSession
+
+__all__ = [
+    "MiningSession",
+    "EnumerationRequest",
+    "EnumerationOutcome",
+    "CompiledGraphCache",
+    "CacheInfo",
+    "ALGORITHMS",
+]

@@ -1,0 +1,234 @@
+"""Compiled-graph caching — the artifact store behind the session API.
+
+Compilation (:func:`~repro.core.engine.compiled.compile_graph`) is the one
+preprocessing pipeline every enumerator shares, and before the session API
+every public entry point re-ran it per call.  :class:`CompiledGraphCache`
+makes the compiled artifact reusable:
+
+* entries are keyed by ``(fingerprint, α-pruning level, SNF threshold)`` —
+  :meth:`UncertainGraph.fingerprint` is a stable content hash, so one cache
+  instance can safely serve many sessions (and many graphs);
+* a miss at pruning level α is satisfied **without recompiling** whenever a
+  plain entry pruned at α′ ≤ α (or unpruned) exists: the artifact is
+  *derived* via :meth:`CompiledGraph.restrict_probability`, which only
+  filters the already-compiled arrays.  Derived artifacts are bit-identical
+  to fresh compilations, so searches over them produce identical cliques
+  *and* identical counters;
+* shared-neighborhood-filtered entries (LARGE-MULE) are never derived — the
+  Modani–Dey filter is an iterative graph computation, not an edge filter —
+  so those keys always full-compile on a miss;
+* hit/derivation/compilation accounting is exposed via :meth:`info`
+  (surfaced as ``MiningSession.cache_info()``), which is how the batch
+  tests assert "a five-α sweep performs exactly one compilation".
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import NamedTuple
+
+from ..core.engine.compiled import CompiledGraph, compile_graph
+from ..core.pruning import PruningReport
+from ..errors import ParameterError
+from ..uncertain.graph import UncertainGraph
+
+__all__ = ["CacheInfo", "CompiledGraphCache"]
+
+#: Cache key: (graph fingerprint, α-pruning level or None, SNF threshold or None).
+_Key = tuple[str, "float | None", "int | None"]
+
+
+class CacheInfo(NamedTuple):
+    """A snapshot of cache effectiveness counters.
+
+    ``hits`` counts exact-key reuse; every miss is resolved either by
+    ``derivations`` (cheap α-restriction of a cached base) or by
+    ``compilations`` (full :func:`compile_graph` runs — the expensive
+    event batching exists to minimise); ``entries`` is the current store
+    size.  ``misses == derivations + compilations`` always holds.
+    """
+
+    hits: int
+    misses: int
+    compilations: int
+    derivations: int
+    entries: int
+
+
+class CompiledGraphCache:
+    """An LRU store of compiled graphs with derivation-aware lookup.
+
+    Thread-safe: the store and its counters are guarded by a lock, so one
+    cache may serve concurrent sessions.  The expensive work (compilation,
+    derivation) runs *outside* the lock — two threads missing the same key
+    simultaneously may both build it (the second store wins; both builds
+    are counted) — so a slow compile never blocks other sessions' hits.
+
+    Derivation bases are touched on every use, so under LRU pressure a
+    wide α sweep keeps its single base resident and evicts the derived
+    one-shot artifacts instead.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of artifacts kept (least recently used evicted
+        first); ``None`` (default) means unbounded.  Long-lived caches —
+        a session that sweeps many α values, or a shared service cache —
+        should be bounded (`MiningSession`'s private cache is, by
+        default).
+
+    >>> g = UncertainGraph(edges=[(1, 2, 0.9), (2, 3, 0.4)])
+    >>> cache = CompiledGraphCache()
+    >>> fp = g.fingerprint()
+    >>> base = cache.get(g, fp, alpha=0.3)            # full compilation
+    >>> derived = cache.get(g, fp, alpha=0.5)         # derived from base
+    >>> again = cache.get(g, fp, alpha=0.5)           # exact hit
+    >>> cache.info().compilations, cache.info().derivations, cache.info().hits
+    (1, 1, 1)
+    """
+
+    def __init__(self, maxsize: int | None = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ParameterError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[_Key, CompiledGraph] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._compilations = 0
+        self._derivations = 0
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def get(
+        self,
+        graph: UncertainGraph,
+        fingerprint: str,
+        *,
+        alpha: float | None = None,
+        size_threshold: int | None = None,
+        pruning_report: PruningReport | None = None,
+    ) -> CompiledGraph:
+        """Return the compiled artifact for these options, building it on miss.
+
+        ``pruning_report`` forces a full compile even on a hit — the report
+        is filled by the filter actually running, which a cached artifact
+        cannot replay — and the fresh artifact replaces the cached entry.
+        """
+        key: _Key = (fingerprint, alpha, size_threshold)
+        base: CompiledGraph | None = None
+        with self._lock:
+            if pruning_report is None:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._hits += 1
+                    self._entries.move_to_end(key)
+                    return entry
+                if size_threshold is None and alpha is not None:
+                    base_key = self._best_base_key(fingerprint, alpha)
+                    if base_key is not None:
+                        base = self._entries[base_key]
+                        # Keep derivation bases hot: a wide sweep must
+                        # evict its derived one-shot artifacts under LRU
+                        # pressure, never the one base serving them all.
+                        self._entries.move_to_end(base_key)
+
+        # The expensive work happens outside the lock (compiled graphs are
+        # immutable, so a base may be read even if concurrently evicted).
+        if base is not None:
+            derived = base.restrict_probability(alpha)
+            with self._lock:
+                self._misses += 1
+                self._derivations += 1
+                self._store(key, derived)
+            return derived
+
+        compiled = compile_graph(
+            graph,
+            alpha=alpha,
+            size_threshold=size_threshold,
+            pruning_report=pruning_report,
+        )
+        with self._lock:
+            self._misses += 1
+            self._compilations += 1
+            self._store(key, compiled)
+        return compiled
+
+    def adopt(
+        self,
+        fingerprint: str,
+        compiled: CompiledGraph,
+        *,
+        alpha: float | None = None,
+        size_threshold: int | None = None,
+    ) -> None:
+        """Insert a caller-precompiled artifact under the given options.
+
+        The caller vouches that ``compiled`` was produced by
+        ``compile_graph(graph, alpha=alpha, size_threshold=size_threshold)``
+        for the graph with this fingerprint — this is how
+        :func:`repro.parallel.parallel_mule` forwards a precompiled graph
+        into the session without a recompile.
+        """
+        with self._lock:
+            self._store((fingerprint, alpha, size_threshold), compiled)
+
+    def _best_base_key(self, fingerprint: str, alpha: float) -> _Key | None:
+        """Find the cheapest legal derivation base for pruning level ``alpha``.
+
+        Legal: a plain (non-SNF) entry of the same graph pruned at α′ ≤ α
+        (an unpruned entry counts as α′ = 0).  Cheapest: the largest such
+        α′ — fewer surviving edges to filter.  Caller holds the lock.
+        """
+        best_key: _Key | None = None
+        best_level = -1.0
+        for key in self._entries:
+            fp, base_alpha, st = key
+            if fp != fingerprint or st is not None:
+                continue
+            level = 0.0 if base_alpha is None else base_alpha
+            if level <= alpha and level > best_level:
+                best_key = key
+                best_level = level
+        return best_key
+
+    def _store(self, key: _Key, compiled: CompiledGraph) -> None:
+        self._entries[key] = compiled
+        self._entries.move_to_end(key)
+        if self.maxsize is not None:
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def info(self) -> CacheInfo:
+        """Return the current :class:`CacheInfo` counters."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                compilations=self._compilations,
+                derivations=self._derivations,
+                entries=len(self._entries),
+            )
+
+    def clear(self) -> None:
+        """Drop every artifact and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = 0
+            self._compilations = self._derivations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        info = self.info()
+        return (
+            f"CompiledGraphCache(entries={info.entries}, hits={info.hits}, "
+            f"compilations={info.compilations}, derivations={info.derivations})"
+        )

@@ -1,0 +1,107 @@
+"""The uniform result model of the session API.
+
+Every session entry point — serial, sharded parallel, top-k, sweeps —
+returns :class:`EnumerationOutcome`, so callers never branch on
+list-vs-:class:`~repro.core.top_k.TopKResult` shapes: the records, the
+search counters, the :class:`~repro.core.engine.controls.RunReport` and the
+stop/truncation provenance are always in the same place.  Legacy callers
+convert with :meth:`EnumerationOutcome.to_result`, which rebuilds exactly
+the :class:`~repro.core.result.EnumerationResult` the free functions have
+always returned.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from ..core.engine.controls import RunReport, StopReason
+from ..core.result import CliqueRecord, EnumerationResult, SearchStatistics
+from .request import EnumerationRequest
+
+__all__ = ["EnumerationOutcome"]
+
+
+@dataclass
+class EnumerationOutcome:
+    """What one enumeration produced, uniformly across all algorithms.
+
+    Attributes
+    ----------
+    algorithm:
+        Label of the engine path that ran (``"mule"``, ``"fast-mule"``,
+        ``"dfs-noip"``, ``"large-mule"``, ``"top-k"``, ``"parallel-mule"``).
+    alpha:
+        The effective threshold: the requested α, or — for a top-k
+        threshold search — the final α the descent stopped at.
+    records:
+        The emitted cliques.  Serial runs list them in depth-first
+        discovery order (so a truncated run's records are a DFS prefix);
+        parallel runs in shard-merge order; top-k runs list the ranked
+        top-``k`` (most probable first).
+    statistics:
+        Search-effort counters (summed across shards on the parallel path;
+        the final pass's counters for a threshold search).
+    report:
+        The kernel's :class:`~repro.core.engine.controls.RunReport` — stop
+        reason and progress counters.
+    elapsed_seconds:
+        Wall-clock time of the whole dispatch, compile/cache lookup
+        included (mirroring the legacy free functions).
+    request:
+        The request that produced this outcome (``None`` for outcomes
+        synthesised outside the dispatch).
+
+    >>> outcome = EnumerationOutcome(algorithm="mule", alpha=0.5)
+    >>> outcome.truncated, outcome.num_cliques
+    (False, 0)
+    """
+
+    algorithm: str
+    alpha: float
+    records: list[CliqueRecord] = field(default_factory=list)
+    statistics: SearchStatistics = field(default_factory=SearchStatistics)
+    report: RunReport = field(default_factory=RunReport)
+    elapsed_seconds: float = 0.0
+    request: EnumerationRequest | None = None
+
+    @property
+    def stop_reason(self) -> str:
+        """How the run ended (a :class:`~repro.core.engine.controls.StopReason`)."""
+        return self.report.stop_reason
+
+    @property
+    def truncated(self) -> bool:
+        """True when run controls stopped the enumeration before completion."""
+        return self.stop_reason != StopReason.COMPLETED
+
+    @property
+    def num_cliques(self) -> int:
+        """Number of records (the paper's "output size")."""
+        return len(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[CliqueRecord]:
+        return iter(self.records)
+
+    def vertex_sets(self) -> set[frozenset]:
+        """Return the emitted cliques as a set of frozensets."""
+        return {record.vertices for record in self.records}
+
+    def to_result(self) -> EnumerationResult:
+        """Convert to the legacy :class:`~repro.core.result.EnumerationResult`.
+
+        The conversion is lossless for everything the legacy type carries:
+        records (re-sorted by its usual (size, members) order), statistics,
+        elapsed time and stop reason.
+        """
+        return EnumerationResult(
+            algorithm=self.algorithm,
+            alpha=self.alpha,
+            cliques=self.records,
+            statistics=self.statistics,
+            elapsed_seconds=self.elapsed_seconds,
+            stop_reason=self.stop_reason,
+        )

@@ -25,16 +25,12 @@ import sys
 from pathlib import Path
 
 from ..analysis.statistics import clique_statistics
+from ..api import EnumerationRequest, MiningSession
 from ..core.bounds import moon_moser_bound, uncertain_clique_bound
-from ..core.dfs_noip import dfs_noip
 from ..core.engine import RunControls
-from ..core.fast_mule import fast_mule
-from ..core.large_mule import large_mule
-from ..core.mule import mule
 from ..datasets.registry import DATASETS, available_datasets, load_dataset
 from ..extensions.uncertain_core import uncertain_core_decomposition
 from ..errors import ReproError
-from ..parallel import parallel_mule
 from ..uncertain.graph import UncertainGraph
 from ..uncertain.io import read_edge_list, write_edge_list
 from ..uncertain.statistics import summarize
@@ -177,21 +173,22 @@ def _command_enumerate(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.algorithm == "large-mule" and args.min_size is None:
+        print("error: --min-size is required with --algorithm=large-mule", file=sys.stderr)
+        return 2
     graph = _load_graph(args)
     controls = _run_controls(args)
-    if args.workers > 1:
-        result = parallel_mule(graph, args.alpha, workers=args.workers, controls=controls)
-    elif args.algorithm == "mule":
-        result = mule(graph, args.alpha, controls=controls)
-    elif args.algorithm == "fast-mule":
-        result = fast_mule(graph, args.alpha, controls=controls)
-    elif args.algorithm == "dfs-noip":
-        result = dfs_noip(graph, args.alpha, controls=controls)
-    else:
-        if args.min_size is None:
-            print("error: --min-size is required with --algorithm=large-mule", file=sys.stderr)
-            return 2
-        result = large_mule(graph, args.alpha, args.min_size, controls=controls)
+    # One session per invocation: the request dataclass names the algorithm
+    # (aliases like "dfs-noip" are normalised) and the worker count selects
+    # serial vs sharded-parallel execution.
+    request = EnumerationRequest(
+        algorithm=args.algorithm,
+        alpha=args.alpha,
+        size_threshold=args.min_size if args.algorithm == "large-mule" else None,
+        controls=controls,
+        workers=args.workers,
+    )
+    result = MiningSession(graph).enumerate(request).to_result()
 
     stats = clique_statistics(result)
     print(
@@ -267,8 +264,15 @@ def _command_bound(args: argparse.Namespace) -> int:
 def _command_compare(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     controls = _run_controls(args)
-    fast = mule(graph, args.alpha, controls=controls)
-    slow = dfs_noip(graph, args.alpha, controls=controls)
+    # Both algorithms run in one session, so the graph is compiled once and
+    # the DFS-NOIP pass reuses MULE's cached artifact.
+    session = MiningSession(graph)
+    fast = session.enumerate(
+        EnumerationRequest(algorithm="mule", alpha=args.alpha, controls=controls)
+    ).to_result()
+    slow = session.enumerate(
+        EnumerationRequest(algorithm="dfs-noip", alpha=args.alpha, controls=controls)
+    ).to_result()
     print(
         f"graph: n={graph.num_vertices}, m={graph.num_edges}, alpha={args.alpha}"
     )

@@ -19,19 +19,21 @@ Since the engine refactor the module is a thin wrapper over the shared
 iterative kernel driven by
 :class:`~repro.core.engine.strategies.NoIncrementalStrategy`, which keeps
 the from-scratch cost profile while sharing the walk, the run controls and
-the streaming interface with every other enumerator.
+the streaming interface with every other enumerator.  Both entry points
+delegate to :class:`repro.api.MiningSession`, so running the baseline next
+to MULE in one session (as ``repro-mule compare`` does) shares a single
+graph compilation.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterator
 
-from ..uncertain.graph import UncertainGraph, validate_probability
-from .engine.compiled import compile_graph
+from ..api.request import EnumerationRequest
+from ..api.session import MiningSession
+from ..uncertain.graph import UncertainGraph
 from .engine.controls import RunControls, RunReport
-from .engine.kernel import run_search
-from .engine.strategies import NoIncrementalStrategy
-from .result import CliqueRecord, EnumerationResult, SearchStatistics, Stopwatch
+from .result import EnumerationResult, SearchStatistics
 
 __all__ = ["dfs_noip", "iter_alpha_maximal_cliques_noip"]
 
@@ -58,20 +60,11 @@ def iter_alpha_maximal_cliques_noip(
        and emit it if it passes;
     3. otherwise branch on every surviving candidate in ascending order.
     """
-    alpha = validate_probability(alpha, what="alpha")
-    stats = statistics if statistics is not None else SearchStatistics()
-
-    if graph.num_vertices == 0:
-        return
-
-    compiled = compile_graph(graph, alpha=alpha if prune_edges else None)
-    yield from run_search(
-        compiled,
-        alpha,
-        NoIncrementalStrategy(),
-        statistics=stats,
-        controls=controls,
-        report=report,
+    request = EnumerationRequest(
+        algorithm="noip", alpha=alpha, prune_edges=prune_edges, controls=controls
+    )
+    yield from MiningSession(graph).stream(
+        request, statistics=statistics, report=report
     )
 
 
@@ -94,24 +87,7 @@ def dfs_noip(
     >>> sorted(sorted(r.vertices) for r in dfs_noip(g, 0.5))
     [[1, 2, 3]]
     """
-    statistics = SearchStatistics()
-    report = RunReport()
-    records: list[CliqueRecord] = []
-    with Stopwatch() as timer:
-        for members, probability in iter_alpha_maximal_cliques_noip(
-            graph,
-            alpha,
-            prune_edges=prune_edges,
-            statistics=statistics,
-            controls=controls,
-            report=report,
-        ):
-            records.append(CliqueRecord(vertices=members, probability=probability))
-    return EnumerationResult(
-        algorithm="dfs-noip",
-        alpha=validate_probability(alpha, what="alpha"),
-        cliques=records,
-        statistics=statistics,
-        elapsed_seconds=timer.elapsed,
-        stop_reason=report.stop_reason,
+    request = EnumerationRequest(
+        algorithm="noip", alpha=alpha, prune_edges=prune_edges, controls=controls
     )
+    return MiningSession(graph).enumerate(request).to_result()

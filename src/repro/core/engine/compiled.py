@@ -132,6 +132,38 @@ class CompiledGraph:
             adjacency_probability[iv][iu] = p
         return cls(ordered, adjacency_mask, adjacency_probability)
 
+    def restrict_probability(self, min_probability: float) -> "CompiledGraph":
+        """Return a new compiled graph without edges below ``min_probability``.
+
+        Produces exactly the artifact ``compile_graph(graph, alpha=p)``
+        would — same labels, same indexing, same floats — but derives it
+        from the already-compiled arrays: no vertex re-sort, no traversal of
+        the original ``UncertainGraph``.  This is the cheap path that lets
+        one base compilation back a whole α sweep
+        (:meth:`repro.api.MiningSession.sweep`): searches over the derived
+        artifact are bit-identical — counters included — to searches over a
+        fresh compilation at that α.
+
+        Only restriction is supported: ``min_probability`` must be at least
+        as large as the threshold the base was compiled with (dropped edges
+        cannot be recovered); callers are responsible for honouring that.
+
+        >>> g = UncertainGraph(edges=[(1, 2, 0.9), (2, 3, 0.4)])
+        >>> base = CompiledGraph.from_graph(g)
+        >>> base.restrict_probability(0.5).adjacency_mask
+        [2, 1, 0]
+        """
+        masks: list[int] = []
+        probabilities: list[dict[int, float]] = []
+        for row in self.adjacency_probability:
+            kept = {j: p for j, p in row.items() if p >= min_probability}
+            mask = 0
+            for j in kept:
+                mask |= 1 << j
+            masks.append(mask)
+            probabilities.append(kept)
+        return CompiledGraph(self.labels, masks, probabilities)
+
     def restrict_roots(self, root_mask: int) -> "CompiledGraph":
         """Return a shallow shard view confined to ``root_mask`` first branches.
 

@@ -18,19 +18,20 @@ algorithm label:
 
 ``fast_mule`` is kept as a stable public name (CLI, benchmarks and the
 ablation studies reference it); the test suite asserts it remains
-output-identical to :func:`repro.core.mule.mule`.
+output-identical to :func:`repro.core.mule.mule`.  Both entry points are
+thin delegates over :class:`repro.api.MiningSession` (compile-once caching,
+uniform dispatch); only the recorded algorithm label differs from ``mule``.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterator
 
-from ..uncertain.graph import UncertainGraph, validate_probability
-from .engine.compiled import compile_graph
+from ..api.request import EnumerationRequest
+from ..api.session import MiningSession
+from ..uncertain.graph import UncertainGraph
 from .engine.controls import RunControls, RunReport
-from .engine.kernel import run_search
-from .engine.strategies import MuleStrategy
-from .result import CliqueRecord, EnumerationResult, SearchStatistics, Stopwatch
+from .result import EnumerationResult, SearchStatistics
 
 __all__ = ["fast_mule", "iter_alpha_maximal_cliques_fast"]
 
@@ -50,20 +51,11 @@ def iter_alpha_maximal_cliques_fast(
 
     Parameters mirror :func:`repro.core.mule.iter_alpha_maximal_cliques`.
     """
-    alpha = validate_probability(alpha, what="alpha")
-    stats = statistics if statistics is not None else SearchStatistics()
-
-    if graph.num_vertices == 0:
-        return
-
-    compiled = compile_graph(graph, alpha=alpha if prune_edges else None)
-    yield from run_search(
-        compiled,
-        alpha,
-        MuleStrategy(),
-        statistics=stats,
-        controls=controls,
-        report=report,
+    request = EnumerationRequest(
+        algorithm="fast", alpha=alpha, prune_edges=prune_edges, controls=controls
+    )
+    yield from MiningSession(graph).stream(
+        request, statistics=statistics, report=report
     )
 
 
@@ -85,24 +77,7 @@ def fast_mule(
     >>> sorted(sorted(r.vertices) for r in fast_mule(g, 0.5))
     [[1, 2, 3]]
     """
-    statistics = SearchStatistics()
-    report = RunReport()
-    records: list[CliqueRecord] = []
-    with Stopwatch() as timer:
-        for members, probability in iter_alpha_maximal_cliques_fast(
-            graph,
-            alpha,
-            prune_edges=prune_edges,
-            statistics=statistics,
-            controls=controls,
-            report=report,
-        ):
-            records.append(CliqueRecord(vertices=members, probability=probability))
-    return EnumerationResult(
-        algorithm="fast-mule",
-        alpha=validate_probability(alpha, what="alpha"),
-        cliques=records,
-        statistics=statistics,
-        elapsed_seconds=timer.elapsed,
-        stop_reason=report.stop_reason,
+    request = EnumerationRequest(
+        algorithm="fast", alpha=alpha, prune_edges=prune_edges, controls=controls
     )
+    return MiningSession(graph).enumerate(request).to_result()

@@ -28,14 +28,12 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterator
 
-from ..errors import ParameterError
-from ..uncertain.graph import UncertainGraph, validate_probability
-from .engine.compiled import compile_graph
+from ..api.request import EnumerationRequest
+from ..api.session import MiningSession
+from ..uncertain.graph import UncertainGraph
 from .engine.controls import RunControls, RunReport
-from .engine.kernel import run_search
-from .engine.strategies import LargeCliqueStrategy
 from .pruning import PruningReport
-from .result import CliqueRecord, EnumerationResult, SearchStatistics, Stopwatch
+from .result import EnumerationResult, SearchStatistics
 
 __all__ = ["large_mule", "iter_large_alpha_maximal_cliques", "LargeMuleConfig"]
 
@@ -99,30 +97,20 @@ def iter_large_alpha_maximal_cliques(
     tuple(frozenset, float)
         Each large α-maximal clique with its clique probability.
     """
-    alpha = validate_probability(alpha, what="alpha")
-    if size_threshold < 2:
-        raise ParameterError(f"size_threshold must be at least 2, got {size_threshold}")
     config = config or LargeMuleConfig()
-    stats = statistics if statistics is not None else SearchStatistics()
-
-    if graph.num_vertices == 0:
-        return
-
-    compiled = compile_graph(
-        graph,
-        alpha=alpha if config.prune_edges else None,
-        size_threshold=(
-            size_threshold if config.shared_neighborhood_filtering else None
-        ),
-        pruning_report=pruning_report,
-    )
-    yield from run_search(
-        compiled,
-        alpha,
-        LargeCliqueStrategy(size_threshold),
-        statistics=stats,
+    request = EnumerationRequest(
+        algorithm="large",
+        alpha=alpha,
+        size_threshold=size_threshold,
+        prune_edges=config.prune_edges,
+        shared_neighborhood_filtering=config.shared_neighborhood_filtering,
         controls=controls,
+    )
+    yield from MiningSession(graph).stream(
+        request,
+        statistics=statistics,
         report=report,
+        pruning_report=pruning_report,
     )
 
 
@@ -147,25 +135,13 @@ def large_mule(
     >>> sorted(sorted(r.vertices) for r in result)
     [[1, 2, 3]]
     """
-    statistics = SearchStatistics()
-    report = RunReport()
-    records: list[CliqueRecord] = []
-    with Stopwatch() as timer:
-        for members, probability in iter_large_alpha_maximal_cliques(
-            graph,
-            alpha,
-            size_threshold,
-            config=config,
-            statistics=statistics,
-            controls=controls,
-            report=report,
-        ):
-            records.append(CliqueRecord(vertices=members, probability=probability))
-    return EnumerationResult(
-        algorithm="large-mule",
-        alpha=validate_probability(alpha, what="alpha"),
-        cliques=records,
-        statistics=statistics,
-        elapsed_seconds=timer.elapsed,
-        stop_reason=report.stop_reason,
+    config = config or LargeMuleConfig()
+    request = EnumerationRequest(
+        algorithm="large",
+        alpha=alpha,
+        size_threshold=size_threshold,
+        prune_edges=config.prune_edges,
+        shared_neighborhood_filtering=config.shared_neighborhood_filtering,
+        controls=controls,
     )
+    return MiningSession(graph).enumerate(request).to_result()

@@ -24,20 +24,23 @@ Since the engine refactor this module is a thin wrapper over the shared
 iterative kernel (:mod:`repro.core.engine`) driven by
 :class:`~repro.core.engine.strategies.MuleStrategy`: the search is
 non-recursive (no ``sys.setrecursionlimit`` mutation), streams its results,
-and honours :class:`~repro.core.engine.controls.RunControls`.
+and honours :class:`~repro.core.engine.controls.RunControls`.  Since the
+session-API refactor both entry points delegate to
+:class:`repro.api.MiningSession` — the one owner of compilation and
+compiled-graph caching — and produce output (cliques, counters, labels)
+bit-identical to the pre-refactor implementation.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterator
 
+from ..api.request import EnumerationRequest
+from ..api.session import MiningSession
 from ..errors import ParameterError
-from ..uncertain.graph import UncertainGraph, validate_probability
-from .engine.compiled import compile_graph
+from ..uncertain.graph import UncertainGraph
 from .engine.controls import RunControls, RunReport
-from .engine.kernel import run_search
-from .engine.strategies import MuleStrategy
-from .result import CliqueRecord, EnumerationResult, SearchStatistics, Stopwatch
+from .result import EnumerationResult, SearchStatistics
 
 __all__ = ["mule", "iter_alpha_maximal_cliques", "MuleConfig"]
 
@@ -103,21 +106,15 @@ def iter_alpha_maximal_cliques(
         The α-maximal clique (original vertex labels) and its exact clique
         probability as maintained incrementally during the search.
     """
-    alpha = validate_probability(alpha, what="alpha")
     config = config or MuleConfig()
-    stats = statistics if statistics is not None else SearchStatistics()
-
-    if graph.num_vertices == 0:
-        return
-
-    compiled = compile_graph(graph, alpha=alpha if config.prune_edges else None)
-    yield from run_search(
-        compiled,
-        alpha,
-        MuleStrategy(),
-        statistics=stats,
+    request = EnumerationRequest(
+        algorithm="mule",
+        alpha=alpha,
+        prune_edges=config.prune_edges,
         controls=controls,
-        report=report,
+    )
+    yield from MiningSession(graph).stream(
+        request, statistics=statistics, report=report
     )
 
 
@@ -156,24 +153,11 @@ def mule(
     >>> sorted(sorted(r.vertices) for r in result)
     [[1, 2, 3]]
     """
-    statistics = SearchStatistics()
-    report = RunReport()
-    records: list[CliqueRecord] = []
-    with Stopwatch() as timer:
-        for members, probability in iter_alpha_maximal_cliques(
-            graph,
-            alpha,
-            config=config,
-            statistics=statistics,
-            controls=controls,
-            report=report,
-        ):
-            records.append(CliqueRecord(vertices=members, probability=probability))
-    return EnumerationResult(
+    config = config or MuleConfig()
+    request = EnumerationRequest(
         algorithm="mule",
-        alpha=validate_probability(alpha, what="alpha"),
-        cliques=records,
-        statistics=statistics,
-        elapsed_seconds=timer.elapsed,
-        stop_reason=report.stop_reason,
+        alpha=alpha,
+        prune_edges=config.prune_edges,
+        controls=controls,
     )
+    return MiningSession(graph).enumerate(request).to_result()

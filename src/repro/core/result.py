@@ -17,7 +17,13 @@ from dataclasses import dataclass, field
 
 from ..uncertain.graph import UncertainGraph
 
-__all__ = ["CliqueRecord", "EnumerationResult", "SearchStatistics", "Stopwatch"]
+__all__ = [
+    "CliqueRecord",
+    "EnumerationResult",
+    "SearchStatistics",
+    "Stopwatch",
+    "rank_by_probability",
+]
 
 Vertex = Hashable
 Clique = frozenset
@@ -49,6 +55,19 @@ class CliqueRecord:
             return tuple(sorted(self.vertices))
         except TypeError:
             return tuple(sorted(self.vertices, key=repr))
+
+
+def rank_by_probability(records: Iterable[CliqueRecord], k: int) -> list[CliqueRecord]:
+    """Return the ``k`` records of highest clique probability.
+
+    Ties break by larger size, then lexicographically by vertex tuple, so
+    the ranking is deterministic.  This is the one ranking used everywhere
+    top-k order matters (:meth:`EnumerationResult.top_k_by_probability` and
+    the session API's ``top_k`` dispatch), keeping their outputs identical
+    by construction.
+    """
+    ranked = sorted(records, key=lambda r: (-r.probability, -r.size, r.as_tuple()))
+    return ranked[:k]
 
 
 @dataclass
@@ -179,8 +198,7 @@ class EnumerationResult:
 
     def top_k_by_probability(self, k: int) -> list[CliqueRecord]:
         """Return the ``k`` cliques of highest clique probability (ties by size)."""
-        ranked = sorted(self.cliques, key=lambda r: (-r.probability, -r.size, r.as_tuple()))
-        return ranked[:k]
+        return rank_by_probability(self.cliques, k)
 
     # ------------------------------------------------------------------ #
     # Verification

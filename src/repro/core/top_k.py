@@ -23,23 +23,21 @@ Both accept :class:`~repro.core.engine.controls.RunControls` like every
 other enumerator, and both return a :class:`TopKResult` — a plain ``list``
 of records augmented with the run's provenance (``stop_reason`` /
 ``truncated``), so a ranking computed from a truncated enumeration is never
-mistaken for the exact answer.
+mistaken for the exact answer.  Both are thin delegates over
+:class:`repro.api.MiningSession` (which exposes the same rankings as
+uniform :class:`~repro.api.EnumerationOutcome` objects).
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable
-from dataclasses import replace
-from time import monotonic
 
+from ..api.request import EnumerationRequest
+from ..api.session import MiningSession
 from ..errors import ParameterError
-from ..uncertain.graph import UncertainGraph, validate_probability
-from .engine.compiled import compile_graph
-from .engine.controls import RunControls, RunReport, StopReason
-from .engine.kernel import run_search
-from .engine.strategies import TopKStrategy
+from ..uncertain.graph import UncertainGraph
+from .engine.controls import RunControls, StopReason
 from .mule import MuleConfig
-from .result import CliqueRecord, EnumerationResult, SearchStatistics, Stopwatch
 
 __all__ = ["TopKResult", "top_k_maximal_cliques", "top_k_by_threshold_search"]
 
@@ -76,45 +74,6 @@ class TopKResult(list):
         return self.stop_reason != StopReason.COMPLETED
 
 
-def _enumerate_at_least(
-    graph: UncertainGraph,
-    alpha: float,
-    min_size: int,
-    config: MuleConfig | None,
-    controls: RunControls | None = None,
-) -> EnumerationResult:
-    """Run the engine with :class:`TopKStrategy`, keeping cliques of size ≥ ``min_size``."""
-    alpha = validate_probability(alpha, what="alpha")
-    config = config or MuleConfig()
-    statistics = SearchStatistics()
-    report = RunReport()
-    records: list[CliqueRecord] = []
-    with Stopwatch() as timer:
-        if graph.num_vertices > 0:
-            compiled = compile_graph(
-                graph, alpha=alpha if config.prune_edges else None
-            )
-            for members, probability in run_search(
-                compiled,
-                alpha,
-                TopKStrategy(min_size=min_size),
-                statistics=statistics,
-                controls=controls,
-                report=report,
-            ):
-                records.append(
-                    CliqueRecord(vertices=members, probability=probability)
-                )
-    return EnumerationResult(
-        algorithm="top-k",
-        alpha=alpha,
-        cliques=records,
-        statistics=statistics,
-        elapsed_seconds=timer.elapsed,
-        stop_reason=report.stop_reason,
-    )
-
-
 def top_k_maximal_cliques(
     graph: UncertainGraph,
     k: int,
@@ -142,15 +101,21 @@ def top_k_maximal_cliques(
     ParameterError
         If ``k`` or ``min_size`` is not positive.
     """
-    if k <= 0:
-        raise ParameterError(f"k must be positive, got {k}")
-    if min_size <= 0:
-        raise ParameterError(f"min_size must be positive, got {min_size}")
-    result = _enumerate_at_least(graph, alpha, min_size, config, controls)
+    config = config or MuleConfig()
+    outcome = MiningSession(graph).enumerate(
+        EnumerationRequest(
+            algorithm="top_k",
+            alpha=alpha,
+            k=k,
+            min_size=min_size,
+            prune_edges=config.prune_edges,
+            controls=controls,
+        )
+    )
     return TopKResult(
-        result.top_k_by_probability(k),
-        alpha=result.alpha,
-        stop_reason=result.stop_reason,
+        outcome.records,
+        alpha=outcome.alpha,
+        stop_reason=outcome.stop_reason,
     )
 
 
@@ -192,24 +157,19 @@ def top_k_by_threshold_search(
         raise ParameterError(f"k must be positive, got {k}")
     if min_size <= 0:
         raise ParameterError(f"min_size must be positive, got {min_size}")
-    if not 0.0 < shrink_factor < 1.0:
-        raise ParameterError(f"shrink_factor must be in (0, 1), got {shrink_factor}")
-    if not 0.0 < initial_alpha <= 1.0:
-        raise ParameterError(f"initial_alpha must be in (0, 1], got {initial_alpha}")
 
-    deadline = None
-    if controls is not None and controls.time_budget_seconds is not None:
-        deadline = monotonic() + controls.time_budget_seconds
-
-    alpha = initial_alpha
-    while True:
-        pass_controls = controls
-        if deadline is not None:
-            pass_controls = replace(
-                controls, time_budget_seconds=max(0.0, deadline - monotonic())
-            )
-        result = _enumerate_at_least(graph, alpha, min_size, config, pass_controls)
-        best = result.top_k_by_probability(k)
-        if len(best) >= k or alpha <= min_alpha or result.truncated:
-            return TopKResult(best, alpha=alpha, stop_reason=result.stop_reason)
-        alpha = max(alpha * shrink_factor, min_alpha)
+    config = config or MuleConfig()
+    outcome = MiningSession(graph).top_k_search(
+        k,
+        initial_alpha=initial_alpha,
+        shrink_factor=shrink_factor,
+        min_alpha=min_alpha,
+        min_size=min_size,
+        prune_edges=config.prune_edges,
+        controls=controls,
+    )
+    return TopKResult(
+        outcome.records,
+        alpha=outcome.alpha,
+        stop_reason=outcome.stop_reason,
+    )

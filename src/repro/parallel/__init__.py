@@ -19,7 +19,13 @@ package only plans and drives it.
 """
 
 from .planner import Shard, ShardPlanner, plan_shards
-from .runner import ShardOutcome, default_workers, parallel_mule, run_shards
+from .runner import (
+    ShardOutcome,
+    default_workers,
+    parallel_enumerate,
+    parallel_mule,
+    run_shards,
+)
 
 __all__ = [
     "Shard",
@@ -27,6 +33,7 @@ __all__ = [
     "plan_shards",
     "ShardOutcome",
     "default_workers",
+    "parallel_enumerate",
     "parallel_mule",
     "run_shards",
 ]

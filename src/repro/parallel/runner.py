@@ -38,17 +38,23 @@ from multiprocessing import get_all_start_methods, get_context
 from time import monotonic
 from typing import NamedTuple
 
-from ..core.engine.compiled import CompiledGraph, compile_graph
+from ..core.engine.compiled import CompiledGraph
 from ..core.engine.controls import RunControls, RunReport, StopReason
 from ..core.engine.kernel import run_search
 from ..core.engine.strategies import MuleStrategy
 from ..core.mule import MuleConfig
-from ..core.result import CliqueRecord, EnumerationResult, SearchStatistics, Stopwatch
+from ..core.result import CliqueRecord, EnumerationResult, SearchStatistics
 from ..errors import ParameterError
 from ..uncertain.graph import UncertainGraph, validate_probability
 from .planner import Shard, ShardPlanner
 
-__all__ = ["ShardOutcome", "parallel_mule", "run_shards", "default_workers"]
+__all__ = [
+    "ShardOutcome",
+    "parallel_enumerate",
+    "parallel_mule",
+    "run_shards",
+    "default_workers",
+]
 
 #: Oversubscription factor: shards per worker.  More shards than workers lets
 #: the pool rebalance when subtree costs defy the planner's degree estimate.
@@ -219,6 +225,57 @@ def run_shards(
         return list(pool.map(_worker_run_shard, tasks))
 
 
+def parallel_enumerate(
+    compiled: CompiledGraph,
+    alpha: float,
+    *,
+    workers: int,
+    controls: RunControls | None = None,
+    num_shards: int | None = None,
+    backend: str = "auto",
+) -> tuple[list[CliqueRecord], SearchStatistics, str]:
+    """Run the shard/merge pipeline over an already-compiled graph.
+
+    This is the compile-free core of :func:`parallel_mule`, used by the
+    session API (:class:`repro.api.MiningSession`) so the sharded path runs
+    over the session's cached artifact.  Returns the merged records,
+    component-wise-summed statistics and the merged stop reason; the merge
+    semantics (global deadline, sorted ``max_cliques`` trim, truncation
+    precedence) are documented on the module.
+    """
+    statistics = SearchStatistics()
+    records: list[CliqueRecord] = []
+    if num_shards is None:
+        num_shards = workers * _SHARDS_PER_WORKER if workers > 1 else 1
+    shards = ShardPlanner(num_shards).plan(compiled)
+    outcomes = run_shards(
+        compiled,
+        alpha,
+        shards,
+        workers=workers,
+        controls=controls,
+        backend=backend,
+    )
+    for outcome in outcomes:
+        statistics = statistics.merge(outcome.statistics)
+        records.extend(
+            CliqueRecord(vertices=members, probability=probability)
+            for members, probability in outcome.pairs
+        )
+    stop_reason = _merge_stop_reasons(
+        outcome.report.stop_reason for outcome in outcomes
+    )
+    max_cliques = controls.max_cliques if controls is not None else None
+    if max_cliques is not None and len(records) > max_cliques:
+        records = sorted(records)[:max_cliques]
+        if stop_reason != StopReason.TIME_BUDGET:
+            # Keep the precedence _merge_stop_reasons establishes: a
+            # run that ran out of time anywhere must not claim its
+            # output is the full cap-bounded set.
+            stop_reason = StopReason.MAX_CLIQUES
+    return records, statistics, stop_reason
+
+
 def parallel_mule(
     graph: UncertainGraph,
     alpha: float,
@@ -228,6 +285,7 @@ def parallel_mule(
     config: MuleConfig | None = None,
     num_shards: int | None = None,
     backend: str = "auto",
+    compiled: CompiledGraph | None = None,
 ) -> EnumerationResult:
     """Enumerate all α-maximal cliques with sharded parallel MULE.
 
@@ -235,6 +293,11 @@ def parallel_mule(
     serial :func:`repro.core.mule.mule` whenever no run control truncates
     the enumeration; only the recorded ``algorithm`` label and the division
     of the search across OS processes differ.
+
+    Since the session-API refactor this is a thin delegate over
+    :class:`repro.api.MiningSession`: the session owns compilation and
+    caching, and the shard/merge pipeline (:func:`parallel_enumerate`) runs
+    over its artifact.
 
     Parameters
     ----------
@@ -256,6 +319,12 @@ def parallel_mule(
         number of vertices); the output does not depend on it.
     backend:
         Execution backend passed through to :func:`run_shards`.
+    compiled:
+        Optional precompiled graph.  Must have been produced by
+        ``compile_graph(graph, alpha=alpha if config.prune_edges else None)``
+        (the caller vouches for the match); when given, no compilation
+        happens here at all — the artifact is adopted by the session and
+        shipped to the shard workers as-is.
 
     Examples
     --------
@@ -263,6 +332,10 @@ def parallel_mule(
     >>> sorted(sorted(r.vertices) for r in parallel_mule(g, 0.5, workers=2))
     [[1, 2, 3]]
     """
+    # The api layer builds on this module's pipeline, so import it lazily.
+    from ..api.request import EnumerationRequest
+    from ..api.session import MiningSession
+
     alpha = validate_probability(alpha, what="alpha")
     if workers is None:
         workers = default_workers()
@@ -270,50 +343,22 @@ def parallel_mule(
         raise ParameterError(f"workers must be positive, got {workers}")
     config = config or MuleConfig()
 
-    statistics = SearchStatistics()
-    records: list[CliqueRecord] = []
-    stop_reason = StopReason.COMPLETED
-    with Stopwatch() as timer:
-        if graph.num_vertices > 0:
-            compiled = compile_graph(
-                graph, alpha=alpha if config.prune_edges else None
-            )
-            if num_shards is None:
-                num_shards = workers * _SHARDS_PER_WORKER if workers > 1 else 1
-            shards = ShardPlanner(num_shards).plan(compiled)
-            outcomes = run_shards(
-                compiled,
-                alpha,
-                shards,
-                workers=workers,
-                controls=controls,
-                backend=backend,
-            )
-            for outcome in outcomes:
-                statistics = statistics.merge(outcome.statistics)
-                records.extend(
-                    CliqueRecord(vertices=members, probability=probability)
-                    for members, probability in outcome.pairs
-                )
-            stop_reason = _merge_stop_reasons(
-                outcome.report.stop_reason for outcome in outcomes
-            )
-            max_cliques = controls.max_cliques if controls is not None else None
-            if max_cliques is not None and len(records) > max_cliques:
-                records = sorted(records)[:max_cliques]
-                if stop_reason != StopReason.TIME_BUDGET:
-                    # Keep the precedence _merge_stop_reasons establishes: a
-                    # run that ran out of time anywhere must not claim its
-                    # output is the full cap-bounded set.
-                    stop_reason = StopReason.MAX_CLIQUES
-    return EnumerationResult(
-        algorithm="parallel-mule",
+    session = MiningSession(graph)
+    if compiled is not None:
+        session.adopt(compiled, alpha=alpha if config.prune_edges else None)
+    request = EnumerationRequest(
+        algorithm="mule",
         alpha=alpha,
-        cliques=records,
-        statistics=statistics,
-        elapsed_seconds=timer.elapsed,
-        stop_reason=stop_reason,
+        prune_edges=config.prune_edges,
+        controls=controls,
+        workers=workers,
+        num_shards=num_shards,
+        backend=backend,
+        # Force the shard/merge path so workers=1 keeps the parallel-mule
+        # label and merge semantics it has always had.
+        execution="parallel",
     )
+    return session.enumerate(request).to_result()
 
 
 def _merge_stop_reasons(reasons) -> str:

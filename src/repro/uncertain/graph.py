@@ -21,6 +21,7 @@ Design notes
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections.abc import Hashable, Iterable, Iterator
 from typing import Any
@@ -32,6 +33,24 @@ __all__ = ["UncertainGraph", "validate_probability"]
 
 Vertex = Hashable
 Edge = tuple[Any, Any]
+
+
+def _canonical_label(v: Vertex) -> str:
+    """Equality-respecting encoding of a vertex label for fingerprinting.
+
+    Python dict keys compare ``1 == 1.0 == True``, so two ``==``-equal
+    graphs may hold the "same" vertex under different numeric types;
+    encoding numbers by value keeps :meth:`UncertainGraph.fingerprint`
+    consistent with ``__eq__``.  Non-numeric labels fall back to
+    ``type:repr``.
+    """
+    if isinstance(v, (bool, int)):
+        return f"n{int(v)}"
+    if isinstance(v, float):
+        if v.is_integer() and abs(v) <= 2.0**53:
+            return f"n{int(v)}"
+        return f"f{v.hex()}"
+    return f"r{type(v).__name__}:{v!r}"
 
 
 def validate_probability(p: float, *, what: str = "edge probability") -> float:
@@ -357,6 +376,60 @@ class UncertainGraph:
         for u, v, p in self.edges():
             g.add_edge(forward[u], forward[v], p)
         return g, forward, backward
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Return a stable content hash of the graph (SHA-256 hex digest).
+
+        The hash covers the sorted vertex labels, the sorted edge set and
+        the exact bit pattern of every edge probability (``float.hex``), so
+        it is independent of insertion order and edge direction: two graphs
+        that compare ``==`` produce the same fingerprint.  Numeric labels
+        are encoded by value — ``1``, ``1.0`` and ``True`` are the same
+        vertex, matching dict-key equality; exotic cross-type-equal labels
+        outside int/float/bool (e.g. ``Decimal(1)`` vs ``1``) may still
+        hash apart.  It is the key used by shared
+        :class:`repro.api.CompiledGraphCache` instances for compiled-graph
+        reuse across sessions, and is useful standalone for dataset
+        deduplication.
+
+        The fingerprint is recomputed on every call (the graph is mutable);
+        cost is O((n + m) log(n + m)).
+
+        >>> a = UncertainGraph(edges=[(1, 2, 0.5), (2, 3, 0.25)])
+        >>> b = UncertainGraph(edges=[(3, 2, 0.25), (2, 1, 0.5)])
+        >>> a.fingerprint() == b.fingerprint()
+        True
+        >>> a.fingerprint() == UncertainGraph(edges=[(1, 2, 0.5)]).fingerprint()
+        False
+        """
+        try:
+            ordered = sorted(self._adj)
+        except TypeError:
+            # Canonical-label order (not the compile stage's type/repr
+            # order): the fingerprint must assign equal labels equal
+            # positions regardless of their concrete type.
+            ordered = sorted(self._adj, key=_canonical_label)
+        index_of = {v: i for i, v in enumerate(ordered)}
+        digest = hashlib.sha256()
+        digest.update(b"V")
+        for v in ordered:
+            digest.update(_canonical_label(v).encode("utf-8", "backslashreplace"))
+            digest.update(b"\n")
+        digest.update(b"E")
+        edges: list[tuple[int, int, float]] = []
+        for u, nbrs in self._adj.items():
+            iu = index_of[u]
+            for v, p in nbrs.items():
+                iv = index_of[v]
+                if iu < iv:
+                    edges.append((iu, iv, p))
+        edges.sort()
+        for iu, iv, p in edges:
+            digest.update(f"{iu} {iv} {float(p).hex()}\n".encode("ascii"))
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------ #
     # Summary statistics

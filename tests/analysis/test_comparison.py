@@ -122,3 +122,33 @@ class TestParallelScaling:
                 row["num_cliques"]
             )
         assert all(len(counts) == 1 for counts in by_key.values())
+
+
+class TestCompilationSharing:
+    """The sweeps run on sessions: one compilation per graph, any α order."""
+
+    @pytest.fixture
+    def compile_counter(self, monkeypatch):
+        import repro.api.cache as cache_module
+
+        calls = []
+        real = cache_module.compile_graph
+
+        def counting(*args, **kwargs):
+            calls.append(kwargs.get("alpha"))
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cache_module, "compile_graph", counting)
+        return calls
+
+    def test_compare_algorithms_descending_alphas(self, small_graphs, compile_counter):
+        compare_algorithms(small_graphs, [0.5, 0.2, 0.05])
+        assert len(compile_counter) == len(small_graphs)
+
+    def test_alpha_sweep_descending_alphas(self, small_graphs, compile_counter):
+        alpha_sweep(small_graphs, [0.5, 0.2, 0.05])
+        assert len(compile_counter) == len(small_graphs)
+
+    def test_parallel_scaling_descending_alphas(self, small_graphs, compile_counter):
+        parallel_scaling(small_graphs, [0.5, 0.1], worker_counts=(1,))
+        assert len(compile_counter) == len(small_graphs)

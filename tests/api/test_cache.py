@@ -1,0 +1,176 @@
+"""Tests for the compiled-graph cache (keys, derivation, accounting, LRU)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.cache import CompiledGraphCache
+from repro.core.engine import compile_graph
+from repro.core.pruning import PruningReport
+from repro.errors import ParameterError
+from repro.uncertain.graph import UncertainGraph
+
+
+@pytest.fixture
+def graph():
+    return UncertainGraph(
+        edges=[(1, 2, 0.9), (2, 3, 0.7), (1, 3, 0.5), (3, 4, 0.3)]
+    )
+
+
+def compiled_equal(a, b):
+    return (
+        a.labels == b.labels
+        and a.adjacency_mask == b.adjacency_mask
+        and a.adjacency_probability == b.adjacency_probability
+    )
+
+
+class TestLookup:
+    def test_exact_hit(self, graph):
+        cache = CompiledGraphCache()
+        fp = graph.fingerprint()
+        first = cache.get(graph, fp, alpha=0.5)
+        second = cache.get(graph, fp, alpha=0.5)
+        assert first is second
+        info = cache.info()
+        assert (info.hits, info.compilations, info.derivations) == (1, 1, 0)
+        assert info.misses == info.compilations + info.derivations
+
+    def test_derivation_matches_full_compilation(self, graph):
+        cache = CompiledGraphCache()
+        fp = graph.fingerprint()
+        cache.get(graph, fp)  # unpruned base
+        derived = cache.get(graph, fp, alpha=0.6)
+        assert compiled_equal(derived, compile_graph(graph, alpha=0.6))
+        assert cache.info().compilations == 1
+        assert cache.info().derivations == 1
+
+    def test_derivation_prefers_highest_legal_base(self, graph):
+        cache = CompiledGraphCache()
+        fp = graph.fingerprint()
+        cache.get(graph, fp)             # alpha=None base
+        cache.get(graph, fp, alpha=0.4)  # derived, now also a base
+        derived = cache.get(graph, fp, alpha=0.6)  # must derive from 0.4 legally
+        assert compiled_equal(derived, compile_graph(graph, alpha=0.6))
+
+    def test_no_derivation_downward(self, graph):
+        # A base pruned at 0.6 must not serve alpha=0.4 (edges are gone).
+        cache = CompiledGraphCache()
+        fp = graph.fingerprint()
+        cache.get(graph, fp, alpha=0.6)
+        lower = cache.get(graph, fp, alpha=0.4)
+        assert compiled_equal(lower, compile_graph(graph, alpha=0.4))
+        assert cache.info().compilations == 2
+        assert cache.info().derivations == 0
+
+    def test_snf_entries_never_derive(self, graph):
+        cache = CompiledGraphCache()
+        fp = graph.fingerprint()
+        cache.get(graph, fp)  # plain base present
+        filtered = cache.get(graph, fp, alpha=0.4, size_threshold=3)
+        assert compiled_equal(
+            filtered, compile_graph(graph, alpha=0.4, size_threshold=3)
+        )
+        assert cache.info().derivations == 0
+        assert cache.info().compilations == 2
+        # ...and an SNF entry is never used as a derivation base.
+        plain = cache.get(graph, fp, alpha=0.45)
+        assert compiled_equal(plain, compile_graph(graph, alpha=0.45))
+
+    def test_distinct_graphs_do_not_collide(self, graph):
+        other = UncertainGraph(edges=[(1, 2, 0.9)])
+        cache = CompiledGraphCache()
+        a = cache.get(graph, graph.fingerprint(), alpha=0.5)
+        b = cache.get(other, other.fingerprint(), alpha=0.5)
+        assert a.n != b.n
+        assert cache.info().compilations == 2
+
+    def test_pruning_report_forces_compile(self, graph):
+        cache = CompiledGraphCache()
+        fp = graph.fingerprint()
+        cache.get(graph, fp, alpha=0.4, size_threshold=3)
+        report = PruningReport()
+        cache.get(graph, fp, alpha=0.4, size_threshold=3, pruning_report=report)
+        # The filter genuinely ran again and filled the fresh report: the
+        # 0.3 edge is pruned at alpha=0.4, leaving vertex 4 isolated, so the
+        # t=3 filter removes it.
+        assert report.rounds >= 1
+        assert report.vertices_removed >= 1
+        assert cache.info().compilations == 2
+
+
+class TestStore:
+    def test_adopt_is_served_as_hit(self, graph):
+        cache = CompiledGraphCache()
+        fp = graph.fingerprint()
+        precompiled = compile_graph(graph, alpha=0.5)
+        cache.adopt(fp, precompiled, alpha=0.5)
+        assert cache.get(graph, fp, alpha=0.5) is precompiled
+        assert cache.info().compilations == 0
+
+    def test_lru_eviction(self, graph):
+        cache = CompiledGraphCache(maxsize=2)
+        fp = graph.fingerprint()
+        cache.get(graph, fp, alpha=0.3)
+        cache.get(graph, fp, alpha=0.5)  # derived; 0.3 touched as base
+        cache.get(graph, fp, alpha=0.7)  # derived from 0.5; evicts 0.3
+        assert len(cache) == 2
+        before = cache.info().misses
+        cache.get(graph, fp, alpha=0.5)  # still cached
+        assert cache.info().misses == before
+        cache.get(graph, fp, alpha=0.3)  # evicted → miss (recompiled)
+        assert cache.info().misses == before + 1
+
+    def test_derivation_base_stays_resident_under_lru_pressure(self, graph):
+        # Deriving from a base must refresh its recency: a wide sweep
+        # evicts its one-shot derived artifacts, never the base, so it
+        # keeps compiling exactly once.
+        cache = CompiledGraphCache(maxsize=2)
+        fp = graph.fingerprint()
+        cache.get(graph, fp, alpha=0.1)  # the base
+        cache.get(graph, fp, alpha=0.5)  # derived (touches the base)
+        cache.get(graph, fp, alpha=0.2)  # derives from 0.1 → evicts 0.5
+        cache.get(graph, fp, alpha=0.3)  # still derivable from the base
+        assert cache.info().compilations == 1
+        assert cache.info().derivations == 3
+
+    def test_concurrent_gets_are_safe(self, graph):
+        # The cache is documented as shareable across sessions: hammer it
+        # from several threads (hits, derivations, evictions) and require
+        # consistent counters and no OrderedDict-mutation errors.
+        import threading
+
+        cache = CompiledGraphCache(maxsize=4)
+        fp = graph.fingerprint()
+        alphas = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+        errors = []
+
+        def worker(offset):
+            try:
+                for i in range(60):
+                    cache.get(graph, fp, alpha=alphas[(i + offset) % len(alphas)])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        info = cache.info()
+        assert info.misses == info.compilations + info.derivations
+        assert info.hits + info.misses == 4 * 60
+        assert len(cache) <= 4
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ParameterError):
+            CompiledGraphCache(maxsize=0)
+
+    def test_clear(self, graph):
+        cache = CompiledGraphCache()
+        cache.get(graph, graph.fingerprint(), alpha=0.5)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.info() == (0, 0, 0, 0, 0)

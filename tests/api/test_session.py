@@ -1,0 +1,309 @@
+"""Tests for MiningSession — dispatch parity, cache behaviour, sweeps/batches.
+
+The central guarantees pinned here:
+
+* session dispatch is bit-identical (cliques, probabilities, counters) to
+  every legacy free function, cold cache and warm cache alike;
+* ``sweep`` over many α values performs exactly one graph compilation
+  (asserted via ``cache_info``) while matching per-α ``mule`` runs;
+* the parallel path reuses the session artifact and keeps the
+  ``parallel-mule`` merge semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    CompiledGraphCache,
+    EnumerationOutcome,
+    EnumerationRequest,
+    MiningSession,
+)
+from repro.core.dfs_noip import dfs_noip
+from repro.core.engine import RunControls, StopReason, compile_graph
+from repro.core.fast_mule import fast_mule
+from repro.core.large_mule import large_mule
+from repro.core.mule import mule
+from repro.core.top_k import top_k_by_threshold_search, top_k_maximal_cliques
+from repro.errors import ParameterError
+from repro.parallel import parallel_mule
+from repro.uncertain.graph import UncertainGraph
+
+
+def records_map(result):
+    return {record.vertices: record.probability for record in result}
+
+
+def assert_matches_result(outcome, result):
+    """Outcome and legacy result agree bit-for-bit (cliques and counters)."""
+    assert records_map(outcome) == records_map(result)
+    assert outcome.statistics == result.statistics
+    assert outcome.stop_reason == result.stop_reason
+    assert outcome.algorithm == result.algorithm
+
+
+@pytest.fixture
+def graph(random_graph_factory):
+    return random_graph_factory(14, density=0.5, seed=21)
+
+
+class TestDispatchParity:
+    """session.enumerate vs the legacy free functions, per algorithm."""
+
+    def test_mule(self, graph):
+        outcome = MiningSession(graph).enumerate(
+            EnumerationRequest(algorithm="mule", alpha=0.2)
+        )
+        assert_matches_result(outcome, mule(graph, 0.2))
+
+    def test_fast_mule(self, graph):
+        outcome = MiningSession(graph).enumerate(
+            EnumerationRequest(algorithm="fast-mule", alpha=0.2)
+        )
+        assert_matches_result(outcome, fast_mule(graph, 0.2))
+
+    def test_dfs_noip(self, graph):
+        outcome = MiningSession(graph).enumerate(
+            EnumerationRequest(algorithm="dfs-noip", alpha=0.2)
+        )
+        assert_matches_result(outcome, dfs_noip(graph, 0.2))
+
+    def test_large_mule(self, graph):
+        outcome = MiningSession(graph).enumerate(
+            EnumerationRequest(algorithm="large", alpha=0.1, size_threshold=3)
+        )
+        assert_matches_result(outcome, large_mule(graph, 0.1, 3))
+
+    def test_top_k_fixed_alpha(self, graph):
+        outcome = MiningSession(graph).enumerate(
+            EnumerationRequest(algorithm="top_k", alpha=0.2, k=5)
+        )
+        legacy = top_k_maximal_cliques(graph, 5, 0.2)
+        assert [r.vertices for r in outcome.records] == [r.vertices for r in legacy]
+        assert outcome.alpha == legacy.alpha
+        assert outcome.stop_reason == legacy.stop_reason
+
+    def test_top_k_threshold_search(self, graph):
+        outcome = MiningSession(graph).enumerate(
+            EnumerationRequest(algorithm="top_k", k=5, alpha=None)
+        )
+        legacy = top_k_by_threshold_search(graph, 5)
+        assert [r.vertices for r in outcome.records] == [r.vertices for r in legacy]
+        assert outcome.alpha == legacy.alpha
+        # The descent total is stamped after the stopwatch closes.
+        assert outcome.elapsed_seconds > 0.0
+
+    def test_parallel(self, graph):
+        outcome = MiningSession(graph).enumerate(
+            EnumerationRequest(
+                algorithm="mule", alpha=0.2, workers=2, backend="inline"
+            )
+        )
+        assert outcome.algorithm == "parallel-mule"
+        reference = parallel_mule(graph, 0.2, workers=2, backend="inline")
+        assert records_map(outcome) == records_map(reference)
+        assert outcome.statistics == reference.statistics
+
+    def test_warm_cache_results_identical_to_cold(self, graph):
+        session = MiningSession(graph)
+        request = EnumerationRequest(algorithm="mule", alpha=0.2)
+        cold = session.enumerate(request)
+        warm = session.enumerate(request)
+        assert session.cache_info().hits >= 1
+        assert records_map(warm) == records_map(cold)
+        assert warm.statistics == cold.statistics
+
+    def test_unpruned_request(self, graph):
+        outcome = MiningSession(graph).enumerate(
+            EnumerationRequest(algorithm="mule", alpha=0.2, prune_edges=False)
+        )
+        assert records_map(outcome) == records_map(mule(graph, 0.2))
+
+    def test_controls_are_honoured(self, graph):
+        outcome = MiningSession(graph).enumerate(
+            EnumerationRequest(
+                algorithm="mule", alpha=0.05, controls=RunControls(max_cliques=3)
+            )
+        )
+        assert outcome.num_cliques == 3
+        assert outcome.truncated
+        assert outcome.stop_reason == StopReason.MAX_CLIQUES
+
+    def test_empty_graph(self):
+        outcome = MiningSession(UncertainGraph()).enumerate(
+            EnumerationRequest(algorithm="mule", alpha=0.5)
+        )
+        assert outcome.num_cliques == 0
+        assert not outcome.truncated
+        assert isinstance(outcome, EnumerationOutcome)
+
+    def test_to_result_roundtrip(self, graph):
+        outcome = MiningSession(graph).enumerate(
+            EnumerationRequest(algorithm="mule", alpha=0.2)
+        )
+        result = outcome.to_result()
+        assert result.algorithm == "mule"
+        assert records_map(result) == records_map(mule(graph, 0.2))
+
+
+class TestSweepAndBatch:
+    ALPHAS = [0.05, 0.1, 0.2, 0.4, 0.8]
+
+    def test_sweep_single_compilation_and_parity(self, graph):
+        """The acceptance criterion: ≥5 α values, one compilation, identical
+        cliques and counters vs per-α mule."""
+        session = MiningSession(graph)
+        outcomes = session.sweep(self.ALPHAS)
+        assert session.cache_info().compilations == 1
+        assert session.cache_info().derivations == len(self.ALPHAS) - 1
+        for alpha, outcome in zip(self.ALPHAS, outcomes):
+            reference = mule(graph, alpha)
+            assert records_map(outcome) == records_map(reference)
+            assert outcome.statistics == reference.statistics
+            assert outcome.stop_reason == reference.stop_reason
+
+    def test_sweep_order_does_not_matter(self, graph):
+        descending = list(reversed(self.ALPHAS))
+        session = MiningSession(graph)
+        outcomes = session.sweep(descending)
+        assert session.cache_info().compilations == 1
+        for alpha, outcome in zip(descending, outcomes):
+            assert records_map(outcome) == records_map(mule(graph, alpha))
+
+    def test_sweep_forwards_options(self, graph):
+        session = MiningSession(graph)
+        outcomes = session.sweep(
+            [0.1, 0.2], controls=RunControls(max_cliques=2), prune_edges=False
+        )
+        assert all(outcome.num_cliques <= 2 for outcome in outcomes)
+        # prune_edges=False compiles the unpruned artifact once, serving both.
+        assert session.cache_info().compilations == 1
+
+    def test_batch_mixed_algorithms_shares_compilations(self, graph):
+        session = MiningSession(graph)
+        requests = [
+            EnumerationRequest(algorithm="mule", alpha=0.1),
+            EnumerationRequest(algorithm="dfs-noip", alpha=0.1),
+            EnumerationRequest(algorithm="mule", alpha=0.3),
+            EnumerationRequest(algorithm="top_k", alpha=0.3, k=4),
+        ]
+        outcomes = session.batch(requests)
+        assert session.cache_info().compilations == 1
+        assert_matches_result(outcomes[0], mule(graph, 0.1))
+        assert_matches_result(outcomes[1], dfs_noip(graph, 0.1))
+        assert_matches_result(outcomes[2], mule(graph, 0.3))
+        legacy = top_k_maximal_cliques(graph, 4, 0.3)
+        assert [r.vertices for r in outcomes[3].records] == [
+            r.vertices for r in legacy
+        ]
+
+    def test_batch_empty(self, graph):
+        assert MiningSession(graph).batch([]) == []
+
+    def test_sweep_on_empty_graph(self):
+        outcomes = MiningSession(UncertainGraph()).sweep([0.2, 0.4])
+        assert [outcome.num_cliques for outcome in outcomes] == [0, 0]
+
+    def test_wide_sweep_stays_bounded_and_compiles_once(self):
+        # The private cache is bounded, yet the derivation base stays
+        # resident (touched on every use), so even a sweep far wider than
+        # the bound compiles exactly once and pins bounded memory.
+        graph = UncertainGraph(
+            edges=[(i, i + 1, 0.2 + 0.6 * (i % 7) / 7) for i in range(12)]
+        )
+        session = MiningSession(graph)
+        alphas = [round(0.05 + 0.9 * i / 199, 6) for i in range(200)]
+        session.sweep(alphas)
+        info = session.cache_info()
+        assert info.compilations == 1
+        assert info.entries <= MiningSession._PRIVATE_CACHE_MAXSIZE
+
+    def test_prepare_is_public_for_caller_driven_loops(self, graph):
+        session = MiningSession(graph)
+        requests = [
+            EnumerationRequest(algorithm="mule", alpha=alpha)
+            for alpha in (0.4, 0.2, 0.1)
+        ]
+        session.prepare(requests)
+        for request in requests:  # descending α, caller-ordered dispatch
+            session.enumerate(request)
+        assert session.cache_info().compilations == 1
+
+
+class TestCachePlumbing:
+    def test_shared_cache_across_sessions(self, graph):
+        cache = CompiledGraphCache()
+        first = MiningSession(graph, cache=cache)
+        second = MiningSession(graph.copy(), cache=cache)
+        request = EnumerationRequest(algorithm="mule", alpha=0.2)
+        first.enumerate(request)
+        second.enumerate(request)  # same fingerprint → cache hit, no compile
+        assert cache.info().compilations == 1
+        assert cache.info().hits == 1
+
+    def test_adopt_precompiled(self, graph, monkeypatch):
+        reference = records_map(mule(graph, 0.2))
+        session = MiningSession(graph)
+        session.adopt(compile_graph(graph, alpha=0.2), alpha=0.2)
+        # Any further compilation would be a bug.
+        monkeypatch.setattr(
+            "repro.api.cache.compile_graph",
+            lambda *a, **k: pytest.fail("compile_graph called despite adopt"),
+        )
+        outcome = session.enumerate(EnumerationRequest(algorithm="mule", alpha=0.2))
+        assert records_map(outcome) == reference
+
+    def test_cache_clear(self, graph):
+        session = MiningSession(graph)
+        session.enumerate(EnumerationRequest(algorithm="mule", alpha=0.2))
+        session.cache_clear()
+        assert session.cache_info().entries == 0
+        session.enumerate(EnumerationRequest(algorithm="mule", alpha=0.2))
+        assert session.cache_info().compilations == 1
+
+    def test_fingerprint_is_cached_on_session(self, graph):
+        session = MiningSession(graph)
+        assert session.fingerprint == graph.fingerprint()
+        assert session.fingerprint is session.fingerprint  # computed once
+
+    def test_private_cache_never_fingerprints(self, graph, monkeypatch):
+        # One-shot sessions (what the free functions build) must not pay
+        # the content-hash cost: a private cache holds exactly one graph.
+        reference = records_map(mule(graph, 0.2))
+        monkeypatch.setattr(
+            UncertainGraph,
+            "fingerprint",
+            lambda self: pytest.fail("fingerprint computed for a private cache"),
+        )
+        outcome = MiningSession(graph).enumerate(
+            EnumerationRequest(algorithm="mule", alpha=0.2)
+        )
+        assert records_map(outcome) == reference
+
+
+class TestStream:
+    def test_stream_matches_enumerate(self, graph):
+        session = MiningSession(graph)
+        request = EnumerationRequest(algorithm="mule", alpha=0.2)
+        streamed = dict(session.stream(request))
+        assert streamed == records_map(session.enumerate(request))
+
+    def test_stream_is_lazy(self, graph):
+        session = MiningSession(graph)
+        session.stream(EnumerationRequest(algorithm="mule", alpha=0.2))
+        # Never iterated → nothing compiled.
+        assert session.cache_info().misses == 0
+
+    def test_parallel_requests_cannot_stream(self, graph):
+        # The restriction is enforced at the call, not at the first next().
+        session = MiningSession(graph)
+        with pytest.raises(ParameterError):
+            session.stream(
+                EnumerationRequest(algorithm="mule", alpha=0.2, workers=2)
+            )
+
+    def test_threshold_search_cannot_stream(self, graph):
+        session = MiningSession(graph)
+        with pytest.raises(ParameterError):
+            session.stream(EnumerationRequest(algorithm="top_k", k=3))

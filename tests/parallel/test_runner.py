@@ -241,3 +241,49 @@ class TestShardingIsStrategyAgnostic:
                 assert members not in merged
                 merged[members] = probability
         assert merged == full
+
+
+class TestPrecompiledForwarding:
+    """parallel_mule(compiled=...) skips every compilation (satellite of the
+    session-API PR: the artifact is adopted by the session and shipped to
+    the shard workers as-is)."""
+
+    def test_precompiled_parity(self, random_graph_factory):
+        graph = random_graph_factory(16, density=0.5, seed=13)
+        precompiled = compile_graph(graph, alpha=0.1)
+        reference = parallel_mule(graph, 0.1, workers=2, backend="inline")
+        result = parallel_mule(
+            graph, 0.1, workers=2, backend="inline", compiled=precompiled
+        )
+        assert records_by_vertices(result) == records_by_vertices(reference)
+        assert result.statistics == reference.statistics
+
+    def test_precompiled_skips_compilation(self, random_graph_factory, monkeypatch):
+        graph = random_graph_factory(12, density=0.5, seed=14)
+        precompiled = compile_graph(graph, alpha=0.2)
+        expected = mule(graph, 0.2).num_cliques
+        monkeypatch.setattr(
+            "repro.api.cache.compile_graph",
+            lambda *args, **kwargs: pytest.fail(
+                "parallel_mule(compiled=...) must not compile"
+            ),
+        )
+        result = parallel_mule(
+            graph, 0.2, workers=2, backend="inline", compiled=precompiled
+        )
+        assert result.num_cliques == expected
+
+    def test_parallel_enumerate_is_compile_free(self, random_graph_factory):
+        from repro.parallel import parallel_enumerate
+
+        graph = random_graph_factory(12, density=0.5, seed=15)
+        compiled = compile_graph(graph, alpha=0.1)
+        records, statistics, stop_reason = parallel_enumerate(
+            compiled, 0.1, workers=2, backend="inline"
+        )
+        serial = mule(graph, 0.1)
+        assert {r.vertices: r.probability for r in records} == records_by_vertices(
+            serial
+        )
+        assert stop_reason == StopReason.COMPLETED
+        assert statistics.candidates_examined == serial.statistics.candidates_examined

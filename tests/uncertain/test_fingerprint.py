@@ -1,0 +1,93 @@
+"""Tests for UncertainGraph.fingerprint — the session cache key."""
+
+from __future__ import annotations
+
+from repro.uncertain.graph import UncertainGraph
+
+
+def test_fingerprint_is_stable_hex_digest(triangle):
+    fp = triangle.fingerprint()
+    assert isinstance(fp, str)
+    assert len(fp) == 64
+    int(fp, 16)  # hex
+    assert triangle.fingerprint() == fp  # deterministic across calls
+
+
+class TestEqConsistency:
+    """Graphs that compare equal must fingerprint equal."""
+
+    def test_insertion_order_invariance(self):
+        a = UncertainGraph(edges=[(1, 2, 0.5), (2, 3, 0.25), (1, 3, 0.75)])
+        b = UncertainGraph(edges=[(1, 3, 0.75), (2, 3, 0.25), (1, 2, 0.5)])
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_edge_direction_invariance(self):
+        a = UncertainGraph(edges=[(1, 2, 0.5)])
+        b = UncertainGraph(edges=[(2, 1, 0.5)])
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_vertex_insertion_order_invariance(self):
+        a = UncertainGraph(vertices=[3, 1, 2])
+        b = UncertainGraph(vertices=[1, 2, 3])
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_copy_preserves_fingerprint(self, two_cliques):
+        assert two_cliques.copy().fingerprint() == two_cliques.fingerprint()
+
+    def test_mutate_then_undo_restores_fingerprint(self, triangle):
+        fp = triangle.fingerprint()
+        triangle.add_edge(1, 4, 0.6)
+        assert triangle.fingerprint() != fp
+        triangle.remove_edge(1, 4)
+        assert triangle.fingerprint() == fp
+
+
+class TestSensitivity:
+    """Different graph content must produce different fingerprints."""
+
+    def test_different_probability(self):
+        a = UncertainGraph(edges=[(1, 2, 0.5)])
+        b = UncertainGraph(edges=[(1, 2, 0.5000001)])
+        assert a != b
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_different_edge_set(self):
+        a = UncertainGraph(edges=[(1, 2, 0.5), (2, 3, 0.5)])
+        b = UncertainGraph(edges=[(1, 2, 0.5), (1, 3, 0.5)])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_isolated_vertices_count(self):
+        a = UncertainGraph(edges=[(1, 2, 0.5)])
+        b = UncertainGraph(vertices=[3], edges=[(1, 2, 0.5)])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_empty_vs_single_vertex(self):
+        assert UncertainGraph().fingerprint() != UncertainGraph(vertices=[0]).fingerprint()
+
+    def test_string_labels(self):
+        a = UncertainGraph(edges=[("u", "v", 0.5)])
+        b = UncertainGraph(edges=[("u", "w", 0.5)])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_non_orderable_labels_are_supported(self):
+        a = UncertainGraph(edges=[(1, "x", 0.5)])
+        b = UncertainGraph(edges=[("x", 1, 0.5)])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_cross_type_numeric_labels_hash_by_value(self):
+        # Dict keys compare 1 == 1.0 == True, so these graphs are == and
+        # must fingerprint identically (the shared-cache key contract).
+        a = UncertainGraph(edges=[(1, 2, 0.5)])
+        b = UncertainGraph(edges=[(1.0, 2, 0.5)])
+        c = UncertainGraph(edges=[(True, 2, 0.5)])
+        assert a == b == c
+        assert a.fingerprint() == b.fingerprint() == c.fingerprint()
+
+    def test_non_integral_floats_stay_distinct(self):
+        assert (
+            UncertainGraph(vertices=[1.5]).fingerprint()
+            != UncertainGraph(vertices=[1]).fingerprint()
+        )
