@@ -72,6 +72,7 @@ from .api import (
 )
 from .datasets.registry import available_datasets, load_dataset
 from .parallel import Shard, ShardPlanner, parallel_mule
+from .service import EnumerationScheduler, MiningServer, RemoteSession
 from .deterministic.graph import Graph
 from .errors import (
     DatasetError,
@@ -81,6 +82,7 @@ from .errors import (
     ParameterError,
     ProbabilityError,
     ReproError,
+    ServiceError,
     VertexError,
 )
 from .uncertain.graph import UncertainGraph
@@ -151,4 +153,9 @@ __all__ = [
     "ParameterError",
     "DatasetError",
     "FormatError",
+    "ServiceError",
+    # service layer
+    "MiningServer",
+    "RemoteSession",
+    "EnumerationScheduler",
 ]

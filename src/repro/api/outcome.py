@@ -90,6 +90,63 @@ class EnumerationOutcome:
         """Return the emitted cliques as a set of frozensets."""
         return {record.vertices for record in self.records}
 
+    def records_by_vertices(self) -> dict[frozenset, float]:
+        """Return a mapping clique → exact probability (order-insensitive)."""
+        return {record.vertices: record.probability for record in self.records}
+
+    def matches(self, other, *, compare_statistics: bool = True) -> bool:
+        """True when ``other`` describes the same enumeration output.
+
+        This is the one parity comparison used across the test suites (and
+        the remote/local acceptance checks): cliques with their exact
+        probabilities, the effective α, the stop reason and — unless
+        ``compare_statistics=False`` — the search-effort counters.  The
+        algorithm *label* and wall-clock time are deliberately excluded, so
+        serial/parallel and local/remote runs of the same search compare
+        equal.  ``other`` may be an :class:`EnumerationOutcome` or a legacy
+        :class:`~repro.core.result.EnumerationResult`.
+        """
+        try:
+            self.assert_matches(other, compare_statistics=compare_statistics)
+        except AssertionError:
+            return False
+        return True
+
+    def assert_matches(self, other, *, compare_statistics: bool = True) -> None:
+        """Like :meth:`matches`, but raise ``AssertionError`` with the diff.
+
+        Intended for tests: a failure names the first disagreeing component
+        (cliques, α, stop reason or counters) instead of dumping two whole
+        outcomes.
+        """
+        mine = self.records_by_vertices()
+        theirs = {record.vertices: record.probability for record in other}
+        if mine != theirs:
+            missing = sorted(map(sorted, set(theirs) - set(mine)))
+            extra = sorted(map(sorted, set(mine) - set(theirs)))
+            drifted = {
+                tuple(sorted(v)): (mine[v], theirs[v])
+                for v in set(mine) & set(theirs)
+                if mine[v] != theirs[v]
+            }
+            raise AssertionError(
+                f"clique sets differ: missing={missing} extra={extra} "
+                f"probability-drift={drifted}"
+            )
+        # Explicit raises, not ``assert`` statements: this is library code
+        # (examples and benchmarks gate on it too) and must keep checking
+        # under ``python -O``.
+        if self.alpha != other.alpha:
+            raise AssertionError(f"alpha differs: {self.alpha} != {other.alpha}")
+        if self.stop_reason != other.stop_reason:
+            raise AssertionError(
+                f"stop_reason differs: {self.stop_reason!r} != {other.stop_reason!r}"
+            )
+        if compare_statistics and self.statistics != other.statistics:
+            raise AssertionError(
+                f"search counters differ: {self.statistics} != {other.statistics}"
+            )
+
     def to_result(self) -> EnumerationResult:
         """Convert to the legacy :class:`~repro.core.result.EnumerationResult`.
 

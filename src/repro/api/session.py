@@ -61,7 +61,7 @@ from .cache import CacheInfo, CompiledGraphCache
 from .outcome import EnumerationOutcome
 from .request import EnumerationRequest
 
-__all__ = ["MiningSession"]
+__all__ = ["MiningSession", "plan_base_compile"]
 
 
 class MiningSession:
@@ -308,19 +308,11 @@ class MiningSession:
         """
         if self._graph.num_vertices == 0:
             return
-        plain = [
-            request
-            for request in requests
-            if request.compile_size_threshold() is None and request.alpha is not None
-        ]
-        if not plain:
+        target = plan_base_compile(requests)
+        if target is None:
             return
-        levels = [request.compile_alpha() for request in plain]
-        if any(level is None for level in levels):
-            # An unpruned artifact is requested anyway; it derives the rest.
-            self.compiled()
-            return
-        self.compiled(alpha=min(levels))
+        alpha, size_threshold = target
+        self.compiled(alpha=alpha, size_threshold=size_threshold)
 
     # ------------------------------------------------------------------ #
     # Top-k threshold search
@@ -447,6 +439,34 @@ class MiningSession:
 
     def __repr__(self) -> str:
         return f"MiningSession(graph={self._graph!r}, cache={self._cache!r})"
+
+
+def plan_base_compile(
+    requests: Sequence[EnumerationRequest],
+) -> "tuple[float | None, int | None] | None":
+    """Pick the one compile target that derives a whole batch, or ``None``.
+
+    This is the base-selection rule :meth:`MiningSession.prepare` and the
+    service scheduler share (one implementation, so the service's
+    "a sweep compiles exactly once" guarantee cannot drift): consider only
+    plain (non-SNF) requests with a threshold; if any of them needs an
+    unpruned artifact, that is the base (it derives every other level),
+    otherwise prune at the batch's minimum α.  Returns
+    ``(alpha, size_threshold)`` compile options, or ``None`` when the batch
+    has nothing to pre-plan.
+    """
+    plain = [
+        request
+        for request in requests
+        if request.compile_size_threshold() is None and request.alpha is not None
+    ]
+    if not plain:
+        return None
+    levels = [request.compile_alpha() for request in plain]
+    if any(level is None for level in levels):
+        # An unpruned artifact is requested anyway; it derives the rest.
+        return (None, None)
+    return (min(levels), None)
 
 
 def _strategy_for(request: EnumerationRequest) -> EnumerationStrategy:

@@ -14,7 +14,9 @@ writing Python:
 * ``repro-mule compare`` — run MULE and DFS-NOIP side by side on the same
   input (a one-command Figure 1 cell);
 * ``repro-mule core`` — compute the (k, η)-core decomposition extension;
-* ``repro-mule datasets`` — list the registered dataset analogs.
+* ``repro-mule datasets`` — list the registered dataset analogs;
+* ``repro-mule serve`` — serve enumeration requests over HTTP (the wire
+  API of ``docs/service.md``; pair it with :class:`repro.RemoteSession`).
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ from ..core.engine import RunControls
 from ..datasets.registry import DATASETS, available_datasets, load_dataset
 from ..extensions.uncertain_core import uncertain_core_decomposition
 from ..errors import ReproError
+from ..service.server import DEFAULT_PORT, MiningServer
 from ..uncertain.graph import UncertainGraph
 from ..uncertain.io import read_edge_list, write_edge_list
 from ..uncertain.statistics import summarize
@@ -119,6 +122,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("datasets", help="list registered dataset analogs")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve enumeration requests over HTTP (see docs/service.md)"
+    )
+    _add_input_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"TCP port; 0 picks a free one (default: {DEFAULT_PORT})",
+    )
+    serve_parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="enumeration worker threads (default: 4)",
+    )
+    serve_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logs"
+    )
 
     return parser
 
@@ -321,6 +347,35 @@ def _command_core(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.max_workers is not None and args.max_workers < 1:
+        print("error: --max-workers must be positive", file=sys.stderr)
+        return 2
+    graph = _load_graph(args)
+    server = MiningServer(
+        graph,
+        host=args.host,
+        port=args.port,
+        max_workers=args.max_workers,
+        quiet=args.quiet,
+    )
+    print(
+        f"serving graph (n={graph.num_vertices}, m={graph.num_edges}) "
+        f"at {server.url}"
+    )
+    print(
+        "endpoints: POST /v1/enumerate  POST /v1/sweep  "
+        "GET /v1/health  GET /v1/stats  (Ctrl-C to stop)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
 def _command_datasets(_: argparse.Namespace) -> int:
     for name in available_datasets():
         spec = DATASETS[name]
@@ -339,6 +394,7 @@ _COMMANDS = {
     "compare": _command_compare,
     "core": _command_core,
     "datasets": _command_datasets,
+    "serve": _command_serve,
 }
 
 

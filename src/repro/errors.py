@@ -16,6 +16,7 @@ __all__ = [
     "ParameterError",
     "DatasetError",
     "FormatError",
+    "ServiceError",
 ]
 
 
@@ -57,3 +58,13 @@ class DatasetError(ReproError):
 
 class FormatError(ReproError):
     """An input file or serialized payload does not follow the expected format."""
+
+
+class ServiceError(ReproError):
+    """A service request failed at the transport or protocol layer.
+
+    Raised by the remote client when the server is unreachable, the
+    connection drops, or a response is not a well-formed wire payload.
+    Application-level failures (bad parameters, malformed requests) are
+    re-raised client-side as their original exception types instead.
+    """

@@ -1,0 +1,41 @@
+"""The mining service — wire codec, scheduler, HTTP server and client.
+
+This package makes the compiled-graph cache a **multi-client** resource:
+many processes (or machines) share one server-side
+:class:`~repro.api.cache.CompiledGraphCache` instead of each compiling the
+graph themselves.
+
+* :mod:`repro.service.codec` — lossless, schema-versioned, strictly
+  validated JSON round-trips for the session vocabulary
+  (:func:`to_wire` / :func:`from_wire`, canonical :func:`encode` bytes).
+* :class:`EnumerationScheduler` — bounded thread pool over shared
+  :class:`~repro.api.session.MiningSession` objects with single-flight
+  compilation dedup and load/cache counters.
+* :class:`MiningServer` — the stdlib HTTP server behind
+  ``repro-mule serve`` (``POST /v1/enumerate``, ``POST /v1/sweep``,
+  ``GET /v1/health``, ``GET /v1/stats``).
+* :class:`RemoteSession` — the client mirror of ``MiningSession``:
+  ``enumerate()`` / ``sweep()`` / ``cache_info()`` against a remote
+  server, returning real :class:`~repro.api.outcome.EnumerationOutcome`
+  objects bit-identical to local runs.
+
+See ``docs/service.md`` for the wire schema, endpoint table and
+versioning policy.
+"""
+
+from .client import RemoteSession
+from .codec import SCHEMA_VERSION, decode, encode, from_wire, to_wire
+from .scheduler import EnumerationScheduler, SchedulerStats
+from .server import MiningServer
+
+__all__ = [
+    "MiningServer",
+    "RemoteSession",
+    "EnumerationScheduler",
+    "SchedulerStats",
+    "SCHEMA_VERSION",
+    "encode",
+    "decode",
+    "to_wire",
+    "from_wire",
+]

@@ -1,0 +1,163 @@
+"""The remote client — a drop-in mirror of :class:`MiningSession`.
+
+:class:`RemoteSession` speaks the wire protocol of
+:class:`~repro.service.server.MiningServer` with nothing beyond
+``urllib`` and exposes the session API's shape — ``enumerate(request)``,
+``sweep(alphas, ...)``, ``cache_info()`` — so callers swap a local session
+for a remote one by changing a constructor::
+
+    session = MiningSession(graph)              # local
+    session = RemoteSession("http://host:8765") # remote, same call sites
+
+Outcomes decode to real :class:`~repro.api.outcome.EnumerationOutcome`
+objects: clique sets, probabilities, counters and stop provenance are
+identical to a local run of the same request (the remote-parity suite and
+the throughput benchmark assert this bit-for-bit).
+
+Error behaviour: application-level failures re-raise the server-side
+exception type (``except ParameterError`` works unchanged); transport and
+protocol failures raise :class:`~repro.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+from collections.abc import Sequence
+
+from ..api.cache import CacheInfo
+from ..api.outcome import EnumerationOutcome
+from ..api.request import EnumerationRequest
+from ..errors import FormatError, ServiceError
+from . import codec
+
+__all__ = ["RemoteSession"]
+
+#: Default per-request timeout.  Generous — enumeration requests can
+#: legitimately run for a while; bound them server-side with
+#: ``RunControls.time_budget_seconds`` rather than client socket timeouts.
+DEFAULT_TIMEOUT_SECONDS = 300.0
+
+
+class RemoteSession:
+    """A mining session served by a remote ``repro-mule serve`` process.
+
+    Parameters
+    ----------
+    base_url:
+        The server's base URL, e.g. ``"http://127.0.0.1:8765"``.
+    timeout:
+        Socket timeout per request, in seconds.
+    """
+
+    def __init__(
+        self, base_url: str, *, timeout: float = DEFAULT_TIMEOUT_SECONDS
+    ) -> None:
+        self._base_url = base_url.rstrip("/")
+        self._timeout = timeout
+
+    @property
+    def base_url(self) -> str:
+        """The server's base URL (no trailing slash)."""
+        return self._base_url
+
+    # ------------------------------------------------------------------ #
+    # The MiningSession-shaped surface
+    # ------------------------------------------------------------------ #
+    def enumerate(self, request: EnumerationRequest) -> EnumerationOutcome:
+        """Run one request remotely; mirrors :meth:`MiningSession.enumerate`."""
+        payload = self._post("/v1/enumerate", codec.request_to_wire(request))
+        return codec.outcome_from_wire(payload)
+
+    def sweep(
+        self,
+        alphas: Sequence[float],
+        *,
+        algorithm: str = "mule",
+        **options: object,
+    ) -> list[EnumerationOutcome]:
+        """Run one request per α remotely over a single server compilation.
+
+        Mirrors :meth:`MiningSession.sweep`: the α points travel as one
+        ``sweep-request``, so the server pre-plans a shared derivation base
+        and the whole sweep compiles exactly once (observable in
+        :meth:`stats` / :meth:`cache_info`).
+        """
+        alphas = list(alphas)
+        if not alphas:
+            return []
+        base = EnumerationRequest(algorithm=algorithm, alpha=alphas[0], **options)
+        payload = self._post("/v1/sweep", codec.sweep_to_wire(base, alphas))
+        return codec.outcomes_from_wire(payload)
+
+    def cache_info(self) -> CacheInfo:
+        """The server-side compiled-graph cache counters.
+
+        Mirrors :meth:`MiningSession.cache_info`, which is what lets the
+        acceptance tests assert "a remote sweep compiled exactly once" the
+        same way the local ones do.
+        """
+        cache = self.stats().get("cache")
+        if not isinstance(cache, dict):
+            raise ServiceError(f"malformed stats payload: cache={cache!r}")
+        try:
+            return CacheInfo(**cache)
+        except TypeError as exc:
+            raise ServiceError(f"malformed cache counters: {cache!r}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Service introspection
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """The server's ``/v1/health`` payload (raises if unreachable)."""
+        return self._get("/v1/health")
+
+    def stats(self) -> dict:
+        """The server's ``/v1/stats`` payload."""
+        return self._get("/v1/stats")
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _get(self, path: str) -> dict:
+        return self._call(
+            urllib.request.Request(self._base_url + path, method="GET")
+        )
+
+    def _post(self, path: str, envelope: dict) -> dict:
+        request = urllib.request.Request(
+            self._base_url + path,
+            data=codec.encode(envelope),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        return self._call(request)
+
+    def _call(self, request: urllib.request.Request) -> dict:
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout) as response:
+                body = response.read()
+        except urllib.error.HTTPError as exc:
+            raise self._error_from_response(exc) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self._base_url}: {exc.reason}"
+            ) from exc
+        except OSError as exc:
+            raise ServiceError(f"transport failure: {exc}") from exc
+        try:
+            return codec.decode(body)
+        except FormatError as exc:
+            raise ServiceError(f"malformed server response: {exc}") from exc
+
+    @staticmethod
+    def _error_from_response(exc: urllib.error.HTTPError) -> Exception:
+        """Map an HTTP error to the exception the server meant to raise."""
+        try:
+            payload = codec.decode(exc.read())
+            return codec.error_from_wire(payload)
+        except FormatError:
+            return ServiceError(f"server returned HTTP {exc.code}: {exc.reason}")
+
+    def __repr__(self) -> str:
+        return f"RemoteSession(base_url={self._base_url!r})"

@@ -1,0 +1,590 @@
+"""The wire codec — lossless JSON round-trips for the session vocabulary.
+
+Every payload the service layer moves across a process boundary is encoded
+here: :class:`~repro.api.request.EnumerationRequest`,
+:class:`~repro.api.outcome.EnumerationOutcome`, the
+:class:`~repro.core.result.SearchStatistics` /
+:class:`~repro.core.engine.controls.RunReport` counters,
+:class:`~repro.core.result.CliqueRecord` lists, and the service-only
+envelopes (sweep requests, outcome lists, errors).
+
+Design rules — these are the compatibility contract the conformance corpus
+(``tests/service/fixtures``) pins down:
+
+* **Envelopes.**  Every encoded object is a JSON object carrying
+  ``"schema"`` (the integer :data:`SCHEMA_VERSION`) and ``"kind"`` (the
+  type tag :func:`from_wire` dispatches on).  Nested objects are full
+  envelopes too, so any payload fragment is self-describing.
+* **Strictness.**  Decoding rejects unknown keys, missing keys, wrong JSON
+  types and unsupported schema versions with
+  :class:`~repro.errors.FormatError`.  Domain validation (α out of range,
+  inconsistent request fields) is delegated to the constructors, so wire
+  decoding raises exactly the exception types local construction raises.
+* **Determinism.**  :func:`encode` is canonical — sorted keys, compact
+  separators, ASCII, no NaN/Infinity, one trailing newline — so equal
+  objects always encode to equal bytes (what makes golden-fixture diffs
+  meaningful).
+* **Losslessness.**  Floats are emitted via ``repr`` (shortest round-trip,
+  exact since Python 3.1) and vertex labels are restricted to the
+  JSON-faithful types ``int`` / ``float`` / ``str``; anything else is
+  rejected at encode time rather than silently coerced.
+
+>>> from repro.api import EnumerationRequest
+>>> request = EnumerationRequest(algorithm="mule", alpha=0.5)
+>>> from_wire(to_wire(request)) == request
+True
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping, Sequence
+
+from ..api.outcome import EnumerationOutcome
+from ..api.request import EnumerationRequest
+from ..core.engine.controls import RunControls, RunReport, StopReason
+from ..core.result import CliqueRecord, SearchStatistics
+from .. import errors as _errors
+from ..errors import FormatError, ReproError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "encode",
+    "decode",
+    "to_wire",
+    "from_wire",
+    "request_to_wire",
+    "request_from_wire",
+    "outcome_to_wire",
+    "outcome_from_wire",
+    "controls_to_wire",
+    "controls_from_wire",
+    "report_to_wire",
+    "report_from_wire",
+    "statistics_to_wire",
+    "statistics_from_wire",
+    "record_to_wire",
+    "record_from_wire",
+    "records_to_wire",
+    "records_from_wire",
+    "sweep_to_wire",
+    "sweep_from_wire",
+    "error_to_wire",
+    "error_from_wire",
+]
+
+#: Version stamped on (and required of) every envelope.  Bump it — and keep
+#: a decoder for the old value — whenever a field is added, removed or
+#: changes meaning; see ``docs/service.md`` for the versioning policy.
+SCHEMA_VERSION = 1
+
+_STOP_REASONS = (
+    StopReason.COMPLETED,
+    StopReason.MAX_CLIQUES,
+    StopReason.TIME_BUDGET,
+)
+
+
+# ---------------------------------------------------------------------- #
+# Canonical bytes
+# ---------------------------------------------------------------------- #
+def encode(payload: Mapping) -> bytes:
+    """Serialise a wire payload to canonical JSON bytes.
+
+    Equal payloads always produce equal bytes: keys are sorted, separators
+    compact, output pure ASCII with a single trailing newline.  NaN and
+    infinities are rejected (they are not JSON).
+    """
+    try:
+        text = json.dumps(
+            payload,
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+            allow_nan=False,
+        )
+    except (TypeError, ValueError) as exc:
+        raise FormatError(f"payload is not wire-encodable: {exc}") from exc
+    return text.encode("ascii") + b"\n"
+
+
+def decode(data: bytes | str) -> dict:
+    """Parse wire bytes into a payload dict (the inverse of :func:`encode`)."""
+    if isinstance(data, bytes):
+        try:
+            data = data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise FormatError(f"payload is not valid UTF-8: {exc}") from exc
+    try:
+        payload = json.loads(data)
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"payload is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FormatError(
+            f"wire payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+# ---------------------------------------------------------------------- #
+# Envelope plumbing
+# ---------------------------------------------------------------------- #
+def _envelope(kind: str, fields: dict) -> dict:
+    return {"schema": SCHEMA_VERSION, "kind": kind, **fields}
+
+
+def _open_envelope(payload: object, kind: str, keys: frozenset) -> dict:
+    """Validate schema/kind and the exact key set of an envelope."""
+    if not isinstance(payload, dict):
+        raise FormatError(
+            f"{kind} payload must be a JSON object, got {type(payload).__name__}"
+        )
+    version = payload.get("schema")
+    if version != SCHEMA_VERSION:
+        raise FormatError(
+            f"unsupported schema version {version!r} (this codec speaks "
+            f"version {SCHEMA_VERSION})"
+        )
+    actual_kind = payload.get("kind")
+    if actual_kind != kind:
+        raise FormatError(f"expected a {kind!r} payload, got kind={actual_kind!r}")
+    expected = keys | {"schema", "kind"}
+    unknown = set(payload) - expected
+    if unknown:
+        raise FormatError(f"{kind}: unknown keys {sorted(unknown)}")
+    missing = expected - set(payload)
+    if missing:
+        raise FormatError(f"{kind}: missing keys {sorted(missing)}")
+    return payload
+
+
+def _field(payload: dict, kind: str, key: str, types, *, optional: bool = False):
+    value = payload[key]
+    if value is None:
+        if optional:
+            return None
+        raise FormatError(f"{kind}.{key} must not be null")
+    # bool is an int subclass; never accept it where a number is expected.
+    if isinstance(value, bool) and bool not in (
+        types if isinstance(types, tuple) else (types,)
+    ):
+        raise FormatError(f"{kind}.{key} must not be a boolean")
+    if not isinstance(value, types):
+        names = (
+            "/".join(t.__name__ for t in types)
+            if isinstance(types, tuple)
+            else types.__name__
+        )
+        raise FormatError(
+            f"{kind}.{key} must be {names}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _number(payload: dict, kind: str, key: str, *, optional: bool = False):
+    value = _field(payload, kind, key, (int, float), optional=optional)
+    return None if value is None else float(value)
+
+
+# ---------------------------------------------------------------------- #
+# Vertices
+# ---------------------------------------------------------------------- #
+def _vertex_to_wire(vertex: object):
+    if isinstance(vertex, bool) or not isinstance(vertex, (int, float, str)):
+        raise FormatError(
+            f"vertex label {vertex!r} is not wire-encodable (labels must be "
+            f"int, float or str)"
+        )
+    return vertex
+
+
+def _vertex_from_wire(value: object, kind: str):
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise FormatError(
+            f"{kind}: vertex label {value!r} must be int, float or str"
+        )
+    return value
+
+
+# ---------------------------------------------------------------------- #
+# CliqueRecord
+# ---------------------------------------------------------------------- #
+_RECORD_KEYS = frozenset({"vertices", "probability"})
+
+
+def record_to_wire(record: CliqueRecord) -> dict:
+    """Encode one clique record (vertices in canonical sorted order)."""
+    return _envelope(
+        "clique-record",
+        {
+            "vertices": [_vertex_to_wire(v) for v in record.as_tuple()],
+            "probability": record.probability,
+        },
+    )
+
+
+def record_from_wire(payload: object) -> CliqueRecord:
+    payload = _open_envelope(payload, "clique-record", _RECORD_KEYS)
+    raw = _field(payload, "clique-record", "vertices", list)
+    vertices = frozenset(_vertex_from_wire(v, "clique-record") for v in raw)
+    if len(vertices) != len(raw):
+        raise FormatError("clique-record: duplicate vertices")
+    probability = _number(payload, "clique-record", "probability")
+    return CliqueRecord(vertices=vertices, probability=probability)
+
+
+_RECORDS_KEYS = frozenset({"records"})
+
+
+def records_to_wire(records: Iterable[CliqueRecord]) -> dict:
+    """Encode a standalone list of clique records."""
+    return _envelope(
+        "clique-records", {"records": [record_to_wire(r) for r in records]}
+    )
+
+
+def records_from_wire(payload: object) -> list[CliqueRecord]:
+    payload = _open_envelope(payload, "clique-records", _RECORDS_KEYS)
+    raw = _field(payload, "clique-records", "records", list)
+    return [record_from_wire(item) for item in raw]
+
+
+# ---------------------------------------------------------------------- #
+# SearchStatistics / RunReport / RunControls
+# ---------------------------------------------------------------------- #
+_STATISTICS_KEYS = frozenset(
+    {
+        "recursive_calls",
+        "candidates_examined",
+        "probability_multiplications",
+        "maximality_checks",
+        "pruned_branches",
+    }
+)
+
+
+def statistics_to_wire(statistics: SearchStatistics) -> dict:
+    return _envelope(
+        "search-statistics",
+        {key: getattr(statistics, key) for key in _STATISTICS_KEYS},
+    )
+
+
+def statistics_from_wire(payload: object) -> SearchStatistics:
+    payload = _open_envelope(payload, "search-statistics", _STATISTICS_KEYS)
+    counters = {}
+    for key in _STATISTICS_KEYS:
+        value = _field(payload, "search-statistics", key, int)
+        if value < 0:
+            raise FormatError(f"search-statistics.{key} must be >= 0, got {value}")
+        counters[key] = value
+    return SearchStatistics(**counters)
+
+
+_REPORT_KEYS = frozenset({"stop_reason", "cliques_emitted", "frames_expanded"})
+
+
+def report_to_wire(report: RunReport) -> dict:
+    return _envelope(
+        "run-report",
+        {
+            "stop_reason": report.stop_reason,
+            "cliques_emitted": report.cliques_emitted,
+            "frames_expanded": report.frames_expanded,
+        },
+    )
+
+
+def report_from_wire(payload: object) -> RunReport:
+    payload = _open_envelope(payload, "run-report", _REPORT_KEYS)
+    stop_reason = _field(payload, "run-report", "stop_reason", str)
+    if stop_reason not in _STOP_REASONS:
+        raise FormatError(
+            f"run-report.stop_reason must be one of {_STOP_REASONS}, "
+            f"got {stop_reason!r}"
+        )
+    counters = {}
+    for key in ("cliques_emitted", "frames_expanded"):
+        value = _field(payload, "run-report", key, int)
+        if value < 0:
+            raise FormatError(f"run-report.{key} must be >= 0, got {value}")
+        counters[key] = value
+    return RunReport(stop_reason=stop_reason, **counters)
+
+
+_CONTROLS_KEYS = frozenset(
+    {"max_cliques", "time_budget_seconds", "check_every_frames"}
+)
+
+
+def controls_to_wire(controls: RunControls) -> dict:
+    return _envelope(
+        "run-controls",
+        {
+            "max_cliques": controls.max_cliques,
+            "time_budget_seconds": controls.time_budget_seconds,
+            "check_every_frames": controls.check_every_frames,
+        },
+    )
+
+
+def controls_from_wire(payload: object) -> RunControls:
+    payload = _open_envelope(payload, "run-controls", _CONTROLS_KEYS)
+    return RunControls(
+        max_cliques=_field(payload, "run-controls", "max_cliques", int, optional=True),
+        time_budget_seconds=_number(
+            payload, "run-controls", "time_budget_seconds", optional=True
+        ),
+        check_every_frames=_field(
+            payload, "run-controls", "check_every_frames", int
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# EnumerationRequest
+# ---------------------------------------------------------------------- #
+_REQUEST_KEYS = frozenset(
+    {
+        "algorithm",
+        "alpha",
+        "k",
+        "size_threshold",
+        "min_size",
+        "prune_edges",
+        "shared_neighborhood_filtering",
+        "controls",
+        "workers",
+        "num_shards",
+        "backend",
+        "execution",
+    }
+)
+
+
+def request_to_wire(request: EnumerationRequest) -> dict:
+    """Encode a request.  Every field is explicit (nullable ones as null)."""
+    return _envelope(
+        "enumeration-request",
+        {
+            "algorithm": request.algorithm,
+            "alpha": request.alpha,
+            "k": request.k,
+            "size_threshold": request.size_threshold,
+            "min_size": request.min_size,
+            "prune_edges": request.prune_edges,
+            "shared_neighborhood_filtering": request.shared_neighborhood_filtering,
+            "controls": (
+                None if request.controls is None else controls_to_wire(request.controls)
+            ),
+            "workers": request.workers,
+            "num_shards": request.num_shards,
+            "backend": request.backend,
+            "execution": request.execution,
+        },
+    )
+
+
+def request_from_wire(payload: object) -> EnumerationRequest:
+    payload = _open_envelope(payload, "enumeration-request", _REQUEST_KEYS)
+    kind = "enumeration-request"
+    controls = payload["controls"]
+    return EnumerationRequest(
+        algorithm=_field(payload, kind, "algorithm", str),
+        alpha=_number(payload, kind, "alpha", optional=True),
+        k=_field(payload, kind, "k", int, optional=True),
+        size_threshold=_field(payload, kind, "size_threshold", int, optional=True),
+        min_size=_field(payload, kind, "min_size", int),
+        prune_edges=_field(payload, kind, "prune_edges", bool),
+        shared_neighborhood_filtering=_field(
+            payload, kind, "shared_neighborhood_filtering", bool
+        ),
+        controls=None if controls is None else controls_from_wire(controls),
+        workers=_field(payload, kind, "workers", int, optional=True),
+        num_shards=_field(payload, kind, "num_shards", int, optional=True),
+        backend=_field(payload, kind, "backend", str),
+        execution=_field(payload, kind, "execution", str),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# EnumerationOutcome
+# ---------------------------------------------------------------------- #
+_OUTCOME_KEYS = frozenset(
+    {
+        "algorithm",
+        "alpha",
+        "records",
+        "statistics",
+        "report",
+        "elapsed_seconds",
+        "request",
+    }
+)
+
+
+def outcome_to_wire(outcome: EnumerationOutcome) -> dict:
+    return _envelope(
+        "enumeration-outcome",
+        {
+            "algorithm": outcome.algorithm,
+            "alpha": outcome.alpha,
+            "records": [record_to_wire(r) for r in outcome.records],
+            "statistics": statistics_to_wire(outcome.statistics),
+            "report": report_to_wire(outcome.report),
+            "elapsed_seconds": outcome.elapsed_seconds,
+            "request": (
+                None if outcome.request is None else request_to_wire(outcome.request)
+            ),
+        },
+    )
+
+
+def outcome_from_wire(payload: object) -> EnumerationOutcome:
+    payload = _open_envelope(payload, "enumeration-outcome", _OUTCOME_KEYS)
+    kind = "enumeration-outcome"
+    elapsed = _number(payload, kind, "elapsed_seconds")
+    if elapsed < 0:
+        raise FormatError(f"{kind}.elapsed_seconds must be >= 0, got {elapsed}")
+    raw_records = _field(payload, kind, "records", list)
+    request = payload["request"]
+    return EnumerationOutcome(
+        algorithm=_field(payload, kind, "algorithm", str),
+        alpha=_number(payload, kind, "alpha", optional=True),
+        records=[record_from_wire(item) for item in raw_records],
+        statistics=statistics_from_wire(payload["statistics"]),
+        report=report_from_wire(payload["report"]),
+        elapsed_seconds=elapsed,
+        request=None if request is None else request_from_wire(request),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Service envelopes: sweeps, outcome lists, errors
+# ---------------------------------------------------------------------- #
+_SWEEP_KEYS = frozenset({"request", "alphas"})
+
+
+def sweep_to_wire(request: EnumerationRequest, alphas: Sequence[float]) -> dict:
+    """Encode a sweep: one base request re-run at each of ``alphas``."""
+    return _envelope(
+        "sweep-request",
+        {"request": request_to_wire(request), "alphas": list(alphas)},
+    )
+
+
+def sweep_from_wire(payload: object) -> tuple[EnumerationRequest, list[float]]:
+    payload = _open_envelope(payload, "sweep-request", _SWEEP_KEYS)
+    raw = _field(payload, "sweep-request", "alphas", list)
+    if not raw:
+        raise FormatError("sweep-request.alphas must not be empty")
+    alphas = []
+    for value in raw:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise FormatError(
+                f"sweep-request.alphas entries must be numbers, got {value!r}"
+            )
+        alphas.append(float(value))
+    return request_from_wire(payload["request"]), alphas
+
+
+_OUTCOME_LIST_KEYS = frozenset({"outcomes"})
+
+
+def outcomes_to_wire(outcomes: Iterable[EnumerationOutcome]) -> dict:
+    return _envelope(
+        "outcome-list", {"outcomes": [outcome_to_wire(o) for o in outcomes]}
+    )
+
+
+def outcomes_from_wire(payload: object) -> list[EnumerationOutcome]:
+    payload = _open_envelope(payload, "outcome-list", _OUTCOME_LIST_KEYS)
+    raw = _field(payload, "outcome-list", "outcomes", list)
+    return [outcome_from_wire(item) for item in raw]
+
+
+_ERROR_KEYS = frozenset({"type", "message"})
+
+
+def error_to_wire(exc: BaseException) -> dict:
+    """Encode an exception (non-library types degrade to their class name)."""
+    return _envelope(
+        "error", {"type": type(exc).__name__, "message": str(exc)}
+    )
+
+
+def error_from_wire(payload: object) -> ReproError:
+    """Rebuild the library exception an error envelope describes.
+
+    Known :mod:`repro.errors` types are reconstructed so remote callers can
+    ``except ParameterError`` exactly as local ones do; anything else
+    (including server-side internal errors) degrades to a plain
+    :class:`ReproError` that names the original type.
+    """
+    payload = _open_envelope(payload, "error", _ERROR_KEYS)
+    type_name = _field(payload, "error", "type", str)
+    message = _field(payload, "error", "message", str)
+    cls = getattr(_errors, type_name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        return cls(message)
+    return ReproError(f"{type_name}: {message}")
+
+
+# ---------------------------------------------------------------------- #
+# Generic dispatch
+# ---------------------------------------------------------------------- #
+def to_wire(obj: object) -> dict:
+    """Encode any wire-codable object into its envelope.
+
+    Lists/tuples of :class:`CliqueRecord` become a ``clique-records``
+    envelope; everything else dispatches on its type.
+    """
+    if isinstance(obj, EnumerationRequest):
+        return request_to_wire(obj)
+    if isinstance(obj, EnumerationOutcome):
+        return outcome_to_wire(obj)
+    if isinstance(obj, RunControls):
+        return controls_to_wire(obj)
+    if isinstance(obj, RunReport):
+        return report_to_wire(obj)
+    if isinstance(obj, SearchStatistics):
+        return statistics_to_wire(obj)
+    if isinstance(obj, CliqueRecord):
+        return record_to_wire(obj)
+    if isinstance(obj, (list, tuple)) and all(
+        isinstance(item, CliqueRecord) for item in obj
+    ):
+        return records_to_wire(obj)
+    if isinstance(obj, BaseException):
+        return error_to_wire(obj)
+    raise FormatError(f"object of type {type(obj).__name__} is not wire-codable")
+
+
+_DECODERS = {
+    "enumeration-request": request_from_wire,
+    "enumeration-outcome": outcome_from_wire,
+    "run-controls": controls_from_wire,
+    "run-report": report_from_wire,
+    "search-statistics": statistics_from_wire,
+    "clique-record": record_from_wire,
+    "clique-records": records_from_wire,
+    "outcome-list": outcomes_from_wire,
+    "error": error_from_wire,
+}
+
+
+def from_wire(payload: object):
+    """Decode any envelope by its ``kind`` tag (the inverse of :func:`to_wire`).
+
+    ``sweep-request`` payloads are intentionally not dispatched here — they
+    decode to a *pair*, not an object; use :func:`sweep_from_wire`.
+    """
+    if not isinstance(payload, dict):
+        raise FormatError(
+            f"wire payload must be a JSON object, got {type(payload).__name__}"
+        )
+    kind = payload.get("kind")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise FormatError(f"unknown wire kind {kind!r}")
+    return decoder(payload)

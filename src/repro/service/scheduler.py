@@ -1,0 +1,327 @@
+"""Concurrent request scheduling over shared mining sessions.
+
+:class:`EnumerationScheduler` is the execution layer between the HTTP
+server and :class:`~repro.api.session.MiningSession`: requests run on a
+bounded thread pool, all sessions share one
+:class:`~repro.api.cache.CompiledGraphCache`, and concurrent compilations
+of the same (fingerprint, compile options) key are **single-flighted** —
+one thread compiles, the rest wait for the artifact instead of duplicating
+the most expensive step of a request.
+
+The cache itself is thread-safe but deliberately optimistic: two threads
+missing the same key both build it (see
+:class:`~repro.api.cache.CompiledGraphCache`).  That is the right trade
+for occasional in-process sharing, and exactly the wrong one for a service
+where a popular (graph, α) arriving N times at once would compile N times.
+The scheduler closes that hole without touching the cache's locking: every
+job first funnels its compile target through :meth:`_ensure_compiled`,
+so by the time :meth:`MiningSession.enumerate` asks the cache, the
+artifact is already resident.
+
+Mixed-graph loads are supported: each distinct graph gets its own session
+(keyed by content fingerprint), all over the shared cache, so outcomes can
+never cross-contaminate between graphs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable, Sequence
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import NamedTuple
+
+from ..api.cache import CacheInfo, CompiledGraphCache
+from ..api.outcome import EnumerationOutcome
+from ..api.request import EnumerationRequest
+from ..api.session import MiningSession, plan_base_compile
+from ..errors import ParameterError
+from ..uncertain.graph import UncertainGraph
+
+__all__ = ["EnumerationScheduler", "SchedulerStats"]
+
+#: Default size of the request thread pool.  Enumeration is CPU-bound pure
+#: Python, so the pool exists for scheduling fairness (and for requests
+#: that fan out to worker *processes* via ``workers > 1``), not speed-up;
+#: a small pool keeps queueing behaviour predictable.
+DEFAULT_MAX_WORKERS = 4
+
+#: Default bound of the scheduler-owned shared cache: wide enough for many
+#: α points over several graphs, bounded so a long-lived service cannot
+#: pin unbounded compiled artifacts.
+DEFAULT_CACHE_MAXSIZE = 256
+
+
+class SchedulerStats(NamedTuple):
+    """A snapshot of scheduler load and effectiveness counters.
+
+    ``queued`` are submitted jobs no worker has picked up yet; ``inflight``
+    are currently executing; ``completed``/``failed`` partition finished
+    jobs.  ``single_flight_waits`` counts jobs that piggybacked on another
+    thread's in-progress compilation instead of duplicating it.
+    """
+
+    submitted: int
+    completed: int
+    failed: int
+    inflight: int
+    queued: int
+    single_flight_waits: int
+    max_workers: int
+    sessions: int
+
+
+class EnumerationScheduler:
+    """A bounded thread pool running enumeration requests over sessions.
+
+    Parameters
+    ----------
+    graph:
+        The primary graph this scheduler serves (:attr:`session` is its
+        session).  Further graphs may be passed per call; each gets its own
+        session over the same shared cache.
+    max_workers:
+        Thread-pool bound (default :data:`DEFAULT_MAX_WORKERS`).
+    cache:
+        Optional externally-owned :class:`CompiledGraphCache`; by default
+        the scheduler creates one bounded at :data:`DEFAULT_CACHE_MAXSIZE`.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        *,
+        max_workers: int | None = None,
+        cache: CompiledGraphCache | None = None,
+    ) -> None:
+        if max_workers is None:
+            max_workers = DEFAULT_MAX_WORKERS
+        if max_workers < 1:
+            raise ParameterError(f"max_workers must be positive, got {max_workers}")
+        self._max_workers = max_workers
+        self._cache = (
+            cache if cache is not None else CompiledGraphCache(maxsize=DEFAULT_CACHE_MAXSIZE)
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-enumerate"
+        )
+        self._lock = threading.Lock()
+        self._sessions: dict[str, MiningSession] = {}
+        self._session = self._register(MiningSession(graph, cache=self._cache))
+        self._inflight_compiles: dict[tuple, threading.Event] = {}
+        self._submitted = 0
+        self._started = 0
+        self._completed = 0
+        self._failed = 0
+        self._single_flight_waits = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Sessions
+    # ------------------------------------------------------------------ #
+    @property
+    def session(self) -> MiningSession:
+        """The primary graph's session."""
+        return self._session
+
+    @property
+    def graph(self) -> UncertainGraph:
+        """The primary graph."""
+        return self._session.graph
+
+    def _register(self, session: MiningSession) -> MiningSession:
+        self._sessions[session.fingerprint] = session
+        return session
+
+    def session_for(self, graph: UncertainGraph | None) -> MiningSession:
+        """Return (creating on first use) the session serving ``graph``.
+
+        Sessions are keyed by content fingerprint, so two equal graphs
+        share one session — and two different graphs can never share
+        artifacts, however interleaved their requests are.
+        """
+        if graph is None:
+            return self._session
+        fingerprint = graph.fingerprint()
+        with self._lock:
+            session = self._sessions.get(fingerprint)
+            if session is None:
+                session = MiningSession(graph, cache=self._cache)
+                self._sessions[fingerprint] = session
+            return session
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, request: EnumerationRequest, *, graph: UncertainGraph | None = None
+    ) -> "Future[EnumerationOutcome]":
+        """Queue one request; returns a future resolving to its outcome."""
+        session = self.session_for(graph)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is shut down")
+            self._submitted += 1
+        return self._executor.submit(self._run_job, session, request)
+
+    def run(
+        self, request: EnumerationRequest, *, graph: UncertainGraph | None = None
+    ) -> EnumerationOutcome:
+        """Run one request through the pool and block for its outcome."""
+        return self.submit(request, graph=graph).result()
+
+    def batch(
+        self,
+        requests: Iterable[EnumerationRequest],
+        *,
+        graph: UncertainGraph | None = None,
+    ) -> list[EnumerationOutcome]:
+        """Run many requests concurrently, sharing one compilation.
+
+        Mirrors :meth:`MiningSession.batch`: one derivation base is
+        pre-planned before any job starts (itself single-flighted), so N
+        concurrent α points cost one compilation plus cheap per-α
+        derivations.  The base compile runs *on the pool* — compilation is
+        the expensive step ``max_workers`` exists to bound, so it must not
+        run on the (unbounded) calling thread.  Outcomes are returned in
+        request order.
+        """
+        requests = list(requests)
+        session = self.session_for(graph)
+        self._executor.submit(self._prepare, session, requests).result()
+        futures = [self.submit(request, graph=graph) for request in requests]
+        return [future.result() for future in futures]
+
+    def sweep(
+        self,
+        alphas: Sequence[float],
+        *,
+        algorithm: str = "mule",
+        graph: UncertainGraph | None = None,
+        **options: object,
+    ) -> list[EnumerationOutcome]:
+        """Run one request per α concurrently over a single compilation."""
+        requests = [
+            EnumerationRequest(algorithm=algorithm, alpha=alpha, **options)
+            for alpha in alphas
+        ]
+        return self.batch(requests, graph=graph)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _run_job(
+        self, session: MiningSession, request: EnumerationRequest
+    ) -> EnumerationOutcome:
+        with self._lock:
+            self._started += 1
+        try:
+            self._ensure_compiled(
+                session,
+                alpha=request.compile_alpha(),
+                size_threshold=request.compile_size_threshold(),
+            )
+            outcome = session.enumerate(request)
+        except BaseException:
+            with self._lock:
+                self._failed += 1
+            raise
+        with self._lock:
+            self._completed += 1
+        return outcome
+
+    def _prepare(
+        self, session: MiningSession, requests: Sequence[EnumerationRequest]
+    ) -> None:
+        """Single-flighted equivalent of :meth:`MiningSession.prepare`.
+
+        The base target comes from the same
+        :func:`~repro.api.session.plan_base_compile` rule the session
+        uses, so the two layers cannot drift apart.
+        """
+        if session.graph.num_vertices == 0:
+            return
+        target = plan_base_compile(requests)
+        if target is None:
+            return
+        alpha, size_threshold = target
+        self._ensure_compiled(session, alpha=alpha, size_threshold=size_threshold)
+
+    def _ensure_compiled(
+        self,
+        session: MiningSession,
+        *,
+        alpha: float | None,
+        size_threshold: int | None,
+    ) -> None:
+        """Materialise one compile target, deduplicating concurrent builds.
+
+        The first thread to request a key becomes its *leader* and builds
+        the artifact (a cache hit, a cheap derivation or a full compile —
+        the cache decides); every other thread arriving while the build is
+        in flight waits on the leader's event and then finds the artifact
+        resident.  A leader failure leaves followers to retry in their own
+        :meth:`MiningSession.enumerate` call, where the error surfaces with
+        full context.
+        """
+        if session.graph.num_vertices == 0:
+            return
+        key = (session.fingerprint, alpha, size_threshold)
+        with self._lock:
+            event = self._inflight_compiles.get(key)
+            leader = event is None
+            if leader:
+                event = threading.Event()
+                self._inflight_compiles[key] = event
+            else:
+                self._single_flight_waits += 1
+        if leader:
+            try:
+                session.compiled(alpha=alpha, size_threshold=size_threshold)
+            finally:
+                with self._lock:
+                    del self._inflight_compiles[key]
+                event.set()
+        else:
+            event.wait()
+
+    # ------------------------------------------------------------------ #
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> SchedulerStats:
+        """Return the current :class:`SchedulerStats` snapshot."""
+        with self._lock:
+            finished = self._completed + self._failed
+            return SchedulerStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                inflight=self._started - finished,
+                queued=self._submitted - self._started,
+                single_flight_waits=self._single_flight_waits,
+                max_workers=self._max_workers,
+                sessions=len(self._sessions),
+            )
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/compilation/derivation counters of the shared cache."""
+        return self._cache.info()
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for running jobs."""
+        with self._lock:
+            self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "EnumerationScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"EnumerationScheduler(max_workers={stats.max_workers}, "
+            f"sessions={stats.sessions}, submitted={stats.submitted}, "
+            f"inflight={stats.inflight})"
+        )

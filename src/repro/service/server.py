@@ -1,0 +1,294 @@
+"""The HTTP serving surface — ``repro-mule serve`` and :class:`MiningServer`.
+
+A deliberately dependency-free server (stdlib ``http.server`` only) that
+exposes one :class:`~repro.service.scheduler.EnumerationScheduler` over the
+wire codec:
+
+==========================  ====================================================
+endpoint                    semantics
+==========================  ====================================================
+``POST /v1/enumerate``      body: ``enumeration-request`` envelope →
+                            ``enumeration-outcome`` envelope
+``POST /v1/sweep``          body: ``sweep-request`` envelope →
+                            ``outcome-list`` envelope; the whole sweep shares
+                            one server-side compilation
+``GET /v1/health``          liveness + the served graph's shape/fingerprint
+``GET /v1/stats``           cache, scheduler and HTTP counters
+==========================  ====================================================
+
+Library errors map to ``400`` with an ``error`` envelope (the client
+re-raises the original exception type); unknown routes to ``404``;
+anything unexpected to ``500``.  See ``docs/service.md`` for the wire
+schema and curl-able examples.
+
+The server is concurrency-correct by construction: each connection gets a
+handler thread (``ThreadingHTTPServer``) which *blocks* on the scheduler's
+bounded pool, so enumeration concurrency — and therefore memory — is
+bounded by ``max_workers`` no matter how many clients connect.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import FormatError, ReproError
+from ..uncertain.graph import UncertainGraph
+from . import codec
+from .scheduler import EnumerationScheduler
+
+__all__ = ["MiningServer", "DEFAULT_PORT"]
+
+#: Default TCP port of ``repro-mule serve``.
+DEFAULT_PORT = 8765
+
+#: Largest request body accepted, in bytes.  Requests are tiny (an
+#: envelope of scalars); the cap exists so a misbehaving client cannot
+#: make a handler thread buffer arbitrary data.
+MAX_REQUEST_BYTES = 1 << 20
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying a backreference to the MiningServer."""
+
+    daemon_threads = True
+    service: "MiningServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-mule"
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        if self.path == "/v1/health":
+            self._respond(200, service.health_payload())
+        elif self.path == "/v1/stats":
+            self._respond(200, service.stats_payload())
+        else:
+            self._respond_error(404, ReproError(f"unknown endpoint {self.path}"))
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        service._count_request()
+        try:
+            payload = codec.decode(self._read_body())
+            if self.path == "/v1/enumerate":
+                request = codec.request_from_wire(payload)
+                outcome = service.scheduler.run(request)
+                self._respond(200, codec.outcome_to_wire(outcome))
+            elif self.path == "/v1/sweep":
+                base, alphas = codec.sweep_from_wire(payload)
+                requests = [base.with_alpha(alpha) for alpha in alphas]
+                outcomes = service.scheduler.batch(requests)
+                self._respond(200, codec.outcomes_to_wire(outcomes))
+            else:
+                raise _RouteError(f"unknown endpoint {self.path}")
+        except _RouteError as exc:
+            service._count_failure()
+            self._respond_error(404, ReproError(str(exc)))
+        except ReproError as exc:
+            service._count_failure()
+            self._respond_error(400, exc)
+        except Exception as exc:  # noqa: BLE001 — a handler must not die
+            service._count_failure()
+            self._respond_error(500, exc)
+
+    # ------------------------------------------------------------------ #
+    # I/O helpers
+    # ------------------------------------------------------------------ #
+    def _read_body(self) -> bytes:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError as exc:
+            raise FormatError("invalid Content-Length header") from exc
+        if length <= 0:
+            raise FormatError("request body is required")
+        if length > MAX_REQUEST_BYTES:
+            raise FormatError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_REQUEST_BYTES}-byte limit"
+            )
+        return self.rfile.read(length)
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = codec.encode(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_error(self, status: int, exc: BaseException) -> None:
+        # An error may leave an unread (or unreadable) request body on the
+        # socket; under HTTP/1.1 keep-alive those bytes would be parsed as
+        # the next request line, desynchronising the connection.  Closing
+        # after an error response is always safe.
+        self.close_connection = True
+        self._respond(status, codec.error_to_wire(exc))
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Route access logs through the server's quiet flag instead of
+        # unconditionally spamming stderr (the default behaviour).
+        if not self.server.service.quiet:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+
+class _RouteError(Exception):
+    """POST to a path the service does not serve."""
+
+
+class MiningServer:
+    """One graph served over HTTP.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph to serve (compiled artifacts are cached and
+        shared across all requests).
+    host, port:
+        Bind address; ``port=0`` picks a free ephemeral port (the bound
+        port is available as :attr:`port` — what the tests use).
+    max_workers:
+        Enumeration thread-pool bound, forwarded to the scheduler.
+    quiet:
+        Suppress per-request access logging (default ``True``; the CLI
+        turns logging on).
+
+    >>> g = UncertainGraph(edges=[(1, 2, 0.9), (2, 3, 0.9), (1, 3, 0.9)])
+    >>> with MiningServer(g, port=0) as server:
+    ...     server.url.startswith("http://127.0.0.1:")
+    True
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        *,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        max_workers: int | None = None,
+        quiet: bool = True,
+    ) -> None:
+        self.quiet = quiet
+        self._scheduler = EnumerationScheduler(graph, max_workers=max_workers)
+        self._httpd = _ServiceHTTPServer((host, port), _Handler)
+        self._httpd.service = self
+        self._serve_thread: threading.Thread | None = None
+        self._entered_serve = False
+        self._closed = False
+        self._http_lock = threading.Lock()
+        self._http_received = 0
+        self._http_failed = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def scheduler(self) -> EnumerationScheduler:
+        """The scheduler executing this server's requests."""
+        return self._scheduler
+
+    @property
+    def graph(self) -> UncertainGraph:
+        """The served graph."""
+        return self._scheduler.graph
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolved even when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should connect to."""
+        return f"http://{self.host}:{self.port}"
+
+    def health_payload(self) -> dict:
+        graph = self.graph
+        return {
+            "schema": codec.SCHEMA_VERSION,
+            "kind": "health",
+            "status": "ok",
+            "graph": {
+                "num_vertices": graph.num_vertices,
+                "num_edges": graph.num_edges,
+                "fingerprint": self._scheduler.session.fingerprint,
+            },
+        }
+
+    def stats_payload(self) -> dict:
+        cache = self._scheduler.cache_info()
+        scheduler = self._scheduler.stats()
+        with self._http_lock:
+            received, failed = self._http_received, self._http_failed
+        return {
+            "schema": codec.SCHEMA_VERSION,
+            "kind": "service-stats",
+            "cache": dict(cache._asdict()),
+            "scheduler": dict(scheduler._asdict()),
+            "http": {"received": received, "failed": failed},
+        }
+
+    def _count_request(self) -> None:
+        with self._http_lock:
+            self._http_received += 1
+
+    def _count_failure(self) -> None:
+        with self._http_lock:
+            self._http_failed += 1
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (or Ctrl-C)."""
+        self._entered_serve = True
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "MiningServer":
+        """Serve on a daemon background thread; returns ``self``."""
+        if self._serve_thread is None:
+            # Flag before launching: close() must know a serve loop is (or
+            # is about to be) running, or its shutdown() call would hang.
+            self._entered_serve = True
+            self._serve_thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                name="repro-mule-serve",
+                daemon=True,
+            )
+            self._serve_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving, release the socket and shut the scheduler down."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._entered_serve:
+            # shutdown() blocks until the serve_forever loop exits; it is
+            # only safe once the loop has actually been entered.
+            self._httpd.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        self._httpd.server_close()
+        self._scheduler.shutdown()
+
+    def __enter__(self) -> "MiningServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"MiningServer(url={self.url!r}, graph={self.graph!r})"

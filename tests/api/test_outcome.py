@@ -1,0 +1,96 @@
+"""Tests for EnumerationOutcome's parity comparison helpers.
+
+``matches`` / ``assert_matches`` are the one comparison the parity suites
+(session-vs-legacy, remote-vs-local, serial-vs-parallel) share, so their
+semantics are pinned here: cliques + exact probabilities + α + stop
+reason + (optionally) counters, with the algorithm *label* and wall-clock
+time excluded by design.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EnumerationOutcome
+from repro.core.engine import RunReport, StopReason
+from repro.core.result import CliqueRecord, EnumerationResult, SearchStatistics
+
+
+def outcome(**overrides) -> EnumerationOutcome:
+    fields = {
+        "algorithm": "mule",
+        "alpha": 0.5,
+        "records": [
+            CliqueRecord(vertices=frozenset({1, 2, 3}), probability=0.729),
+            CliqueRecord(vertices=frozenset({4}), probability=1.0),
+        ],
+        "statistics": SearchStatistics(recursive_calls=9, candidates_examined=8),
+        "report": RunReport(stop_reason=StopReason.COMPLETED, cliques_emitted=2),
+        "elapsed_seconds": 0.5,
+    }
+    fields.update(overrides)
+    return EnumerationOutcome(**fields)
+
+
+class TestMatches:
+    def test_identical_outcomes_match(self):
+        assert outcome().matches(outcome())
+
+    def test_algorithm_label_and_elapsed_are_ignored(self):
+        other = outcome(algorithm="parallel-mule", elapsed_seconds=99.0)
+        assert outcome().matches(other)
+
+    def test_record_order_is_ignored(self):
+        other = outcome(records=list(reversed(outcome().records)))
+        assert outcome().matches(other)
+
+    def test_probability_drift_detected(self):
+        drifted = outcome(
+            records=[
+                CliqueRecord(vertices=frozenset({1, 2, 3}), probability=0.728),
+                CliqueRecord(vertices=frozenset({4}), probability=1.0),
+            ]
+        )
+        assert not outcome().matches(drifted)
+        with pytest.raises(AssertionError, match="probability-drift"):
+            outcome().assert_matches(drifted)
+
+    def test_missing_clique_detected(self):
+        smaller = outcome(records=outcome().records[:1])
+        with pytest.raises(AssertionError, match="clique sets differ"):
+            outcome().assert_matches(smaller)
+
+    def test_alpha_mismatch_detected(self):
+        with pytest.raises(AssertionError, match="alpha differs"):
+            outcome().assert_matches(outcome(alpha=0.6))
+
+    def test_stop_reason_mismatch_detected(self):
+        truncated = outcome(
+            report=RunReport(stop_reason=StopReason.MAX_CLIQUES, cliques_emitted=2)
+        )
+        with pytest.raises(AssertionError, match="stop_reason differs"):
+            outcome().assert_matches(truncated)
+
+    def test_counter_mismatch_detected_and_optional(self):
+        other = outcome(statistics=SearchStatistics(recursive_calls=10))
+        with pytest.raises(AssertionError, match="search counters differ"):
+            outcome().assert_matches(other)
+        assert outcome().matches(other, compare_statistics=False)
+
+    def test_compares_against_legacy_results(self):
+        me = outcome()
+        legacy = EnumerationResult(
+            algorithm="mule",
+            alpha=0.5,
+            cliques=me.records,
+            statistics=me.statistics,
+            elapsed_seconds=123.0,
+            stop_reason=StopReason.COMPLETED,
+        )
+        me.assert_matches(legacy)
+
+    def test_records_by_vertices(self):
+        assert outcome().records_by_vertices() == {
+            frozenset({1, 2, 3}): 0.729,
+            frozenset({4}): 1.0,
+        }

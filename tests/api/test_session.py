@@ -37,9 +37,7 @@ def records_map(result):
 
 def assert_matches_result(outcome, result):
     """Outcome and legacy result agree bit-for-bit (cliques and counters)."""
-    assert records_map(outcome) == records_map(result)
-    assert outcome.statistics == result.statistics
-    assert outcome.stop_reason == result.stop_reason
+    outcome.assert_matches(result)
     assert outcome.algorithm == result.algorithm
 
 
@@ -102,8 +100,7 @@ class TestDispatchParity:
         )
         assert outcome.algorithm == "parallel-mule"
         reference = parallel_mule(graph, 0.2, workers=2, backend="inline")
-        assert records_map(outcome) == records_map(reference)
-        assert outcome.statistics == reference.statistics
+        outcome.assert_matches(reference)
 
     def test_warm_cache_results_identical_to_cold(self, graph):
         session = MiningSession(graph)
@@ -111,8 +108,7 @@ class TestDispatchParity:
         cold = session.enumerate(request)
         warm = session.enumerate(request)
         assert session.cache_info().hits >= 1
-        assert records_map(warm) == records_map(cold)
-        assert warm.statistics == cold.statistics
+        warm.assert_matches(cold)
 
     def test_unpruned_request(self, graph):
         outcome = MiningSession(graph).enumerate(
@@ -158,10 +154,7 @@ class TestSweepAndBatch:
         assert session.cache_info().compilations == 1
         assert session.cache_info().derivations == len(self.ALPHAS) - 1
         for alpha, outcome in zip(self.ALPHAS, outcomes):
-            reference = mule(graph, alpha)
-            assert records_map(outcome) == records_map(reference)
-            assert outcome.statistics == reference.statistics
-            assert outcome.stop_reason == reference.stop_reason
+            outcome.assert_matches(mule(graph, alpha))
 
     def test_sweep_order_does_not_matter(self, graph):
         descending = list(reversed(self.ALPHAS))

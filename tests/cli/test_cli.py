@@ -281,6 +281,56 @@ class TestOtherCommands:
         assert "ba10000" in out
 
 
+class TestServeCommand:
+    def test_parser_defaults(self, graph_file):
+        args = build_parser().parse_args(["serve", "--input", str(graph_file)])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.max_workers is None
+        assert not args.quiet
+
+    def test_invalid_max_workers_rejected(self, graph_file, capsys):
+        exit_code = main(
+            ["serve", "--input", str(graph_file), "--max-workers", "0"]
+        )
+        assert exit_code == 2
+        assert "--max-workers" in capsys.readouterr().err
+
+    def test_serve_starts_and_answers(self, graph_file, monkeypatch, capsys):
+        # Swap the blocking serve loop for a single remote round-trip so the
+        # command path (graph load → server construction → close) runs end
+        # to end inside the test process.
+        import importlib
+
+        from repro.api import EnumerationRequest
+        from repro.service import RemoteSession
+
+        # ``repro.cli.main`` the module is shadowed by ``repro.cli.main``
+        # the function on attribute access, so resolve it explicitly.
+        cli_main = importlib.import_module("repro.cli.main")
+
+        outcomes = []
+
+        def probe_instead_of_blocking(server):
+            server.start()
+            remote = RemoteSession(server.url)
+            outcomes.append(
+                remote.enumerate(EnumerationRequest(algorithm="mule", alpha=0.5))
+            )
+
+        monkeypatch.setattr(
+            cli_main.MiningServer, "serve_forever", probe_instead_of_blocking
+        )
+        exit_code = main(
+            ["serve", "--input", str(graph_file), "--port", "0", "--quiet"]
+        )
+        assert exit_code == 0
+        assert outcomes[0].num_cliques == 2
+        out = capsys.readouterr().out
+        assert "serving graph" in out
+        assert "/v1/enumerate" in out
+
+
 class TestParallelEnumeration:
     def test_workers_flag_runs_parallel_mule(self, graph_file, capsys):
         exit_code = main(

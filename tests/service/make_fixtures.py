@@ -1,0 +1,109 @@
+"""Regenerate the golden wire-format corpus under ``fixtures/``.
+
+The fixtures pin the wire schema: ``test_fixtures.py`` asserts every file
+re-encodes byte-for-byte through the codec, so **any** change to envelope
+shape, field names, canonical encoding or float formatting shows up as a
+fixture diff in review.  Regenerate deliberately (after a schema-version
+bump) with::
+
+    PYTHONPATH=src python tests/service/make_fixtures.py
+
+Everything here is deterministic: the outcomes come from seeded searches
+on fixed graphs and their ``elapsed_seconds`` are frozen to exact binary
+fractions before encoding.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.api import EnumerationRequest, MiningSession
+from repro.core.engine import RunControls
+from repro.core.result import CliqueRecord
+from repro.errors import ParameterError
+from repro.service import codec
+from repro.uncertain.graph import UncertainGraph
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def fixture_graph() -> UncertainGraph:
+    """The conftest triangle: a certain triangle plus a weak pendant edge."""
+    return UncertainGraph(
+        edges=[(1, 2, 0.9), (2, 3, 0.9), (1, 3, 0.9), (3, 4, 0.4)]
+    )
+
+
+def frozen(outcome, elapsed: float = 0.015625):
+    """Stamp a deterministic elapsed time so encodings are byte-stable."""
+    outcome.elapsed_seconds = elapsed
+    return outcome
+
+
+def build_payloads() -> dict[str, dict]:
+    graph = fixture_graph()
+    session = MiningSession(graph)
+
+    mule_request = EnumerationRequest(algorithm="mule", alpha=0.5)
+    top_k_request = EnumerationRequest(algorithm="top_k", alpha=0.5, k=2, min_size=2)
+
+    return {
+        "request_mule_default": codec.to_wire(mule_request),
+        "request_large_with_controls": codec.to_wire(
+            EnumerationRequest(
+                algorithm="large",
+                alpha=0.25,
+                size_threshold=3,
+                controls=RunControls(
+                    max_cliques=100,
+                    time_budget_seconds=1.5,
+                    check_every_frames=64,
+                ),
+            )
+        ),
+        "request_parallel_sharded": codec.to_wire(
+            EnumerationRequest(
+                algorithm="fast",
+                alpha=0.5,
+                workers=4,
+                num_shards=8,
+                backend="inline",
+                execution="parallel",
+            )
+        ),
+        "request_top_k_threshold_search": codec.to_wire(
+            EnumerationRequest(
+                algorithm="top_k", k=5, min_size=3, prune_edges=False
+            )
+        ),
+        "outcome_mule_triangle": codec.to_wire(
+            frozen(session.enumerate(mule_request))
+        ),
+        "outcome_top_k_ranked": codec.to_wire(
+            frozen(session.enumerate(top_k_request))
+        ),
+        "sweep_request_five_alphas": codec.sweep_to_wire(
+            mule_request, [0.5, 0.6, 0.7, 0.8, 0.9]
+        ),
+        "records_string_labels": codec.to_wire(
+            [
+                CliqueRecord(vertices=frozenset({"ana", "bob", "cal"}), probability=0.7866),
+                CliqueRecord(vertices=frozenset({"dee"}), probability=1.0),
+            ]
+        ),
+        "error_parameter": codec.to_wire(
+            ParameterError("algorithm 'top_k' requires k")
+        ),
+    }
+
+
+def main() -> None:
+    FIXTURES.mkdir(exist_ok=True)
+    for name, payload in sorted(build_payloads().items()):
+        path = FIXTURES / f"{name}.json"
+        path.write_bytes(codec.encode(payload))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

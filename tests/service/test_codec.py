@@ -1,0 +1,249 @@
+"""Unit tests for the wire codec — strictness, envelopes, error mapping.
+
+The seeded random round-trip coverage lives in
+``test_property_service.py``; this module pins the *rejection* behaviour:
+unknown keys, missing keys, wrong JSON types, schema-version mismatches
+and non-encodable inputs must all fail loudly with
+:class:`~repro.errors.FormatError` (never silently coerce), and error
+envelopes must rebuild the exact library exception types.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EnumerationOutcome, EnumerationRequest
+from repro.core.engine import RunControls, RunReport
+from repro.core.result import CliqueRecord, SearchStatistics
+from repro.errors import (
+    FormatError,
+    ParameterError,
+    ProbabilityError,
+    ReproError,
+    ServiceError,
+)
+from repro.service import codec
+
+
+def envelope_of(obj) -> dict:
+    return codec.to_wire(obj)
+
+
+class TestCanonicalEncoding:
+    def test_encode_is_deterministic(self):
+        request = EnumerationRequest(algorithm="mule", alpha=0.5)
+        assert codec.encode(codec.to_wire(request)) == codec.encode(
+            codec.to_wire(EnumerationRequest(algorithm="mule", alpha=0.5))
+        )
+
+    def test_encode_sorts_keys_and_ends_with_newline(self):
+        data = codec.encode({"b": 1, "a": 2})
+        assert data == b'{"a":2,"b":1}\n'
+
+    def test_encode_rejects_nan(self):
+        with pytest.raises(FormatError):
+            codec.encode({"x": float("nan")})
+
+    def test_encode_rejects_non_json_values(self):
+        with pytest.raises(FormatError):
+            codec.encode({"x": {1, 2}})
+
+    def test_decode_rejects_invalid_json(self):
+        with pytest.raises(FormatError):
+            codec.decode(b"{not json")
+
+    def test_decode_rejects_invalid_utf8(self):
+        with pytest.raises(FormatError):
+            codec.decode(b"\xff\xfe")
+
+    def test_decode_rejects_non_object_payloads(self):
+        with pytest.raises(FormatError):
+            codec.decode(b"[1, 2, 3]")
+
+    def test_floats_roundtrip_exactly(self):
+        # repr-based shortest round-trip: losslessness for awkward floats.
+        alpha = 0.30000000000000004
+        request = EnumerationRequest(algorithm="mule", alpha=alpha)
+        decoded = codec.from_wire(codec.decode(codec.encode(codec.to_wire(request))))
+        assert decoded.alpha == alpha
+
+
+class TestEnvelopeStrictness:
+    def test_unknown_key_rejected(self):
+        payload = envelope_of(EnumerationRequest(algorithm="mule", alpha=0.5))
+        payload["surprise"] = 1
+        with pytest.raises(FormatError, match="unknown keys.*surprise"):
+            codec.from_wire(payload)
+
+    def test_missing_key_rejected(self):
+        payload = envelope_of(EnumerationRequest(algorithm="mule", alpha=0.5))
+        del payload["alpha"]
+        with pytest.raises(FormatError, match="missing keys.*alpha"):
+            codec.from_wire(payload)
+
+    def test_nested_envelope_is_strict_too(self):
+        request = EnumerationRequest(
+            algorithm="mule", alpha=0.5, controls=RunControls(max_cliques=3)
+        )
+        payload = envelope_of(request)
+        payload["controls"]["surprise"] = 1
+        with pytest.raises(FormatError, match="run-controls.*surprise"):
+            codec.from_wire(payload)
+
+    def test_wrong_schema_version_rejected(self):
+        payload = envelope_of(EnumerationRequest(algorithm="mule", alpha=0.5))
+        payload["schema"] = codec.SCHEMA_VERSION + 1
+        with pytest.raises(FormatError, match="unsupported schema version"):
+            codec.from_wire(payload)
+
+    def test_missing_schema_version_rejected(self):
+        payload = envelope_of(EnumerationRequest(algorithm="mule", alpha=0.5))
+        del payload["schema"]
+        with pytest.raises(FormatError, match="unsupported schema version"):
+            codec.request_from_wire(payload)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FormatError, match="unknown wire kind"):
+            codec.from_wire({"schema": codec.SCHEMA_VERSION, "kind": "mystery"})
+
+    def test_kind_mismatch_rejected(self):
+        payload = envelope_of(EnumerationRequest(algorithm="mule", alpha=0.5))
+        with pytest.raises(FormatError, match="expected a 'run-report'"):
+            codec.report_from_wire(payload)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(FormatError):
+            codec.from_wire([1, 2])
+
+
+class TestTypeStrictness:
+    def test_string_alpha_rejected(self):
+        payload = envelope_of(EnumerationRequest(algorithm="mule", alpha=0.5))
+        payload["alpha"] = "0.5"
+        with pytest.raises(FormatError, match="alpha must be int/float"):
+            codec.from_wire(payload)
+
+    def test_boolean_where_number_expected_rejected(self):
+        payload = envelope_of(EnumerationRequest(algorithm="mule", alpha=0.5))
+        payload["workers"] = True
+        with pytest.raises(FormatError, match="must not be a boolean"):
+            codec.from_wire(payload)
+
+    def test_null_where_required_rejected(self):
+        payload = envelope_of(EnumerationRequest(algorithm="mule", alpha=0.5))
+        payload["backend"] = None
+        with pytest.raises(FormatError, match="must not be null"):
+            codec.from_wire(payload)
+
+    def test_negative_counter_rejected(self):
+        payload = envelope_of(SearchStatistics(recursive_calls=3))
+        payload["recursive_calls"] = -1
+        with pytest.raises(FormatError, match=">= 0"):
+            codec.from_wire(payload)
+
+    def test_unknown_stop_reason_rejected(self):
+        payload = envelope_of(RunReport())
+        payload["stop_reason"] = "bored"
+        with pytest.raises(FormatError, match="stop_reason"):
+            codec.from_wire(payload)
+
+    def test_duplicate_vertices_rejected(self):
+        payload = envelope_of(CliqueRecord(vertices=frozenset({1, 2}), probability=0.5))
+        payload["vertices"] = [1, 1]
+        with pytest.raises(FormatError, match="duplicate"):
+            codec.from_wire(payload)
+
+    def test_boolean_vertex_label_rejected(self):
+        payload = envelope_of(CliqueRecord(vertices=frozenset({1}), probability=0.5))
+        payload["vertices"] = [True]
+        with pytest.raises(FormatError, match="vertex label"):
+            codec.from_wire(payload)
+
+    def test_unencodable_vertex_label_rejected_at_encode(self):
+        record = CliqueRecord(vertices=frozenset({(1, 2)}), probability=0.5)
+        with pytest.raises(FormatError, match="not wire-encodable"):
+            codec.to_wire(record)
+
+    def test_domain_validation_uses_library_exceptions(self):
+        # Structurally valid wire payloads with out-of-domain values raise
+        # the same types local construction raises — not FormatError.
+        payload = envelope_of(EnumerationRequest(algorithm="mule", alpha=0.5))
+        payload["alpha"] = 1.5
+        with pytest.raises(ProbabilityError):
+            codec.from_wire(payload)
+        payload = envelope_of(EnumerationRequest(algorithm="mule", alpha=0.5))
+        payload["algorithm"] = "quantum"
+        with pytest.raises(ParameterError):
+            codec.from_wire(payload)
+
+
+class TestSweepEnvelope:
+    def test_roundtrip(self):
+        base = EnumerationRequest(algorithm="fast", alpha=0.3)
+        request, alphas = codec.sweep_from_wire(
+            codec.sweep_to_wire(base, [0.3, 0.5, 0.7])
+        )
+        assert request == base
+        assert alphas == [0.3, 0.5, 0.7]
+
+    def test_empty_alphas_rejected(self):
+        payload = codec.sweep_to_wire(
+            EnumerationRequest(algorithm="mule", alpha=0.5), [0.5]
+        )
+        payload["alphas"] = []
+        with pytest.raises(FormatError, match="must not be empty"):
+            codec.sweep_from_wire(payload)
+
+    def test_non_numeric_alpha_rejected(self):
+        payload = codec.sweep_to_wire(
+            EnumerationRequest(algorithm="mule", alpha=0.5), [0.5]
+        )
+        payload["alphas"] = ["0.5"]
+        with pytest.raises(FormatError, match="must be numbers"):
+            codec.sweep_from_wire(payload)
+
+
+class TestErrorEnvelope:
+    def test_known_type_reconstructed(self):
+        error = codec.from_wire(codec.to_wire(ParameterError("bad k")))
+        assert isinstance(error, ParameterError)
+        assert str(error) == "bad k"
+
+    def test_unknown_type_degrades_to_repro_error(self):
+        error = codec.error_from_wire(
+            {
+                "schema": codec.SCHEMA_VERSION,
+                "kind": "error",
+                "type": "KeyboardInterrupt",
+                "message": "boom",
+            }
+        )
+        assert type(error) is ReproError
+        assert "KeyboardInterrupt" in str(error)
+
+    def test_service_error_is_wire_codable(self):
+        error = codec.from_wire(codec.to_wire(ServiceError("down")))
+        assert isinstance(error, ServiceError)
+
+
+class TestGenericDispatch:
+    def test_to_wire_rejects_unknown_types(self):
+        with pytest.raises(FormatError, match="not wire-codable"):
+            codec.to_wire(object())
+
+    def test_record_list_dispatch(self):
+        records = [CliqueRecord(vertices=frozenset({1, 2}), probability=0.25)]
+        assert codec.from_wire(codec.to_wire(records)) == records
+
+    def test_every_wire_type_dispatches_back(self):
+        objects = [
+            EnumerationRequest(algorithm="mule", alpha=0.5),
+            EnumerationOutcome(algorithm="mule", alpha=0.5),
+            RunControls(max_cliques=5),
+            RunReport(),
+            SearchStatistics(),
+            CliqueRecord(vertices=frozenset({1}), probability=1.0),
+        ]
+        for obj in objects:
+            decoded = codec.from_wire(codec.to_wire(obj))
+            assert type(decoded) is type(obj)

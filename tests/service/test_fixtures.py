@@ -1,0 +1,141 @@
+"""The conformance corpus — golden wire-format fixtures.
+
+Every ``fixtures/*.json`` file is a canonically-encoded payload produced by
+``make_fixtures.py``.  The tests assert two independent things:
+
+* **byte-stable encoding** — decoding a fixture and re-encoding it through
+  the codec reproduces the exact bytes on disk.  Any change to envelope
+  shape, key names, canonical formatting or float rendering fails here and
+  must come with a deliberate fixture regeneration (i.e. a reviewable
+  diff) and, for semantic changes, a schema-version bump;
+* **decode equality** — fixtures decode to exactly the objects they were
+  built from, pinning the semantics, not just the spelling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import EnumerationRequest
+from repro.core.engine import RunControls, StopReason
+from repro.errors import ParameterError
+from repro.service import codec
+
+FIXTURES = Path(__file__).parent / "fixtures"
+FIXTURE_PATHS = sorted(FIXTURES.glob("*.json"))
+
+
+def roundtrip(raw: bytes) -> bytes:
+    """Decode fixture bytes to an object and re-encode them canonically."""
+    payload = codec.decode(raw)
+    if payload.get("kind") == "sweep-request":
+        request, alphas = codec.sweep_from_wire(payload)
+        return codec.encode(codec.sweep_to_wire(request, alphas))
+    obj = codec.from_wire(payload)
+    if payload.get("kind") == "error":
+        return codec.encode(codec.error_to_wire(obj))
+    return codec.encode(codec.to_wire(obj))
+
+
+def test_corpus_is_present():
+    """The corpus must never silently vanish (glob returning [] passes
+    parametrized tests vacuously)."""
+    assert len(FIXTURE_PATHS) >= 9
+
+
+@pytest.mark.parametrize("path", FIXTURE_PATHS, ids=lambda p: p.stem)
+def test_byte_stable_roundtrip(path):
+    raw = path.read_bytes()
+    assert roundtrip(raw) == raw, (
+        f"{path.name} no longer round-trips byte-for-byte; if the schema "
+        f"changed deliberately, bump SCHEMA_VERSION and regenerate with "
+        f"make_fixtures.py"
+    )
+
+
+@pytest.mark.parametrize("path", FIXTURE_PATHS, ids=lambda p: p.stem)
+def test_fixture_envelopes_are_versioned(path):
+    payload = codec.decode(path.read_bytes())
+    assert payload["schema"] == codec.SCHEMA_VERSION
+    assert isinstance(payload["kind"], str)
+
+
+class TestDecodeEquality:
+    """Fixtures decode to exactly the objects they encode."""
+
+    def load(self, name: str):
+        return codec.decode((FIXTURES / f"{name}.json").read_bytes())
+
+    def test_request_mule_default(self):
+        request = codec.from_wire(self.load("request_mule_default"))
+        assert request == EnumerationRequest(algorithm="mule", alpha=0.5)
+
+    def test_request_large_with_controls(self):
+        request = codec.from_wire(self.load("request_large_with_controls"))
+        assert request == EnumerationRequest(
+            algorithm="large",
+            alpha=0.25,
+            size_threshold=3,
+            controls=RunControls(
+                max_cliques=100, time_budget_seconds=1.5, check_every_frames=64
+            ),
+        )
+
+    def test_request_parallel_sharded(self):
+        request = codec.from_wire(self.load("request_parallel_sharded"))
+        assert request == EnumerationRequest(
+            algorithm="fast",
+            alpha=0.5,
+            workers=4,
+            num_shards=8,
+            backend="inline",
+            execution="parallel",
+        )
+        assert request.parallel
+
+    def test_request_top_k_threshold_search(self):
+        request = codec.from_wire(self.load("request_top_k_threshold_search"))
+        assert request == EnumerationRequest(
+            algorithm="top_k", k=5, min_size=3, prune_edges=False
+        )
+        assert request.alpha is None
+
+    def test_outcome_mule_triangle(self):
+        outcome = codec.from_wire(self.load("outcome_mule_triangle"))
+        assert outcome.algorithm == "mule"
+        assert outcome.alpha == 0.5
+        assert outcome.records_by_vertices() == {
+            frozenset({1, 2, 3}): pytest.approx(0.729, abs=1e-12),
+            frozenset({4}): 1.0,
+        }
+        assert outcome.stop_reason == StopReason.COMPLETED
+        assert outcome.statistics.recursive_calls == 9
+        assert outcome.report.frames_expanded == 9
+        assert outcome.request == EnumerationRequest(algorithm="mule", alpha=0.5)
+
+    def test_outcome_top_k_ranked(self):
+        outcome = codec.from_wire(self.load("outcome_top_k_ranked"))
+        assert outcome.algorithm == "top-k"
+        assert [sorted(r.vertices) for r in outcome.records] == [[1, 2, 3]]
+        assert outcome.request.k == 2
+
+    def test_sweep_request_five_alphas(self):
+        request, alphas = codec.sweep_from_wire(
+            self.load("sweep_request_five_alphas")
+        )
+        assert request == EnumerationRequest(algorithm="mule", alpha=0.5)
+        assert alphas == [0.5, 0.6, 0.7, 0.8, 0.9]
+
+    def test_records_string_labels(self):
+        records = codec.from_wire(self.load("records_string_labels"))
+        assert [r.vertices for r in records] == [
+            frozenset({"ana", "bob", "cal"}),
+            frozenset({"dee"}),
+        ]
+
+    def test_error_parameter(self):
+        error = codec.from_wire(self.load("error_parameter"))
+        assert isinstance(error, ParameterError)
+        assert "requires k" in str(error)

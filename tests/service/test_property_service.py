@@ -1,0 +1,166 @@
+"""Property tests for the service layer (seeded stdlib ``random`` only).
+
+Two families:
+
+* **codec round-trips** — randomly generated valid requests, and outcomes
+  produced by real enumerations of every algorithm on small generator
+  graphs, survive ``to_wire → encode → decode → from_wire`` unchanged
+  (fields, record order, probabilities, counters — everything);
+* **remote/local parity** — ``RemoteSession.enumerate()`` against a live
+  in-process server is clique-set- and counter-identical to local
+  ``MiningSession.enumerate()`` for all five algorithms (the PR's
+  acceptance criterion), on randomly generated graphs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import EnumerationRequest, MiningSession
+from repro.core.engine import RunControls
+from repro.generators.erdos_renyi import random_uncertain_graph
+from repro.service import MiningServer, RemoteSession, codec
+
+#: Requests per seeded generator run; small graphs keep the whole module
+#: in the sub-second range.
+NUM_RANDOM_REQUESTS = 200
+
+ALGORITHM_REQUESTS = [
+    EnumerationRequest(algorithm="mule", alpha=0.2),
+    EnumerationRequest(algorithm="fast", alpha=0.2),
+    EnumerationRequest(algorithm="noip", alpha=0.2),
+    EnumerationRequest(algorithm="large", alpha=0.1, size_threshold=3),
+    EnumerationRequest(algorithm="top_k", alpha=0.2, k=5),
+]
+
+
+def random_request(rng: random.Random) -> EnumerationRequest:
+    """Draw one valid request from the full cross-product of knobs."""
+    algorithm = rng.choice(["mule", "fast", "noip", "large", "top_k"])
+    alpha = rng.choice([0.05, 0.1, 0.25, 1 / 3, 0.5, 0.725, 0.9, 1.0])
+    fields: dict = {"algorithm": algorithm, "alpha": alpha}
+    if algorithm == "top_k":
+        fields["k"] = rng.randint(1, 10)
+        fields["min_size"] = rng.randint(1, 4)
+        if rng.random() < 0.3:
+            fields["alpha"] = None  # threshold-descent search
+    if algorithm == "large":
+        fields["size_threshold"] = rng.randint(2, 5)
+        fields["shared_neighborhood_filtering"] = rng.random() < 0.5
+    fields["prune_edges"] = rng.random() < 0.8
+    if rng.random() < 0.4:
+        fields["controls"] = RunControls(
+            max_cliques=rng.choice([None, 1, 7, 1000]),
+            time_budget_seconds=rng.choice([None, 0.5, 30.0]),
+            check_every_frames=rng.choice([1, 64, 256]),
+        )
+    if algorithm in ("mule", "fast") and rng.random() < 0.4:
+        fields["workers"] = rng.choice([None, 2, 4])
+        fields["num_shards"] = rng.choice([None, 1, 8])
+        fields["backend"] = rng.choice(["auto", "process", "inline"])
+        if fields["workers"] == 1 or fields["workers"] is None:
+            fields["execution"] = rng.choice(["auto", "parallel"])
+    return EnumerationRequest(**fields)
+
+
+def assert_outcome_identical(decoded, original) -> None:
+    """Field-exact comparison, including record *order* and probabilities."""
+    assert [(r.vertices, r.probability) for r in decoded.records] == [
+        (r.vertices, r.probability) for r in original.records
+    ]
+    assert decoded.algorithm == original.algorithm
+    assert decoded.alpha == original.alpha
+    assert decoded.statistics == original.statistics
+    assert decoded.report == original.report
+    assert decoded.elapsed_seconds == original.elapsed_seconds
+    assert decoded.request == original.request
+
+
+class TestRequestRoundTrip:
+    def test_random_requests_roundtrip_unchanged(self):
+        rng = random.Random(20150420)
+        for _ in range(NUM_RANDOM_REQUESTS):
+            request = random_request(rng)
+            wire = codec.decode(codec.encode(codec.to_wire(request)))
+            assert codec.from_wire(wire) == request
+
+    def test_roundtrip_is_byte_stable(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            request = random_request(rng)
+            first = codec.encode(codec.to_wire(request))
+            second = codec.encode(codec.to_wire(codec.from_wire(codec.decode(first))))
+            assert first == second
+
+
+class TestOutcomeRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_outcomes_roundtrip_unchanged(self, seed):
+        graph = random_uncertain_graph(12, 0.5, rng=random.Random(seed))
+        session = MiningSession(graph)
+        for request in ALGORITHM_REQUESTS:
+            outcome = session.enumerate(request)
+            decoded = codec.from_wire(
+                codec.decode(codec.encode(codec.to_wire(outcome)))
+            )
+            assert_outcome_identical(decoded, outcome)
+
+    def test_truncated_outcome_roundtrips(self):
+        graph = random_uncertain_graph(14, 0.6, rng=random.Random(3))
+        outcome = MiningSession(graph).enumerate(
+            EnumerationRequest(
+                algorithm="mule", alpha=0.05, controls=RunControls(max_cliques=2)
+            )
+        )
+        assert outcome.truncated
+        decoded = codec.from_wire(codec.decode(codec.encode(codec.to_wire(outcome))))
+        assert_outcome_identical(decoded, outcome)
+        assert decoded.truncated
+
+    def test_threshold_search_outcome_roundtrips(self):
+        graph = random_uncertain_graph(10, 0.5, rng=random.Random(4))
+        outcome = MiningSession(graph).enumerate(
+            EnumerationRequest(algorithm="top_k", k=3)
+        )
+        decoded = codec.from_wire(codec.decode(codec.encode(codec.to_wire(outcome))))
+        assert_outcome_identical(decoded, outcome)
+
+
+class TestRemoteParity:
+    """RemoteSession.enumerate ≡ MiningSession.enumerate, all algorithms."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return random_uncertain_graph(14, 0.5, rng=random.Random(21))
+
+    @pytest.fixture(scope="class")
+    def remote(self, graph):
+        with MiningServer(graph, port=0) as server:
+            yield RemoteSession(server.url)
+
+    @pytest.mark.parametrize(
+        "request_", ALGORITHM_REQUESTS, ids=lambda r: r.algorithm
+    )
+    def test_parity_per_algorithm(self, graph, remote, request_):
+        local = MiningSession(graph).enumerate(request_)
+        over_the_wire = remote.enumerate(request_)
+        over_the_wire.assert_matches(local)
+        assert over_the_wire.algorithm == local.algorithm
+        assert over_the_wire.report == local.report
+
+    def test_parity_threshold_search(self, graph, remote):
+        request = EnumerationRequest(algorithm="top_k", k=4)
+        local = MiningSession(graph).enumerate(request)
+        over_the_wire = remote.enumerate(request)
+        over_the_wire.assert_matches(local)
+
+    def test_parity_parallel_workers_forwarded(self, graph, remote):
+        request = EnumerationRequest(
+            algorithm="mule", alpha=0.2, workers=2, backend="inline"
+        )
+        local = MiningSession(graph).enumerate(request)
+        over_the_wire = remote.enumerate(request)
+        over_the_wire.assert_matches(local)
+        assert over_the_wire.algorithm == "parallel-mule"

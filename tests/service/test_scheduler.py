@@ -1,0 +1,196 @@
+"""Scheduler tests — single-flight compilation, mixed-graph isolation.
+
+The concurrency guarantees pinned here:
+
+* N concurrent requests for the same (graph, α) perform exactly **one**
+  compilation (asserted via ``cache_info()``), even on a cold cache —
+  the single-flight dedup the plain cache deliberately does not provide;
+* concurrent sweeps share one compilation end to end;
+* interleaved load over *different* graphs never cross-contaminates
+  outcomes (session-per-fingerprint isolation);
+* the bookkeeping counters (submitted/completed/failed, waits) add up.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.api import EnumerationRequest, MiningSession
+from repro.errors import ParameterError
+from repro.generators.erdos_renyi import random_uncertain_graph
+from repro.service import EnumerationScheduler
+import repro.api.cache as cache_module
+
+REQUEST = EnumerationRequest(algorithm="mule", alpha=0.4)
+
+
+@pytest.fixture
+def graph():
+    return random_uncertain_graph(16, 0.5, rng=random.Random(11))
+
+
+@pytest.fixture
+def other_graph():
+    return random_uncertain_graph(12, 0.6, rng=random.Random(99))
+
+
+@pytest.fixture
+def slow_compile(monkeypatch):
+    """Make every real compilation take a visible amount of wall clock.
+
+    The single-flight window is otherwise microseconds wide on toy
+    graphs, which would let a broken implementation pass by racing
+    through it; 50 ms guarantees all concurrently submitted jobs arrive
+    while the leader is still compiling.
+    """
+    real = cache_module.compile_graph
+
+    def slowed(*args, **kwargs):
+        time.sleep(0.05)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(cache_module, "compile_graph", slowed)
+
+
+class TestSingleFlight:
+    def test_same_key_compiles_exactly_once(self, graph, slow_compile):
+        with EnumerationScheduler(graph, max_workers=8) as scheduler:
+            futures = [scheduler.submit(REQUEST) for _ in range(12)]
+            outcomes = [future.result() for future in futures]
+            info = scheduler.cache_info()
+            stats = scheduler.stats()
+        assert info.compilations == 1, info
+        # Followers piggybacked on the leader instead of compiling.
+        assert stats.single_flight_waits >= 1, stats
+        reference = MiningSession(graph).enumerate(REQUEST)
+        for outcome in outcomes:
+            outcome.assert_matches(reference)
+
+    def test_external_threads_share_one_compilation(self, graph, slow_compile):
+        outcomes = []
+        errors = []
+        with EnumerationScheduler(graph, max_workers=8) as scheduler:
+            barrier = threading.Barrier(6)
+
+            def hammer():
+                try:
+                    barrier.wait(timeout=5)
+                    outcomes.append(scheduler.run(REQUEST))
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            info = scheduler.cache_info()
+        assert not errors
+        assert len(outcomes) == 6
+        assert info.compilations == 1, info
+
+    def test_concurrent_sweep_compiles_once(self, graph, slow_compile):
+        alphas = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+        with EnumerationScheduler(graph, max_workers=8) as scheduler:
+            outcomes = scheduler.sweep(alphas)
+            info = scheduler.cache_info()
+        assert info.compilations == 1, info
+        assert info.derivations == len(alphas) - 1, info
+        session = MiningSession(graph)
+        for alpha, outcome in zip(alphas, outcomes):
+            outcome.assert_matches(
+                session.enumerate(EnumerationRequest(algorithm="mule", alpha=alpha))
+            )
+
+    def test_distinct_keys_still_compile_separately(self, graph):
+        # Different compile options are different artifacts; single-flight
+        # must not over-merge them.
+        pruned = EnumerationRequest(algorithm="mule", alpha=0.4)
+        unpruned = EnumerationRequest(algorithm="mule", alpha=0.4, prune_edges=False)
+        with EnumerationScheduler(graph) as scheduler:
+            a = scheduler.run(pruned)
+            b = scheduler.run(unpruned)
+            info = scheduler.cache_info()
+        assert info.compilations == 2, info
+        a.assert_matches(b, compare_statistics=False)
+
+
+class TestMixedGraphLoad:
+    def test_outcomes_never_cross_contaminate(self, graph, other_graph):
+        with EnumerationScheduler(graph, max_workers=6) as scheduler:
+            futures = []
+            for _ in range(4):
+                futures.append((graph, scheduler.submit(REQUEST)))
+                futures.append(
+                    (other_graph, scheduler.submit(REQUEST, graph=other_graph))
+                )
+            results = [(g, future.result()) for g, future in futures]
+            assert scheduler.stats().sessions == 2
+
+        expected = {
+            id(g): MiningSession(g).enumerate(REQUEST) for g in (graph, other_graph)
+        }
+        for g, outcome in results:
+            outcome.assert_matches(expected[id(g)])
+        # The two graphs genuinely disagree, so a swap would have failed.
+        assert expected[id(graph)].vertex_sets() != expected[
+            id(other_graph)
+        ].vertex_sets()
+
+    def test_equal_graphs_share_a_session(self, graph):
+        copy = graph.copy()
+        with EnumerationScheduler(graph) as scheduler:
+            scheduler.run(REQUEST)
+            scheduler.run(REQUEST, graph=copy)
+            assert scheduler.stats().sessions == 1
+            assert scheduler.cache_info().compilations == 1
+
+
+class TestBookkeeping:
+    def test_counters_add_up(self, graph):
+        with EnumerationScheduler(graph, max_workers=2) as scheduler:
+            for _ in range(5):
+                scheduler.run(REQUEST)
+            stats = scheduler.stats()
+        assert stats.submitted == 5
+        assert stats.completed == 5
+        assert stats.failed == 0
+        assert stats.inflight == 0
+        assert stats.queued == 0
+
+    def test_failures_are_counted_and_raised(self, graph, monkeypatch):
+        class Boom(RuntimeError):
+            pass
+
+        def explode(self, request):
+            raise Boom("kernel exploded")
+
+        with EnumerationScheduler(graph) as scheduler:
+            monkeypatch.setattr(MiningSession, "enumerate", explode)
+            future = scheduler.submit(REQUEST)
+            with pytest.raises(Boom):
+                future.result()
+            stats = scheduler.stats()
+        assert stats.failed == 1
+        assert stats.completed == 0
+
+    def test_invalid_max_workers_rejected(self, graph):
+        with pytest.raises(ParameterError):
+            EnumerationScheduler(graph, max_workers=0)
+
+    def test_submit_after_shutdown_raises(self, graph):
+        scheduler = EnumerationScheduler(graph)
+        scheduler.shutdown()
+        with pytest.raises(RuntimeError):
+            scheduler.submit(REQUEST)
+
+    def test_empty_graph_requests_complete(self):
+        from repro.uncertain.graph import UncertainGraph
+
+        with EnumerationScheduler(UncertainGraph()) as scheduler:
+            outcome = scheduler.run(REQUEST)
+        assert outcome.num_cliques == 0
