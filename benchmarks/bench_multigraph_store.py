@@ -1,0 +1,194 @@
+"""Multi-graph hosting — warm-cache throughput and LRU eviction behaviour.
+
+Not a figure from the paper: this benchmark smoke-tests the resource-model
+redesign (``GraphStore`` + ``/v2/graphs``; see ``docs/service.md``) the
+way ``bench_service_throughput.py`` covers the single-graph surface.  Two
+measurements:
+
+* **warm-cache rps with N graphs resident** — a real in-process HTTP
+  server hosts several graphs; after one warm-up sweep per graph, client
+  threads hammer ``POST /v2/graphs/{name}/enumerate`` round-robin across
+  the catalog.  Asserted: every outcome is clique- and counter-identical
+  to the local session run on its graph, and every graph compiled exactly
+  **once** (per-graph ``/v1/stats`` counters — the multi-graph cache
+  isolates residencies);
+* **eviction under a small LRU budget** — a store bounded at
+  ``max_graphs=3`` receives a stream of uploads; the run asserts the
+  budget holds, pinned catalog graphs survive, evicted graphs drop their
+  compiled artifacts, and a re-used graph stays resident (LRU touching
+  works).
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+
+from repro.api import EnumerationRequest, GraphStore, MiningSession
+from repro.generators.erdos_renyi import random_uncertain_graph
+from repro.service import MiningServer, connect
+
+ALPHA = 0.8
+CLIENT_THREADS = 4
+DEFAULT_SCALE = 0.05
+
+#: Resident catalog size and per-graph request volume at default scale.
+NUM_GRAPHS = 4
+BASE_REQUESTS = 96
+
+BASE_VERTICES = 150
+EDGE_DENSITY = 0.25
+
+
+def _catalog(bench_scale: float) -> dict:
+    n = max(30, round(BASE_VERTICES * (bench_scale / DEFAULT_SCALE) ** 0.5))
+    return {
+        f"er{index}": random_uncertain_graph(
+            n + 7 * index, EDGE_DENSITY, rng=random.Random(100 + index)
+        )
+        for index in range(NUM_GRAPHS)
+    }
+
+
+def bench_multigraph_warm_rps(bench_scale, run_once, record_rows):
+    """Round-robin remote enumerations across N resident graphs."""
+    graphs = _catalog(bench_scale)
+    request = EnumerationRequest(algorithm="mule", alpha=ALPHA)
+    references = {
+        name: MiningSession(graph).enumerate(request)
+        for name, graph in graphs.items()
+    }
+    num_requests = max(24, round(BASE_REQUESTS * bench_scale / DEFAULT_SCALE))
+    names = list(graphs)
+
+    def measure():
+        store = GraphStore()
+        for name, graph in graphs.items():
+            store.add(graph, name=name, pin=True)
+        with MiningServer(store, port=0, max_workers=CLIENT_THREADS) as server:
+            remote = connect(server.url)
+            sessions = {name: remote.session(name) for name in names}
+            for session in sessions.values():
+                session.enumerate(request)  # warm-up: the one compilation
+            started = perf_counter()
+            with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+                outcomes = list(
+                    pool.map(
+                        lambda i: (
+                            names[i % len(names)],
+                            sessions[names[i % len(names)]].enumerate(request),
+                        ),
+                        range(num_requests),
+                    )
+                )
+            elapsed = perf_counter() - started
+            per_graph = {
+                name: sessions[name].cache_info() for name in names
+            }
+            stats = remote.stats()
+        return outcomes, elapsed, per_graph, stats
+
+    outcomes, elapsed, per_graph, stats = run_once(measure)
+
+    requests_per_second = num_requests / max(elapsed, 1e-9)
+    record_rows(
+        "Multi-graph hosting throughput",
+        f"remote enumerate() round-robin over {NUM_GRAPHS} resident graphs",
+        [
+            {
+                "graphs_resident": NUM_GRAPHS,
+                "alpha": ALPHA,
+                "requests": num_requests,
+                "client_threads": CLIENT_THREADS,
+                "seconds": round(elapsed, 4),
+                "requests_per_sec": round(requests_per_second, 1),
+                "total_compilations": stats["cache"]["compilations"],
+            }
+        ],
+        columns=[
+            "graphs_resident",
+            "alpha",
+            "requests",
+            "client_threads",
+            "seconds",
+            "requests_per_sec",
+            "total_compilations",
+        ],
+    )
+
+    # Parity per graph: the wire and the shared store add zero drift.
+    assert len(outcomes) == num_requests
+    for name, outcome in outcomes:
+        outcome.assert_matches(references[name])
+    # Each graph compiled exactly once; the totals line up.
+    for name, info in per_graph.items():
+        assert info.compilations == 1, (name, info)
+    assert stats["cache"]["compilations"] == NUM_GRAPHS, stats
+    assert stats["http"]["failed"] == 0, stats
+    assert requests_per_second > 0
+
+
+def bench_store_eviction(bench_scale, run_once, record_rows):
+    """An LRU-bounded store under an upload stream: budget + pins hold."""
+    request = EnumerationRequest(algorithm="mule", alpha=ALPHA)
+    pinned_graph = random_uncertain_graph(60, EDGE_DENSITY, rng=random.Random(7))
+    hot_graph = random_uncertain_graph(64, EDGE_DENSITY, rng=random.Random(8))
+    uploads = [
+        random_uncertain_graph(40 + i, EDGE_DENSITY, rng=random.Random(500 + i))
+        for i in range(12)
+    ]
+
+    def measure():
+        store = GraphStore(max_graphs=3)
+        store.add(pinned_graph, name="catalog", pin=True)
+        hot = store.add(hot_graph, name="hot")
+        store.session("hot").enumerate(request)
+        evicted_with_artifacts = 0
+        started = perf_counter()
+        for graph in uploads:
+            info = store.add(graph)
+            store.session(info.fingerprint).enumerate(request)
+            # Touch the hot graph every round so LRU keeps it resident.
+            store.session("hot")
+            if store.cache.info_for(info.fingerprint).entries == 0:
+                evicted_with_artifacts += 1
+        elapsed = perf_counter() - started
+        return store, hot, evicted_with_artifacts, elapsed
+
+    store, hot, _, elapsed = run_once(measure)
+
+    resident = [info.name or info.fingerprint[:8] for info in store.list()]
+    record_rows(
+        "Store eviction under a 3-graph LRU budget",
+        "12 uploads through a bounded GraphStore (pinned + hot graphs survive)",
+        [
+            {
+                "budget": 3,
+                "uploads": len(uploads),
+                "resident_after": len(store),
+                "cache_entries": store.cache_info().entries,
+                "seconds": round(elapsed, 4),
+                "survivors": ", ".join(resident),
+            }
+        ],
+        columns=[
+            "budget",
+            "uploads",
+            "resident_after",
+            "cache_entries",
+            "seconds",
+            "survivors",
+        ],
+    )
+
+    # The budget held, the pin held, and the touched graph stayed hot.
+    assert len(store) == 3
+    assert "catalog" in store
+    assert "hot" in store
+    assert store.cache_info_for("hot").entries > 0
+    # Every evicted upload's artifacts left the shared cache with it.
+    for graph in uploads[:-1]:
+        fingerprint = graph.fingerprint()
+        if fingerprint not in store:
+            assert store.cache.info_for(fingerprint).entries == 0

@@ -1,18 +1,24 @@
 #!/usr/bin/env python3
-"""Serve a graph over HTTP and mine it through :class:`RemoteSession`.
+"""Host two of the paper's datasets in one server and mine both remotely.
 
-This example runs the whole service stack in one process:
+This example runs the whole multi-graph service stack in one process:
 
-1. start a :class:`repro.MiningServer` on an ephemeral port (exactly what
-   ``repro-mule serve`` does),
-2. connect a :class:`repro.RemoteSession` — the client mirror of
-   :class:`repro.MiningSession`,
-3. enumerate and sweep remotely, and verify the outcomes are bit-identical
-   to local runs while the server compiled the graph exactly once.
+1. build a :class:`repro.GraphStore` hosting two Table 1 analogs (exactly
+   what ``repro-mule serve --dataset ppi --dataset dblp`` does),
+2. start a :class:`repro.MiningServer` on an ephemeral port,
+3. ``connect()`` a :class:`repro.RemoteStore` — the client mirror of the
+   graph store — and open a :class:`repro.RemoteSession` on each dataset
+   *by name*,
+4. sweep both remotely and verify the outcomes are bit-identical to local
+   runs while each graph compiled exactly once (per-graph counters),
+5. upload a brand-new graph over the wire and mine it too.
 
-In production the server would run in its own process (``repro-mule serve
---input graph.edges --port 8765``) with many clients sharing its
-compiled-graph cache; see ``docs/service.md`` for the wire protocol.
+In production the server would run in its own process::
+
+    repro-mule serve --dataset ppi:0.05 --dataset dblp:0.0005 --port 8765
+
+with many clients sharing its compiled-graph cache; see
+``docs/service.md`` for the wire protocol.
 
 Run it with::
 
@@ -23,74 +29,76 @@ from __future__ import annotations
 
 from repro import (
     EnumerationRequest,
+    GraphStore,
     MiningServer,
     MiningSession,
-    RemoteSession,
     UncertainGraph,
+    connect,
 )
 
-
-def build_example_graph() -> UncertainGraph:
-    """Two tight friend groups bridged by a weak tie (the quickstart graph)."""
-    return UncertainGraph(
-        edges=[
-            ("ana", "bob", 0.95),
-            ("ana", "cal", 0.90),
-            ("bob", "cal", 0.92),
-            ("ana", "dee", 0.85),
-            ("bob", "dee", 0.80),
-            ("cal", "dee", 0.88),
-            ("eve", "fay", 0.90),
-            ("eve", "gus", 0.85),
-            ("fay", "gus", 0.95),
-            ("dee", "eve", 0.30),
-            ("gus", "hal", 0.45),
-        ]
-    )
+#: Small scales so the example runs in seconds; any registry name works.
+CATALOG = {"ppi": 0.02, "dblp-small": 1.0}
+ALPHAS = [0.5, 0.6, 0.7, 0.8, 0.9]
 
 
 def main() -> None:
-    graph = build_example_graph()
-    local = MiningSession(graph)
+    store = GraphStore()
+    for name, scale in CATALOG.items():
+        info = store.add_dataset(name, scale=scale, seed=2015)
+        print(f"hosting {info.name}: n={info.num_vertices}, m={info.num_edges}")
 
-    with MiningServer(graph, port=0) as server:
-        print(f"server listening at {server.url}")
-        remote = RemoteSession(server.url)
+    with MiningServer(store, port=0) as server:
+        print(f"\nserver listening at {server.url}")
+        remote = connect(server.url)
+        print(f"served graphs: {[info.name for info in remote.list()]}")
 
-        health = remote.health()
-        print(
-            f"health: {health['status']} — serving n={health['graph']['num_vertices']}, "
-            f"m={health['graph']['num_edges']}"
+        # One RemoteSession per dataset, addressed by name — the same call
+        # sites a local GraphStore gives you.
+        for name in CATALOG:
+            session = remote.session(name)
+            outcomes = session.sweep(ALPHAS)
+            counts = [outcome.num_cliques for outcome in outcomes]
+            print(f"\n{name}: sweep over {ALPHAS} -> cliques per alpha {counts}")
+
+            # Bit-identical to running the same sweep locally...
+            local = MiningSession(store.graph(name)).sweep(ALPHAS)
+            for ours, theirs in zip(outcomes, local):
+                ours.assert_matches(theirs)
+            # ...and the whole sweep compiled this graph exactly once,
+            # asserted via the per-graph server-side counters.
+            info = session.cache_info()
+            print(
+                f"{name}: parity OK; server cache: {info.compilations} "
+                f"compilation(s), {info.derivations} derivation(s)"
+            )
+            assert info.compilations == 1, "each graph should compile once"
+
+        # Graphs are first-class resources: upload one over the wire.
+        friends = UncertainGraph(
+            edges=[
+                ("ana", "bob", 0.95),
+                ("ana", "cal", 0.90),
+                ("bob", "cal", 0.92),
+                ("cal", "dee", 0.40),
+            ]
         )
-
-        # One request over the wire, same call shape as a local session.
-        request = EnumerationRequest(algorithm="mule", alpha=0.5)
-        outcome = remote.enumerate(request)
-        print(f"\nremote mule at alpha=0.5 -> {outcome.num_cliques} cliques:")
+        uploaded = remote.add(friends, name="friends")
+        print(
+            f"\nuploaded 'friends' ({uploaded.fingerprint[:12]}…): "
+            f"n={uploaded.num_vertices}, m={uploaded.num_edges}"
+        )
+        outcome = remote.session("friends").enumerate(
+            EnumerationRequest(algorithm="mule", alpha=0.5)
+        )
         for record in outcome.records:
             members = ", ".join(record.as_tuple())
             print(f"  {{{members}}}  p={record.probability:.4f}")
-
-        # Bit-identical to running the same request locally.
-        outcome.assert_matches(local.enumerate(request))
-        print("parity with the local session: OK")
-
-        # A whole sweep travels as one request and compiles once server-side.
-        # (Thresholds at or above the earlier request's α=0.5 derive from
-        # its cached artifact — a compiled graph pruned at α can serve any
-        # α′ ≥ α by filtering, never the other way around.)
-        alphas = [0.5, 0.6, 0.7, 0.8, 0.9]
-        outcomes = remote.sweep(alphas)
-        print(f"\nremote sweep over {alphas}:")
-        for alpha, swept in zip(alphas, outcomes):
-            print(f"  alpha={alpha:.1f}: {swept.num_cliques} cliques")
-
-        info = remote.cache_info()
-        print(
-            f"\nserver-side cache: {info.compilations} compilation(s), "
-            f"{info.derivations} derivation(s), {info.hits} hit(s)"
+        outcome.assert_matches(
+            MiningSession(friends).enumerate(
+                EnumerationRequest(algorithm="mule", alpha=0.5)
+            )
         )
-        assert info.compilations == 1, "the whole session should compile once"
+        print("uploaded-graph parity with a local session: OK")
 
 
 if __name__ == "__main__":

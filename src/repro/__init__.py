@@ -68,21 +68,31 @@ from .api import (
     CompiledGraphCache,
     EnumerationOutcome,
     EnumerationRequest,
+    GraphInfo,
+    GraphStore,
     MiningSession,
 )
-from .datasets.registry import available_datasets, load_dataset
+from .datasets.registry import available_datasets, load_dataset, resolve_dataset_name
 from .parallel import Shard, ShardPlanner, parallel_mule
-from .service import EnumerationScheduler, MiningServer, RemoteSession
+from .service import (
+    EnumerationScheduler,
+    MiningServer,
+    RemoteSession,
+    RemoteStore,
+    connect,
+)
 from .deterministic.graph import Graph
 from .errors import (
     DatasetError,
     EdgeError,
     FormatError,
     GraphError,
+    GraphNotFoundError,
     ParameterError,
     ProbabilityError,
     ReproError,
     ServiceError,
+    StoreError,
     VertexError,
 )
 from .uncertain.graph import UncertainGraph
@@ -101,6 +111,8 @@ __all__ = [
     "EnumerationOutcome",
     "CompiledGraphCache",
     "CacheInfo",
+    "GraphStore",
+    "GraphInfo",
     # enumeration algorithms
     "mule",
     "MuleConfig",
@@ -141,6 +153,7 @@ __all__ = [
     "moon_moser_graph",
     # datasets and I/O
     "available_datasets",
+    "resolve_dataset_name",
     "load_dataset",
     "read_edge_list",
     "write_edge_list",
@@ -154,8 +167,12 @@ __all__ = [
     "DatasetError",
     "FormatError",
     "ServiceError",
+    "StoreError",
+    "GraphNotFoundError",
     # service layer
     "MiningServer",
     "RemoteSession",
+    "RemoteStore",
+    "connect",
     "EnumerationScheduler",
 ]

@@ -13,7 +13,11 @@ ROADMAP's batching/caching scale-out items live in):
   report + stop/truncation provenance) every entry point returns.
 * :class:`CompiledGraphCache` / :class:`CacheInfo` — the artifact store,
   shareable across sessions, with derivation-aware lookup and hit/miss
-  accounting.
+  accounting (global and per graph fingerprint).
+* :class:`GraphStore` / :class:`GraphInfo` — graphs as first-class named
+  resources: many sessions behind one shared cache, addressed by
+  registered name or fingerprint, with budgeted LRU eviction.  The
+  substrate of multi-graph hosting in :mod:`repro.service`.
 
 The legacy free functions (``mule``, ``fast_mule``, ``dfs_noip``,
 ``large_mule``, ``top_k_*``, ``parallel_mule``) delegate here; use the
@@ -24,6 +28,7 @@ from .cache import CacheInfo, CompiledGraphCache
 from .outcome import EnumerationOutcome
 from .request import ALGORITHMS, EnumerationRequest
 from .session import MiningSession
+from .store import GraphInfo, GraphStore
 
 __all__ = [
     "MiningSession",
@@ -31,5 +36,7 @@ __all__ = [
     "EnumerationOutcome",
     "CompiledGraphCache",
     "CacheInfo",
+    "GraphStore",
+    "GraphInfo",
     "ALGORITHMS",
 ]

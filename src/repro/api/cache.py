@@ -98,6 +98,11 @@ class CompiledGraphCache:
         self._misses = 0
         self._compilations = 0
         self._derivations = 0
+        # Per-fingerprint [hits, misses, compilations, derivations] — what
+        # lets a multi-graph service assert "this graph compiled exactly
+        # once" instead of only the global total.  Counters live and die
+        # with the graph's residency (see :meth:`discard`).
+        self._by_fingerprint: dict[str, list[int]] = {}
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -124,6 +129,7 @@ class CompiledGraphCache:
                 entry = self._entries.get(key)
                 if entry is not None:
                     self._hits += 1
+                    self._count(fingerprint, 0)
                     self._entries.move_to_end(key)
                     return entry
                 if size_threshold is None and alpha is not None:
@@ -142,6 +148,8 @@ class CompiledGraphCache:
             with self._lock:
                 self._misses += 1
                 self._derivations += 1
+                self._count(fingerprint, 1)
+                self._count(fingerprint, 3)
                 self._store(key, derived)
             return derived
 
@@ -154,6 +162,8 @@ class CompiledGraphCache:
         with self._lock:
             self._misses += 1
             self._compilations += 1
+            self._count(fingerprint, 1)
+            self._count(fingerprint, 2)
             self._store(key, compiled)
         return compiled
 
@@ -200,7 +210,26 @@ class CompiledGraphCache:
         self._entries.move_to_end(key)
         if self.maxsize is not None:
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                evicted_key, _ = self._entries.popitem(last=False)
+                fingerprint = evicted_key[0]
+                # A fingerprint's counters live exactly as long as its
+                # residency: when LRU pressure (or a discard racing an
+                # in-flight job) expels a graph's last artifact, its
+                # per-graph view goes with it — which also bounds the
+                # counter map for long-lived multi-tenant caches.
+                if not any(k[0] == fingerprint for k in self._entries):
+                    self._by_fingerprint.pop(fingerprint, None)
+
+    def _count(self, fingerprint: str, index: int) -> None:
+        """Bump one per-fingerprint counter (caller holds the lock).
+
+        Indices follow :class:`CacheInfo` order: 0=hits, 1=misses,
+        2=compilations, 3=derivations.
+        """
+        counters = self._by_fingerprint.get(fingerprint)
+        if counters is None:
+            counters = self._by_fingerprint[fingerprint] = [0, 0, 0, 0]
+        counters[index] += 1
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -216,12 +245,49 @@ class CompiledGraphCache:
                 entries=len(self._entries),
             )
 
+    def info_for(self, fingerprint: str) -> CacheInfo:
+        """Return the counters attributable to one graph fingerprint.
+
+        ``entries`` counts the artifacts of that graph currently resident;
+        the event counters cover the graph's current residency (they reset
+        when the graph is :meth:`discard`-ed).  This is what a multi-graph
+        service exposes as per-graph stats, so "graph X compiled exactly
+        once" can be asserted even while other graphs churn the cache.
+        """
+        with self._lock:
+            hits, misses, compilations, derivations = self._by_fingerprint.get(
+                fingerprint, (0, 0, 0, 0)
+            )
+            entries = sum(1 for key in self._entries if key[0] == fingerprint)
+            return CacheInfo(
+                hits=hits,
+                misses=misses,
+                compilations=compilations,
+                derivations=derivations,
+                entries=entries,
+            )
+
+    def discard(self, fingerprint: str) -> int:
+        """Drop every artifact (and the counters) of one graph.
+
+        Returns the number of entries removed.  The global counters keep
+        their history; only the per-fingerprint view resets — a re-added
+        graph starts its residency accounting from zero.
+        """
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == fingerprint]
+            for key in stale:
+                del self._entries[key]
+            self._by_fingerprint.pop(fingerprint, None)
+            return len(stale)
+
     def clear(self) -> None:
         """Drop every artifact and reset the counters."""
         with self._lock:
             self._entries.clear()
             self._hits = self._misses = 0
             self._compilations = self._derivations = 0
+            self._by_fingerprint.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -15,8 +15,14 @@ writing Python:
   input (a one-command Figure 1 cell);
 * ``repro-mule core`` — compute the (k, η)-core decomposition extension;
 * ``repro-mule datasets`` — list the registered dataset analogs;
-* ``repro-mule serve`` — serve enumeration requests over HTTP (the wire
-  API of ``docs/service.md``; pair it with :class:`repro.RemoteSession`).
+* ``repro-mule serve`` — host a catalog of graphs over HTTP (the wire API
+  of ``docs/service.md``): repeat ``--dataset name[:scale]`` and
+  ``--graph file`` to serve many graphs from one process; pair it with
+  :class:`repro.RemoteStore` / :class:`repro.RemoteSession`.
+
+``enumerate`` and ``compare`` also run against a remote server instead of
+a local file: ``--remote URL`` targets its default graph and ``--remote
+URL --graph NAME`` any graph it hosts by name or fingerprint.
 """
 
 from __future__ import annotations
@@ -27,12 +33,19 @@ import sys
 from pathlib import Path
 
 from ..analysis.statistics import clique_statistics
-from ..api import EnumerationRequest, MiningSession
+from ..api import EnumerationRequest, GraphStore, MiningSession
+from ..api.store import GRAPH_NAME_PATTERN
 from ..core.bounds import moon_moser_bound, uncertain_clique_bound
 from ..core.engine import RunControls
-from ..datasets.registry import DATASETS, available_datasets, load_dataset
+from ..datasets.registry import (
+    DATASETS,
+    available_datasets,
+    load_dataset,
+    resolve_dataset_name,
+)
 from ..extensions.uncertain_core import uncertain_core_decomposition
-from ..errors import ReproError
+from ..errors import DatasetError, ReproError
+from ..service.client import connect
 from ..service.server import DEFAULT_PORT, MiningServer
 from ..uncertain.graph import UncertainGraph
 from ..uncertain.io import read_edge_list, write_edge_list
@@ -52,7 +65,8 @@ def build_parser() -> argparse.ArgumentParser:
     enumerate_parser = subparsers.add_parser(
         "enumerate", help="enumerate alpha-maximal cliques from a graph file or dataset"
     )
-    _add_input_arguments(enumerate_parser)
+    _add_input_arguments(enumerate_parser, required=False)
+    _add_remote_arguments(enumerate_parser)
     enumerate_parser.add_argument(
         "--alpha", type=float, required=True, help="probability threshold in (0, 1]"
     )
@@ -106,7 +120,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser = subparsers.add_parser(
         "compare", help="run MULE and DFS-NOIP side by side (a Figure 1 cell)"
     )
-    _add_input_arguments(compare_parser)
+    _add_input_arguments(compare_parser, required=False)
+    _add_remote_arguments(compare_parser)
     compare_parser.add_argument("--alpha", type=float, required=True)
     _add_run_control_arguments(compare_parser)
 
@@ -124,9 +139,48 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("datasets", help="list registered dataset analogs")
 
     serve_parser = subparsers.add_parser(
-        "serve", help="serve enumeration requests over HTTP (see docs/service.md)"
+        "serve",
+        help="host one or many graphs over HTTP (see docs/service.md)",
     )
-    _add_input_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--dataset",
+        action="append",
+        default=[],
+        metavar="NAME[:SCALE]",
+        help=(
+            "serve this named dataset analog (repeatable; an optional "
+            ":SCALE overrides --scale for that dataset)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--graph",
+        action="append",
+        default=[],
+        type=Path,
+        metavar="FILE",
+        help="serve this probabilistic edge-list file (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--input",
+        type=Path,
+        default=None,
+        help="alias of --graph for single-graph deployments",
+    )
+    serve_parser.add_argument(
+        "--scale", type=float, default=0.05, help="default dataset scale factor"
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=2015, help="dataset generation seed"
+    )
+    serve_parser.add_argument(
+        "--max-graphs",
+        type=int,
+        default=64,
+        help=(
+            "bound on resident graphs; uploads beyond it evict the least "
+            "recently used unpinned graph (default: 64; 0 = unbounded)"
+        ),
+    )
     serve_parser.add_argument(
         "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
     )
@@ -149,12 +203,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
-    group = parser.add_mutually_exclusive_group(required=True)
+def _add_input_arguments(
+    parser: argparse.ArgumentParser, *, required: bool = True
+) -> None:
+    group = parser.add_mutually_exclusive_group(required=required)
     group.add_argument("--input", type=Path, help="probabilistic edge-list file (u v p)")
     group.add_argument("--dataset", choices=available_datasets(), help="named dataset analog")
     parser.add_argument("--scale", type=float, default=0.05, help="dataset scale factor")
     parser.add_argument("--seed", type=int, default=2015, help="dataset generation seed")
+
+
+def _add_remote_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--remote",
+        metavar="URL",
+        default=None,
+        help="run against a repro-mule serve process instead of a local graph",
+    )
+    parser.add_argument(
+        "--graph",
+        metavar="NAME",
+        default=None,
+        help=(
+            "with --remote: the served graph to target, by registered name "
+            "or fingerprint (default: the server's default graph)"
+        ),
+    )
 
 
 def _add_run_control_arguments(parser: argparse.ArgumentParser) -> None:
@@ -187,6 +261,37 @@ def _load_graph(args: argparse.Namespace) -> UncertainGraph:
     return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
 
 
+def _resolve_session(args: argparse.Namespace):
+    """Resolve ``--input``/``--dataset``/``--remote`` to a session.
+
+    Returns ``(session, num_vertices, num_edges)`` — the session is a
+    local :class:`MiningSession` or a remote one; the call sites are
+    identical either way.  Returns ``None`` (after printing a usage error)
+    when the flags contradict each other.
+    """
+    if args.remote is not None:
+        if args.input is not None or args.dataset is not None:
+            print(
+                "error: --remote cannot be combined with --input/--dataset",
+                file=sys.stderr,
+            )
+            return None
+        session = connect(args.remote).session(args.graph)
+        info = session.graph_info()
+        return session, info.num_vertices, info.num_edges
+    if args.graph is not None:
+        print("error: --graph NAME requires --remote URL", file=sys.stderr)
+        return None
+    if args.input is None and args.dataset is None:
+        print(
+            "error: one of --input, --dataset or --remote is required",
+            file=sys.stderr,
+        )
+        return None
+    graph = _load_graph(args)
+    return MiningSession(graph), graph.num_vertices, graph.num_edges
+
+
 def _command_enumerate(args: argparse.Namespace) -> int:
     # Flag validation comes before the (possibly huge) input parse.
     if args.workers < 1:
@@ -202,11 +307,15 @@ def _command_enumerate(args: argparse.Namespace) -> int:
     if args.algorithm == "large-mule" and args.min_size is None:
         print("error: --min-size is required with --algorithm=large-mule", file=sys.stderr)
         return 2
-    graph = _load_graph(args)
+    resolved = _resolve_session(args)
+    if resolved is None:
+        return 2
+    session, num_vertices, num_edges = resolved
     controls = _run_controls(args)
     # One session per invocation: the request dataclass names the algorithm
     # (aliases like "dfs-noip" are normalised) and the worker count selects
-    # serial vs sharded-parallel execution.
+    # serial vs sharded-parallel execution — local and remote alike (a
+    # remote request with workers>1 fans out on the server).
     request = EnumerationRequest(
         algorithm=args.algorithm,
         alpha=args.alpha,
@@ -214,13 +323,13 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         controls=controls,
         workers=args.workers,
     )
-    result = MiningSession(graph).enumerate(request).to_result()
+    result = session.enumerate(request).to_result()
 
     stats = clique_statistics(result)
     print(
         f"{result.algorithm}: {result.num_cliques} alpha-maximal cliques "
         f"(alpha={args.alpha}) in {result.elapsed_seconds:.3f}s "
-        f"on graph with n={graph.num_vertices}, m={graph.num_edges}"
+        f"on graph with n={num_vertices}, m={num_edges}"
     )
     if result.truncated:
         prefix_kind = (
@@ -288,11 +397,14 @@ def _command_bound(args: argparse.Namespace) -> int:
 
 
 def _command_compare(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
+    resolved = _resolve_session(args)
+    if resolved is None:
+        return 2
+    session, num_vertices, num_edges = resolved
     controls = _run_controls(args)
     # Both algorithms run in one session, so the graph is compiled once and
-    # the DFS-NOIP pass reuses MULE's cached artifact.
-    session = MiningSession(graph)
+    # the DFS-NOIP pass reuses MULE's cached artifact (server-side when
+    # --remote is given — the shared scheduler cache plays the same role).
     fast = session.enumerate(
         EnumerationRequest(algorithm="mule", alpha=args.alpha, controls=controls)
     ).to_result()
@@ -300,7 +412,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         EnumerationRequest(algorithm="dfs-noip", alpha=args.alpha, controls=controls)
     ).to_result()
     print(
-        f"graph: n={graph.num_vertices}, m={graph.num_edges}, alpha={args.alpha}"
+        f"graph: n={num_vertices}, m={num_edges}, alpha={args.alpha}"
     )
     print(
         f"MULE:     {fast.num_cliques:>8} cliques in {fast.elapsed_seconds:8.3f}s "
@@ -347,25 +459,74 @@ def _command_core(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_dataset_spec(spec: str, default_scale: float) -> tuple[str, float]:
+    """Split a ``name[:scale]`` serve flag into (canonical name, scale)."""
+    name, sep, scale_token = spec.partition(":")
+    scale = default_scale
+    if sep:
+        try:
+            scale = float(scale_token)
+        except ValueError as exc:
+            raise DatasetError(
+                f"invalid dataset scale in {spec!r} (expected name[:scale])"
+            ) from exc
+    return resolve_dataset_name(name), scale
+
+
+def _build_serving_store(args: argparse.Namespace) -> GraphStore:
+    """Assemble the serving catalog from the repeated --dataset/--graph flags.
+
+    Catalog graphs are pinned (the LRU budget only evicts client uploads);
+    the first graph registered becomes the v1 default.
+    """
+    store = GraphStore(max_graphs=args.max_graphs if args.max_graphs > 0 else None)
+    for spec in args.dataset:
+        name, scale = _parse_dataset_spec(spec, args.scale)
+        info = store.add_dataset(name, scale=scale, seed=args.seed)
+        print(
+            f"loaded dataset {info.name} (scale={scale:g}): "
+            f"n={info.num_vertices}, m={info.num_edges}"
+        )
+    paths = list(args.graph)
+    if args.input is not None:
+        paths.append(args.input)
+    for path in paths:
+        graph = read_edge_list(path, vertex_type=str)
+        # The store's own name rule decides whether the stem is usable.
+        name = path.stem if GRAPH_NAME_PATTERN.match(path.stem) else None
+        info = store.add(graph, name=name, pin=True)
+        print(
+            f"loaded {path} as {info.name or info.fingerprint[:12]}: "
+            f"n={info.num_vertices}, m={info.num_edges}"
+        )
+    return store
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     if args.max_workers is not None and args.max_workers < 1:
         print("error: --max-workers must be positive", file=sys.stderr)
         return 2
-    graph = _load_graph(args)
+    if not args.dataset and not args.graph and args.input is None:
+        print(
+            "error: nothing to serve; give at least one --dataset or --graph",
+            file=sys.stderr,
+        )
+        return 2
+    store = _build_serving_store(args)
     server = MiningServer(
-        graph,
+        store,
         host=args.host,
         port=args.port,
         max_workers=args.max_workers,
         quiet=args.quiet,
     )
+    names = [info.name or info.fingerprint[:12] for info in store.list()]
+    print(f"serving {len(names)} graph(s) at {server.url}: {', '.join(names)}")
+    print(f"default graph (v1 surface): {names[0]}")
     print(
-        f"serving graph (n={graph.num_vertices}, m={graph.num_edges}) "
-        f"at {server.url}"
-    )
-    print(
-        "endpoints: POST /v1/enumerate  POST /v1/sweep  "
-        "GET /v1/health  GET /v1/stats  (Ctrl-C to stop)"
+        "endpoints: POST /v1/enumerate|sweep  GET /v1/health|stats  "
+        "POST|GET /v2/graphs  GET|DELETE /v2/graphs/{ref}  "
+        "POST /v2/graphs/{ref}/enumerate|sweep  (Ctrl-C to stop)"
     )
     try:
         server.serve_forever()

@@ -1,12 +1,21 @@
 """Named dataset analogs of the paper's Table 1 inputs."""
 
 from .loaders import cache_directory, clear_cache, load_cached_dataset
-from .registry import DATASETS, DatasetSpec, available_datasets, load_dataset
+from .registry import (
+    DATASET_ALIASES,
+    DATASETS,
+    DatasetSpec,
+    available_datasets,
+    load_dataset,
+    resolve_dataset_name,
+)
 
 __all__ = [
     "DatasetSpec",
     "DATASETS",
+    "DATASET_ALIASES",
     "available_datasets",
+    "resolve_dataset_name",
     "load_dataset",
     "load_cached_dataset",
     "cache_directory",

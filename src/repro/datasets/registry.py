@@ -16,6 +16,7 @@ always recorded alongside the results in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import math
 import random
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -28,7 +29,14 @@ from ..generators.probabilities import uniform_probabilities
 from ..generators.social import collaboration_graph, wiki_vote_like_graph
 from ..uncertain.graph import UncertainGraph
 
-__all__ = ["DatasetSpec", "DATASETS", "available_datasets", "load_dataset"]
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "DATASET_ALIASES",
+    "available_datasets",
+    "resolve_dataset_name",
+    "load_dataset",
+]
 
 
 @dataclass(frozen=True)
@@ -269,9 +277,38 @@ DATASETS: dict[str, DatasetSpec] = {
 }
 
 
+#: Convenience spellings → registry keys (the paper's prose says "DBLP"
+#: where Table 1 says "DBLP10"; serving commands accept either).
+DATASET_ALIASES: dict[str, str] = {
+    "dblp": "dblp10",
+    "grqc": "ca-grqc",
+    "wikivote": "wiki-vote",
+}
+
+
 def available_datasets() -> list[str]:
     """Return the sorted names of all registered datasets."""
     return sorted(DATASETS)
+
+
+def resolve_dataset_name(name: str) -> str:
+    """Resolve a (case-insensitive, possibly aliased) name to a registry key.
+
+    Raises
+    ------
+    DatasetError
+        If the name matches neither a registry key nor an alias; the
+        message lists every available name.
+    """
+    if not isinstance(name, str):
+        raise DatasetError(f"dataset name must be a string, got {name!r}")
+    key = name.lower()
+    key = DATASET_ALIASES.get(key, key)
+    if key not in DATASETS:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        )
+    return key
 
 
 def load_dataset(name: str, *, scale: float = 1.0, seed: int = 2015) -> UncertainGraph:
@@ -280,7 +317,8 @@ def load_dataset(name: str, *, scale: float = 1.0, seed: int = 2015) -> Uncertai
     Parameters
     ----------
     name:
-        Registry key (case-insensitive); see :func:`available_datasets`.
+        Registry key or alias (case-insensitive); see
+        :func:`available_datasets`.
     scale:
         Multiplier on the vertex count (1.0 reproduces the paper's size).
     seed:
@@ -289,11 +327,14 @@ def load_dataset(name: str, *, scale: float = 1.0, seed: int = 2015) -> Uncertai
     Raises
     ------
     DatasetError
-        If the name is unknown or the scale is invalid.
+        If the name is unknown or the scale is not a positive finite
+        number — validated *before* the (possibly long) build starts.
     """
-    key = name.lower()
-    if key not in DATASETS:
-        raise DatasetError(
-            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
-        )
+    key = resolve_dataset_name(name)
+    try:
+        scale = float(scale)
+    except (TypeError, ValueError) as exc:
+        raise DatasetError(f"scale must be a number, got {scale!r}") from exc
+    if not math.isfinite(scale) or scale <= 0:
+        raise DatasetError(f"scale must be positive and finite, got {scale!r}")
     return DATASETS[key].build(scale=scale, seed=seed)

@@ -17,6 +17,8 @@ __all__ = [
     "DatasetError",
     "FormatError",
     "ServiceError",
+    "StoreError",
+    "GraphNotFoundError",
 ]
 
 
@@ -58,6 +60,24 @@ class DatasetError(ReproError):
 
 class FormatError(ReproError):
     """An input file or serialized payload does not follow the expected format."""
+
+
+class StoreError(ReproError):
+    """A graph-store operation failed.
+
+    Raised when a graph reference (name or fingerprint) does not resolve,
+    a registration name is invalid or already taken by a different graph,
+    or the store's graph budget is exhausted by pinned entries.
+    """
+
+
+class GraphNotFoundError(StoreError):
+    """A graph reference (name or fingerprint) resolved to no stored graph.
+
+    The service layer maps this to HTTP 404, every other library error to
+    400 — which is why "does not exist" is a distinct type from the other
+    store failures.
+    """
 
 
 class ServiceError(ReproError):

@@ -1,39 +1,57 @@
-"""The mining service — wire codec, scheduler, HTTP server and client.
+"""The mining service — wire codec, scheduler, HTTP server and clients.
 
-This package makes the compiled-graph cache a **multi-client** resource:
-many processes (or machines) share one server-side
-:class:`~repro.api.cache.CompiledGraphCache` instead of each compiling the
-graph themselves.
+This package makes the compiled-graph cache a **multi-client,
+multi-graph** resource: one server process hosts a catalog of named
+graphs (a :class:`~repro.api.store.GraphStore`), and any number of
+processes (or machines) run enumerations against any of them while
+sharing one server-side :class:`~repro.api.cache.CompiledGraphCache`.
 
 * :mod:`repro.service.codec` — lossless, schema-versioned, strictly
   validated JSON round-trips for the session vocabulary
   (:func:`to_wire` / :func:`from_wire`, canonical :func:`encode` bytes).
-* :class:`EnumerationScheduler` — bounded thread pool over shared
-  :class:`~repro.api.session.MiningSession` objects with single-flight
-  compilation dedup and load/cache counters.
+  Schema v2 adds graphs as wire values (``graph``), resource metadata
+  (``graph-info`` / ``graph-list`` / ``graph-upload``) and
+  graph-referencing requests; every v1 payload still decodes unchanged.
+* :class:`EnumerationScheduler` — graph-agnostic bounded thread pool over
+  a shared :class:`~repro.api.store.GraphStore` with per-fingerprint
+  single-flight compilation dedup and load/cache counters.
 * :class:`MiningServer` — the stdlib HTTP server behind
-  ``repro-mule serve`` (``POST /v1/enumerate``, ``POST /v1/sweep``,
-  ``GET /v1/health``, ``GET /v1/stats``).
+  ``repro-mule serve``: the frozen ``/v1`` surface (default graph) plus
+  the ``/v2/graphs`` resource endpoints (upload, list, get, delete,
+  per-graph enumerate/sweep).
+* :class:`RemoteStore` / :func:`connect` — the client mirror of
+  ``GraphStore``: register and address graphs by name over the wire.
 * :class:`RemoteSession` — the client mirror of ``MiningSession``:
   ``enumerate()`` / ``sweep()`` / ``cache_info()`` against a remote
-  server, returning real :class:`~repro.api.outcome.EnumerationOutcome`
-  objects bit-identical to local runs.
+  server (default graph via v1, or any named graph via v2), returning
+  real :class:`~repro.api.outcome.EnumerationOutcome` objects
+  bit-identical to local runs.
 
 See ``docs/service.md`` for the wire schema, endpoint table and
 versioning policy.
 """
 
-from .client import RemoteSession
-from .codec import SCHEMA_VERSION, decode, encode, from_wire, to_wire
+from .client import RemoteSession, RemoteStore, connect
+from .codec import (
+    SCHEMA_VERSION,
+    SCHEMA_VERSION_V2,
+    decode,
+    encode,
+    from_wire,
+    to_wire,
+)
 from .scheduler import EnumerationScheduler, SchedulerStats
 from .server import MiningServer
 
 __all__ = [
     "MiningServer",
     "RemoteSession",
+    "RemoteStore",
+    "connect",
     "EnumerationScheduler",
     "SchedulerStats",
     "SCHEMA_VERSION",
+    "SCHEMA_VERSION_V2",
     "encode",
     "decode",
     "to_wire",

@@ -1,21 +1,33 @@
-"""The remote client — a drop-in mirror of :class:`MiningSession`.
+"""The remote clients — drop-in mirrors of the local session API.
 
-:class:`RemoteSession` speaks the wire protocol of
-:class:`~repro.service.server.MiningServer` with nothing beyond
-``urllib`` and exposes the session API's shape — ``enumerate(request)``,
-``sweep(alphas, ...)``, ``cache_info()`` — so callers swap a local session
-for a remote one by changing a constructor::
+:class:`RemoteStore` mirrors :class:`~repro.api.store.GraphStore` over the
+wire (nothing beyond ``urllib``): register graphs or server-built dataset
+analogs, list/get/remove them, and open a :class:`RemoteSession` on any of
+them by name or fingerprint.  Local and remote code become
+interchangeable::
 
-    session = MiningSession(graph)              # local
-    session = RemoteSession("http://host:8765") # remote, same call sites
+    store = GraphStore();  store.add_dataset("ppi", scale=0.05)   # local
+    store = connect("http://host:8765")                           # remote
+    session = store.session("ppi")          # same call sites either way
+
+:class:`RemoteSession` keeps its original single-graph shape —
+``enumerate(request)``, ``sweep(alphas, ...)``, ``cache_info()`` — so
+callers swap a local :class:`~repro.api.session.MiningSession` for a
+remote one by changing a constructor.  A session without a graph reference
+speaks the frozen ``/v1`` surface against the server's default graph; one
+opened via ``RemoteStore.session("name")`` speaks ``/v2`` against exactly
+that graph, and its ``cache_info()`` returns that graph's *per-graph*
+counters — which is what lets "this graph compiled exactly once" be
+asserted per graph on a busy multi-graph server.
 
 Outcomes decode to real :class:`~repro.api.outcome.EnumerationOutcome`
 objects: clique sets, probabilities, counters and stop provenance are
-identical to a local run of the same request (the remote-parity suite and
+identical to a local run of the same request (the remote-parity suites and
 the throughput benchmark assert this bit-for-bit).
 
 Error behaviour: application-level failures re-raise the server-side
-exception type (``except ParameterError`` works unchanged); transport and
+exception type (``except ParameterError`` works unchanged, as does
+``except GraphNotFoundError`` for dangling references); transport and
 protocol failures raise :class:`~repro.errors.ServiceError`.
 """
 
@@ -28,10 +40,12 @@ from collections.abc import Sequence
 from ..api.cache import CacheInfo
 from ..api.outcome import EnumerationOutcome
 from ..api.request import EnumerationRequest
-from ..errors import FormatError, ServiceError
+from ..api.store import GraphInfo
+from ..errors import FormatError, ServiceError, StoreError
+from ..uncertain.graph import UncertainGraph
 from . import codec
 
-__all__ = ["RemoteSession"]
+__all__ = ["RemoteSession", "RemoteStore", "connect"]
 
 #: Default per-request timeout.  Generous — enumeration requests can
 #: legitimately run for a while; bound them server-side with
@@ -39,20 +53,10 @@ __all__ = ["RemoteSession"]
 DEFAULT_TIMEOUT_SECONDS = 300.0
 
 
-class RemoteSession:
-    """A mining session served by a remote ``repro-mule serve`` process.
+class _HttpClient:
+    """Shared urllib transport: request building, error mapping, decoding."""
 
-    Parameters
-    ----------
-    base_url:
-        The server's base URL, e.g. ``"http://127.0.0.1:8765"``.
-    timeout:
-        Socket timeout per request, in seconds.
-    """
-
-    def __init__(
-        self, base_url: str, *, timeout: float = DEFAULT_TIMEOUT_SECONDS
-    ) -> None:
+    def __init__(self, base_url: str, timeout: float) -> None:
         self._base_url = base_url.rstrip("/")
         self._timeout = timeout
 
@@ -61,64 +65,6 @@ class RemoteSession:
         """The server's base URL (no trailing slash)."""
         return self._base_url
 
-    # ------------------------------------------------------------------ #
-    # The MiningSession-shaped surface
-    # ------------------------------------------------------------------ #
-    def enumerate(self, request: EnumerationRequest) -> EnumerationOutcome:
-        """Run one request remotely; mirrors :meth:`MiningSession.enumerate`."""
-        payload = self._post("/v1/enumerate", codec.request_to_wire(request))
-        return codec.outcome_from_wire(payload)
-
-    def sweep(
-        self,
-        alphas: Sequence[float],
-        *,
-        algorithm: str = "mule",
-        **options: object,
-    ) -> list[EnumerationOutcome]:
-        """Run one request per α remotely over a single server compilation.
-
-        Mirrors :meth:`MiningSession.sweep`: the α points travel as one
-        ``sweep-request``, so the server pre-plans a shared derivation base
-        and the whole sweep compiles exactly once (observable in
-        :meth:`stats` / :meth:`cache_info`).
-        """
-        alphas = list(alphas)
-        if not alphas:
-            return []
-        base = EnumerationRequest(algorithm=algorithm, alpha=alphas[0], **options)
-        payload = self._post("/v1/sweep", codec.sweep_to_wire(base, alphas))
-        return codec.outcomes_from_wire(payload)
-
-    def cache_info(self) -> CacheInfo:
-        """The server-side compiled-graph cache counters.
-
-        Mirrors :meth:`MiningSession.cache_info`, which is what lets the
-        acceptance tests assert "a remote sweep compiled exactly once" the
-        same way the local ones do.
-        """
-        cache = self.stats().get("cache")
-        if not isinstance(cache, dict):
-            raise ServiceError(f"malformed stats payload: cache={cache!r}")
-        try:
-            return CacheInfo(**cache)
-        except TypeError as exc:
-            raise ServiceError(f"malformed cache counters: {cache!r}") from exc
-
-    # ------------------------------------------------------------------ #
-    # Service introspection
-    # ------------------------------------------------------------------ #
-    def health(self) -> dict:
-        """The server's ``/v1/health`` payload (raises if unreachable)."""
-        return self._get("/v1/health")
-
-    def stats(self) -> dict:
-        """The server's ``/v1/stats`` payload."""
-        return self._get("/v1/stats")
-
-    # ------------------------------------------------------------------ #
-    # Transport
-    # ------------------------------------------------------------------ #
     def _get(self, path: str) -> dict:
         return self._call(
             urllib.request.Request(self._base_url + path, method="GET")
@@ -132,6 +78,11 @@ class RemoteSession:
             method="POST",
         )
         return self._call(request)
+
+    def _delete(self, path: str) -> dict:
+        return self._call(
+            urllib.request.Request(self._base_url + path, method="DELETE")
+        )
 
     def _call(self, request: urllib.request.Request) -> dict:
         try:
@@ -159,5 +110,234 @@ class RemoteSession:
         except FormatError:
             return ServiceError(f"server returned HTTP {exc.code}: {exc.reason}")
 
+
+class RemoteSession(_HttpClient):
+    """A mining session served by a remote ``repro-mule serve`` process.
+
+    Parameters
+    ----------
+    base_url:
+        The server's base URL, e.g. ``"http://127.0.0.1:8765"``.
+    graph:
+        Optional graph reference (registered name or fingerprint).  When
+        omitted the session speaks the v1 surface against the server's
+        default graph; when given it speaks v2 against that graph.
+    timeout:
+        Socket timeout per request, in seconds.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        graph: str | None = None,
+        timeout: float = DEFAULT_TIMEOUT_SECONDS,
+    ) -> None:
+        super().__init__(base_url, timeout)
+        self._graph_ref = graph
+
+    @property
+    def graph_ref(self) -> str | None:
+        """The graph reference this session targets (``None`` = default)."""
+        return self._graph_ref
+
+    # ------------------------------------------------------------------ #
+    # The MiningSession-shaped surface
+    # ------------------------------------------------------------------ #
+    def enumerate(self, request: EnumerationRequest) -> EnumerationOutcome:
+        """Run one request remotely; mirrors :meth:`MiningSession.enumerate`."""
+        if self._graph_ref is None:
+            payload = self._post("/v1/enumerate", codec.request_to_wire(request))
+        else:
+            payload = self._post(
+                f"/v2/graphs/{self._graph_ref}/enumerate",
+                codec.ref_request_to_wire(request, graph=self._graph_ref),
+            )
+        return codec.outcome_from_wire(payload)
+
+    def sweep(
+        self,
+        alphas: Sequence[float],
+        *,
+        algorithm: str = "mule",
+        **options: object,
+    ) -> list[EnumerationOutcome]:
+        """Run one request per α remotely over a single server compilation.
+
+        Mirrors :meth:`MiningSession.sweep`: the α points travel as one
+        request, so the server pre-plans a shared derivation base and the
+        whole sweep compiles exactly once (observable in :meth:`stats` /
+        :meth:`cache_info`).
+        """
+        alphas = list(alphas)
+        if not alphas:
+            return []
+        base = EnumerationRequest(algorithm=algorithm, alpha=alphas[0], **options)
+        if self._graph_ref is None:
+            payload = self._post("/v1/sweep", codec.sweep_to_wire(base, alphas))
+        else:
+            payload = self._post(
+                f"/v2/graphs/{self._graph_ref}/sweep",
+                codec.ref_sweep_to_wire(base, alphas, graph=self._graph_ref),
+            )
+        return codec.outcomes_from_wire(payload)
+
+    def cache_info(self) -> CacheInfo:
+        """The server-side compiled-graph cache counters.
+
+        Mirrors :meth:`MiningSession.cache_info`.  A session bound to a
+        graph reference returns that graph's **per-graph** counters, so
+        "a remote sweep of graph X compiled exactly once" holds even while
+        other graphs are being compiled on the same server; an unbound
+        (v1) session returns the global counters, as it always has.
+        """
+        stats = self.stats()
+        if self._graph_ref is None:
+            return self._cache_info_from(stats.get("cache"))
+        info = self.graph_info()
+        graphs = stats.get("graphs")
+        if not isinstance(graphs, dict) or info.fingerprint not in graphs:
+            raise ServiceError(
+                f"stats payload has no per-graph counters for "
+                f"{info.fingerprint[:12]}…"
+            )
+        return self._cache_info_from(graphs[info.fingerprint].get("cache"))
+
+    @staticmethod
+    def _cache_info_from(cache: object) -> CacheInfo:
+        if not isinstance(cache, dict):
+            raise ServiceError(f"malformed stats payload: cache={cache!r}")
+        try:
+            return CacheInfo(**cache)
+        except TypeError as exc:
+            raise ServiceError(f"malformed cache counters: {cache!r}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Service introspection
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """The server's ``/v1/health`` payload (raises if unreachable)."""
+        return self._get("/v1/health")
+
+    def stats(self) -> dict:
+        """The server's ``/v1/stats`` payload."""
+        return self._get("/v1/stats")
+
+    def graph_info(self) -> GraphInfo:
+        """The served graph's :class:`GraphInfo` (v2; any session may ask)."""
+        ref = self._graph_ref
+        if ref is None:
+            health = self.health()
+            graph = health.get("graph")
+            if not isinstance(graph, dict):
+                raise ServiceError("server has no default graph")
+            ref = graph["fingerprint"]
+        return codec.graph_info_from_wire(self._get(f"/v2/graphs/{ref}"))
+
     def __repr__(self) -> str:
-        return f"RemoteSession(base_url={self._base_url!r})"
+        return (
+            f"RemoteSession(base_url={self._base_url!r}, "
+            f"graph={self._graph_ref!r})"
+        )
+
+
+class RemoteStore(_HttpClient):
+    """The client mirror of :class:`~repro.api.store.GraphStore`.
+
+    Usually constructed via :func:`connect`.  Every method round-trips
+    through the ``/v2/graphs`` resource endpoints; graph references are
+    registered names or fingerprints (unambiguous 8+-character prefixes
+    accepted), exactly as on the server.
+    """
+
+    def __init__(
+        self, base_url: str, *, timeout: float = DEFAULT_TIMEOUT_SECONDS
+    ) -> None:
+        super().__init__(base_url, timeout)
+
+    # ------------------------------------------------------------------ #
+    # The GraphStore-shaped surface
+    # ------------------------------------------------------------------ #
+    def add(self, graph: UncertainGraph, *, name: str | None = None) -> GraphInfo:
+        """Upload a graph (lossless edge-set transfer) and register it."""
+        upload = codec.GraphUpload(graph=graph, name=name)
+        return codec.graph_info_from_wire(
+            self._post("/v2/graphs", codec.upload_to_wire(upload))
+        )
+
+    def add_dataset(
+        self,
+        dataset: str,
+        *,
+        scale: float | None = None,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> GraphInfo:
+        """Have the *server* build a named Table 1 analog and register it.
+
+        Only the dataset name and knobs travel — the graph is generated
+        server-side, so registering ``dblp10`` does not ship two million
+        edges over the wire.
+        """
+        upload = codec.GraphUpload(dataset=dataset, scale=scale, seed=seed, name=name)
+        return codec.graph_info_from_wire(
+            self._post("/v2/graphs", codec.upload_to_wire(upload))
+        )
+
+    def get(self, ref: str) -> GraphInfo:
+        """Return one stored graph's info (404 → ``GraphNotFoundError``)."""
+        return codec.graph_info_from_wire(self._get(f"/v2/graphs/{ref}"))
+
+    def list(self) -> list[GraphInfo]:
+        """Return every graph resident on the server."""
+        return codec.graph_list_from_wire(self._get("/v2/graphs"))
+
+    def remove(self, ref: str) -> GraphInfo:
+        """Unregister a graph server-side; returns its final info."""
+        return codec.graph_info_from_wire(self._delete(f"/v2/graphs/{ref}"))
+
+    def session(self, ref: str | None = None) -> RemoteSession:
+        """Open a :class:`RemoteSession` on the referenced graph.
+
+        ``None`` returns a default-graph (v1) session — the drop-in
+        equivalent of ``GraphStore.session()``.
+        """
+        return RemoteSession(self._base_url, graph=ref, timeout=self._timeout)
+
+    def __contains__(self, ref: object) -> bool:
+        # StoreError (not just GraphNotFoundError): an ambiguous prefix
+        # answers False here exactly as GraphStore.__contains__ does —
+        # transport failures still propagate as ServiceError.
+        if not isinstance(ref, str):
+            return False
+        try:
+            self.get(ref)
+        except StoreError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Service introspection
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """The server's ``/v1/health`` payload."""
+        return self._get("/v1/health")
+
+    def stats(self) -> dict:
+        """The server's ``/v1/stats`` payload."""
+        return self._get("/v1/stats")
+
+    def __repr__(self) -> str:
+        return f"RemoteStore(base_url={self._base_url!r})"
+
+
+def connect(
+    url: str, *, timeout: float = DEFAULT_TIMEOUT_SECONDS
+) -> RemoteStore:
+    """Open a :class:`RemoteStore` on a running ``repro-mule serve``.
+
+    The one-liner that makes remote hosting read like local code::
+
+        session = connect("http://host:8765").session("ppi")
+    """
+    return RemoteStore(url, timeout=timeout)

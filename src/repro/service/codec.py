@@ -40,15 +40,21 @@ from __future__ import annotations
 import json
 from collections.abc import Iterable, Mapping, Sequence
 
+from typing import NamedTuple
+
 from ..api.outcome import EnumerationOutcome
 from ..api.request import EnumerationRequest
+from ..api.store import GraphInfo
 from ..core.engine.controls import RunControls, RunReport, StopReason
 from ..core.result import CliqueRecord, SearchStatistics
 from .. import errors as _errors
 from ..errors import FormatError, ReproError
+from ..uncertain.graph import UncertainGraph
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SCHEMA_VERSION_V2",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "encode",
     "decode",
     "to_wire",
@@ -71,12 +77,34 @@ __all__ = [
     "sweep_from_wire",
     "error_to_wire",
     "error_from_wire",
+    "graph_to_wire",
+    "graph_from_wire",
+    "graph_info_to_wire",
+    "graph_info_from_wire",
+    "graph_list_to_wire",
+    "graph_list_from_wire",
+    "GraphUpload",
+    "upload_to_wire",
+    "upload_from_wire",
+    "ref_request_to_wire",
+    "ref_request_from_wire",
+    "ref_sweep_to_wire",
+    "ref_sweep_from_wire",
 ]
 
-#: Version stamped on (and required of) every envelope.  Bump it — and keep
-#: a decoder for the old value — whenever a field is added, removed or
-#: changes meaning; see ``docs/service.md`` for the versioning policy.
+#: Version of the original (v1) envelope generation.  Kinds introduced in
+#: v1 keep stamping this version — their shape is frozen; see the
+#: versioning policy in ``docs/service.md``.
 SCHEMA_VERSION = 1
+
+#: Version of the resource-model envelope generation (graphs as first-class
+#: references).  Kinds introduced here stamp this version.
+SCHEMA_VERSION_V2 = 2
+
+#: Every version this codec decodes.  v2 is additive: v1 payloads decode
+#: unchanged (the conformance corpus pins this), and a v1 kind arriving
+#: with ``schema: 2`` is accepted too — same shape, newer speaker.
+SUPPORTED_SCHEMA_VERSIONS = (SCHEMA_VERSION, SCHEMA_VERSION_V2)
 
 _STOP_REASONS = (
     StopReason.COMPLETED,
@@ -129,21 +157,33 @@ def decode(data: bytes | str) -> dict:
 # ---------------------------------------------------------------------- #
 # Envelope plumbing
 # ---------------------------------------------------------------------- #
-def _envelope(kind: str, fields: dict) -> dict:
-    return {"schema": SCHEMA_VERSION, "kind": kind, **fields}
+def _envelope(kind: str, fields: dict, *, version: int = SCHEMA_VERSION) -> dict:
+    return {"schema": version, "kind": kind, **fields}
 
 
-def _open_envelope(payload: object, kind: str, keys: frozenset) -> dict:
-    """Validate schema/kind and the exact key set of an envelope."""
+def _open_envelope(
+    payload: object,
+    kind: str,
+    keys: frozenset,
+    *,
+    min_version: int = SCHEMA_VERSION,
+) -> dict:
+    """Validate schema/kind and the exact key set of an envelope.
+
+    ``min_version`` is the version the kind was introduced in: a v2-only
+    kind arriving stamped ``schema: 1`` is a lie about its provenance and
+    is rejected, while v1 kinds decode under any supported version.
+    """
     if not isinstance(payload, dict):
         raise FormatError(
             f"{kind} payload must be a JSON object, got {type(payload).__name__}"
         )
     version = payload.get("schema")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS or version < min_version:
+        supported = [v for v in SUPPORTED_SCHEMA_VERSIONS if v >= min_version]
         raise FormatError(
-            f"unsupported schema version {version!r} (this codec speaks "
-            f"version {SCHEMA_VERSION})"
+            f"unsupported schema version {version!r} for kind {kind!r} "
+            f"(this codec speaks versions {supported})"
         )
     actual_kind = payload.get("kind")
     if actual_kind != kind:
@@ -531,6 +571,275 @@ def error_from_wire(payload: object) -> ReproError:
 
 
 # ---------------------------------------------------------------------- #
+# Schema v2: graphs as wire values and as references
+# ---------------------------------------------------------------------- #
+def _vertex_sort_key(vertex) -> tuple:
+    """Canonical vertex order: numbers (by exact value) before strings.
+
+    Mixed int/float comparisons are exact in Python, and ``==``-equal
+    numerics are the same graph vertex, so ordering by value is total over
+    any one graph's vertex set.
+    """
+    if isinstance(vertex, (int, float)):
+        return (0, vertex)
+    return (1, vertex)
+
+
+_GRAPH_KEYS = frozenset({"vertices", "edges"})
+
+
+def graph_to_wire(graph: UncertainGraph) -> dict:
+    """Encode an uncertain graph losslessly (kind ``graph``, schema v2).
+
+    Canonical form: vertices sorted (numbers by value, then strings),
+    every edge as ``[u, v, p]`` with ``u`` before ``v`` in that order and
+    the edge list sorted likewise.  Probabilities ride as JSON numbers —
+    :func:`encode` renders floats by shortest round-trip ``repr``, so the
+    exact bit pattern survives.  Labels must be ``int``/``float``/``str``
+    (the same restriction clique records have); isolated vertices are
+    preserved by the explicit vertex list.
+    """
+    vertices = sorted((_vertex_to_wire(v) for v in graph.vertices()), key=_vertex_sort_key)
+    edges = []
+    for u, v, p in graph.edges():
+        u, v = sorted((_vertex_to_wire(u), _vertex_to_wire(v)), key=_vertex_sort_key)
+        edges.append([u, v, p])
+    edges.sort(key=lambda e: (_vertex_sort_key(e[0]), _vertex_sort_key(e[1])))
+    return _envelope(
+        "graph",
+        {"vertices": vertices, "edges": edges},
+        version=SCHEMA_VERSION_V2,
+    )
+
+
+def graph_from_wire(payload: object) -> UncertainGraph:
+    """Rebuild an :class:`UncertainGraph` from a ``graph`` envelope.
+
+    Structural problems (malformed entries, duplicate vertices or edges,
+    endpoints missing from the vertex list) raise
+    :class:`~repro.errors.FormatError`; domain problems (self-loops,
+    probabilities outside ``(0, 1]``) raise exactly what local
+    construction raises.
+    """
+    payload = _open_envelope(
+        payload, "graph", _GRAPH_KEYS, min_version=SCHEMA_VERSION_V2
+    )
+    raw_vertices = _field(payload, "graph", "vertices", list)
+    graph = UncertainGraph()
+    seen = set()
+    for value in raw_vertices:
+        vertex = _vertex_from_wire(value, "graph")
+        if vertex in seen:
+            raise FormatError(f"graph: duplicate vertex {vertex!r}")
+        seen.add(vertex)
+        graph.add_vertex(vertex)
+    raw_edges = _field(payload, "graph", "edges", list)
+    seen_edges = set()
+    for entry in raw_edges:
+        if not isinstance(entry, list) or len(entry) != 3:
+            raise FormatError(f"graph: edge entry must be [u, v, p], got {entry!r}")
+        u = _vertex_from_wire(entry[0], "graph")
+        v = _vertex_from_wire(entry[1], "graph")
+        if u not in seen or v not in seen:
+            raise FormatError(
+                f"graph: edge endpoint missing from the vertex list: {entry!r}"
+            )
+        p = entry[2]
+        if isinstance(p, bool) or not isinstance(p, (int, float)):
+            raise FormatError(f"graph: edge probability must be a number, got {p!r}")
+        pair = frozenset((u, v))
+        if pair in seen_edges:
+            raise FormatError(f"graph: duplicate edge {sorted(entry[:2], key=str)}")
+        seen_edges.add(pair)
+        graph.add_edge(u, v, float(p))
+    return graph
+
+
+_GRAPH_INFO_KEYS = frozenset(
+    {"fingerprint", "name", "num_vertices", "num_edges", "pinned", "default"}
+)
+
+
+def graph_info_to_wire(info: GraphInfo) -> dict:
+    """Encode one stored graph's resource description."""
+    return _envelope(
+        "graph-info",
+        {
+            "fingerprint": info.fingerprint,
+            "name": info.name,
+            "num_vertices": info.num_vertices,
+            "num_edges": info.num_edges,
+            "pinned": info.pinned,
+            "default": info.default,
+        },
+        version=SCHEMA_VERSION_V2,
+    )
+
+
+def graph_info_from_wire(payload: object) -> GraphInfo:
+    payload = _open_envelope(
+        payload, "graph-info", _GRAPH_INFO_KEYS, min_version=SCHEMA_VERSION_V2
+    )
+    kind = "graph-info"
+    counts = {}
+    for key in ("num_vertices", "num_edges"):
+        value = _field(payload, kind, key, int)
+        if value < 0:
+            raise FormatError(f"{kind}.{key} must be >= 0, got {value}")
+        counts[key] = value
+    return GraphInfo(
+        fingerprint=_field(payload, kind, "fingerprint", str),
+        name=_field(payload, kind, "name", str, optional=True),
+        pinned=_field(payload, kind, "pinned", bool),
+        default=_field(payload, kind, "default", bool),
+        **counts,
+    )
+
+
+_GRAPH_LIST_KEYS = frozenset({"graphs"})
+
+
+def graph_list_to_wire(infos: Iterable[GraphInfo]) -> dict:
+    """Encode the store listing (``GET /v2/graphs``)."""
+    return _envelope(
+        "graph-list",
+        {"graphs": [graph_info_to_wire(info) for info in infos]},
+        version=SCHEMA_VERSION_V2,
+    )
+
+
+def graph_list_from_wire(payload: object) -> list[GraphInfo]:
+    payload = _open_envelope(
+        payload, "graph-list", _GRAPH_LIST_KEYS, min_version=SCHEMA_VERSION_V2
+    )
+    raw = _field(payload, "graph-list", "graphs", list)
+    return [graph_info_from_wire(item) for item in raw]
+
+
+class GraphUpload(NamedTuple):
+    """A decoded ``graph-upload`` request: one of two graph sources.
+
+    Either ``graph`` (a literal uploaded graph) or ``dataset`` (a named
+    Table 1 analog built server-side at ``scale``/``seed``) is set, never
+    both.  ``name`` optionally registers the graph under a store name.
+    """
+
+    graph: "UncertainGraph | None" = None
+    dataset: "str | None" = None
+    scale: "float | None" = None
+    seed: "int | None" = None
+    name: "str | None" = None
+
+
+_UPLOAD_KEYS = frozenset({"graph", "dataset", "scale", "seed", "name"})
+
+
+def upload_to_wire(upload: GraphUpload) -> dict:
+    """Encode a graph-creation request (``POST /v2/graphs``)."""
+    if (upload.graph is None) == (upload.dataset is None):
+        raise FormatError(
+            "graph-upload must carry exactly one of graph / dataset"
+        )
+    if upload.dataset is None and (upload.scale is not None or upload.seed is not None):
+        raise FormatError("graph-upload: scale/seed are only valid with dataset")
+    return _envelope(
+        "graph-upload",
+        {
+            "graph": None if upload.graph is None else graph_to_wire(upload.graph),
+            "dataset": upload.dataset,
+            "scale": upload.scale,
+            "seed": upload.seed,
+            "name": upload.name,
+        },
+        version=SCHEMA_VERSION_V2,
+    )
+
+
+def upload_from_wire(payload: object) -> GraphUpload:
+    payload = _open_envelope(
+        payload, "graph-upload", _UPLOAD_KEYS, min_version=SCHEMA_VERSION_V2
+    )
+    kind = "graph-upload"
+    raw_graph = payload["graph"]
+    upload = GraphUpload(
+        graph=None if raw_graph is None else graph_from_wire(raw_graph),
+        dataset=_field(payload, kind, "dataset", str, optional=True),
+        scale=_number(payload, kind, "scale", optional=True),
+        seed=_field(payload, kind, "seed", int, optional=True),
+        name=_field(payload, kind, "name", str, optional=True),
+    )
+    if (upload.graph is None) == (upload.dataset is None):
+        raise FormatError(f"{kind} must carry exactly one of graph / dataset")
+    if upload.dataset is None and (upload.scale is not None or upload.seed is not None):
+        raise FormatError(f"{kind}: scale/seed are only valid with dataset")
+    return upload
+
+
+_REF_REQUEST_KEYS = frozenset({"graph", "request"})
+
+
+def ref_request_to_wire(request: EnumerationRequest, *, graph: str | None) -> dict:
+    """Encode a v2 enumeration: the request plus the graph it targets.
+
+    ``graph`` is a store reference (registered name or fingerprint);
+    ``None`` targets the server's default graph — the v2 spelling of what
+    ``/v1/enumerate`` does implicitly.
+    """
+    return _envelope(
+        "graph-ref-request",
+        {"graph": graph, "request": request_to_wire(request)},
+        version=SCHEMA_VERSION_V2,
+    )
+
+
+def ref_request_from_wire(payload: object) -> "tuple[str | None, EnumerationRequest]":
+    payload = _open_envelope(
+        payload, "graph-ref-request", _REF_REQUEST_KEYS,
+        min_version=SCHEMA_VERSION_V2,
+    )
+    ref = _field(payload, "graph-ref-request", "graph", str, optional=True)
+    return ref, request_from_wire(payload["request"])
+
+
+_REF_SWEEP_KEYS = frozenset({"graph", "request", "alphas"})
+
+
+def ref_sweep_to_wire(
+    request: EnumerationRequest, alphas: Sequence[float], *, graph: str | None
+) -> dict:
+    """Encode a v2 sweep: one base request, many α, one named graph."""
+    return _envelope(
+        "graph-ref-sweep",
+        {
+            "graph": graph,
+            "request": request_to_wire(request),
+            "alphas": list(alphas),
+        },
+        version=SCHEMA_VERSION_V2,
+    )
+
+
+def ref_sweep_from_wire(
+    payload: object,
+) -> "tuple[str | None, EnumerationRequest, list[float]]":
+    payload = _open_envelope(
+        payload, "graph-ref-sweep", _REF_SWEEP_KEYS, min_version=SCHEMA_VERSION_V2
+    )
+    ref = _field(payload, "graph-ref-sweep", "graph", str, optional=True)
+    raw = _field(payload, "graph-ref-sweep", "alphas", list)
+    if not raw:
+        raise FormatError("graph-ref-sweep.alphas must not be empty")
+    alphas = []
+    for value in raw:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise FormatError(
+                f"graph-ref-sweep.alphas entries must be numbers, got {value!r}"
+            )
+        alphas.append(float(value))
+    return ref, request_from_wire(payload["request"]), alphas
+
+
+# ---------------------------------------------------------------------- #
 # Generic dispatch
 # ---------------------------------------------------------------------- #
 def to_wire(obj: object) -> dict:
@@ -551,6 +860,16 @@ def to_wire(obj: object) -> dict:
         return statistics_to_wire(obj)
     if isinstance(obj, CliqueRecord):
         return record_to_wire(obj)
+    if isinstance(obj, UncertainGraph):
+        return graph_to_wire(obj)
+    if isinstance(obj, GraphInfo):
+        return graph_info_to_wire(obj)
+    if isinstance(obj, GraphUpload):
+        return upload_to_wire(obj)
+    if isinstance(obj, (list, tuple)) and obj and all(
+        isinstance(item, GraphInfo) for item in obj
+    ):
+        return graph_list_to_wire(obj)
     if isinstance(obj, (list, tuple)) and all(
         isinstance(item, CliqueRecord) for item in obj
     ):
@@ -570,14 +889,20 @@ _DECODERS = {
     "clique-records": records_from_wire,
     "outcome-list": outcomes_from_wire,
     "error": error_from_wire,
+    "graph": graph_from_wire,
+    "graph-info": graph_info_from_wire,
+    "graph-list": graph_list_from_wire,
+    "graph-upload": upload_from_wire,
 }
 
 
 def from_wire(payload: object):
     """Decode any envelope by its ``kind`` tag (the inverse of :func:`to_wire`).
 
-    ``sweep-request`` payloads are intentionally not dispatched here — they
-    decode to a *pair*, not an object; use :func:`sweep_from_wire`.
+    ``sweep-request`` / ``graph-ref-request`` / ``graph-ref-sweep``
+    payloads are intentionally not dispatched here — they decode to
+    *tuples*, not single objects; use their dedicated ``*_from_wire``
+    functions.
     """
     if not isinstance(payload, dict):
         raise FormatError(

@@ -1,12 +1,20 @@
-"""Concurrent request scheduling over shared mining sessions.
+"""Concurrent request scheduling over a shared graph store.
 
 :class:`EnumerationScheduler` is the execution layer between the HTTP
-server and :class:`~repro.api.session.MiningSession`: requests run on a
-bounded thread pool, all sessions share one
-:class:`~repro.api.cache.CompiledGraphCache`, and concurrent compilations
-of the same (fingerprint, compile options) key are **single-flighted** —
-one thread compiles, the rest wait for the artifact instead of duplicating
-the most expensive step of a request.
+server and the session API: requests run on a bounded thread pool, the
+sessions live in one :class:`~repro.api.store.GraphStore` (all behind one
+shared :class:`~repro.api.cache.CompiledGraphCache`), and concurrent
+compilations of the same (fingerprint, compile options) key are
+**single-flighted** — one thread compiles, the rest wait for the artifact
+instead of duplicating the most expensive step of a request.
+
+The scheduler is graph-agnostic: it holds no graph of its own.  Every
+submission names its target — a store reference (``ref="ppi"`` / a
+fingerprint), an ad-hoc graph object (registered in the store on first
+use), or nothing at all, which resolves to the store's *default* graph
+(how the frozen ``/v1`` wire surface keeps serving its one implicit
+graph).  Single-flight keys include the fingerprint, so dedup is preserved
+per graph across arbitrarily mixed multi-graph load.
 
 The cache itself is thread-safe but deliberately optimistic: two threads
 missing the same key both build it (see
@@ -17,10 +25,6 @@ The scheduler closes that hole without touching the cache's locking: every
 job first funnels its compile target through :meth:`_ensure_compiled`,
 so by the time :meth:`MiningSession.enumerate` asks the cache, the
 artifact is already resident.
-
-Mixed-graph loads are supported: each distinct graph gets its own session
-(keyed by content fingerprint), all over the shared cache, so outcomes can
-never cross-contaminate between graphs.
 """
 
 from __future__ import annotations
@@ -30,10 +34,11 @@ from collections.abc import Iterable, Sequence
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import NamedTuple
 
-from ..api.cache import CacheInfo, CompiledGraphCache
+from ..api.cache import CacheInfo
 from ..api.outcome import EnumerationOutcome
 from ..api.request import EnumerationRequest
 from ..api.session import MiningSession, plan_base_compile
+from ..api.store import GraphStore
 from ..errors import ParameterError
 from ..uncertain.graph import UncertainGraph
 
@@ -45,19 +50,16 @@ __all__ = ["EnumerationScheduler", "SchedulerStats"]
 #: a small pool keeps queueing behaviour predictable.
 DEFAULT_MAX_WORKERS = 4
 
-#: Default bound of the scheduler-owned shared cache: wide enough for many
-#: α points over several graphs, bounded so a long-lived service cannot
-#: pin unbounded compiled artifacts.
-DEFAULT_CACHE_MAXSIZE = 256
-
 
 class SchedulerStats(NamedTuple):
     """A snapshot of scheduler load and effectiveness counters.
 
-    ``queued`` are submitted jobs no worker has picked up yet; ``inflight``
-    are currently executing; ``completed``/``failed`` partition finished
-    jobs.  ``single_flight_waits`` counts jobs that piggybacked on another
-    thread's in-progress compilation instead of duplicating it.
+    ``queued`` is the queue depth — submitted jobs no worker has picked up
+    yet; ``inflight`` are currently executing; ``completed``/``failed``
+    partition finished jobs.  ``single_flight_waits`` counts jobs that
+    piggybacked on another thread's in-progress compilation instead of
+    duplicating it.  ``sessions`` is the number of graphs resident in the
+    backing store.
     """
 
     submitted: int
@@ -71,42 +73,48 @@ class SchedulerStats(NamedTuple):
 
 
 class EnumerationScheduler:
-    """A bounded thread pool running enumeration requests over sessions.
+    """A bounded thread pool running enumeration requests over a store.
 
     Parameters
     ----------
-    graph:
-        The primary graph this scheduler serves (:attr:`session` is its
-        session).  Further graphs may be passed per call; each gets its own
-        session over the same shared cache.
+    target:
+        What this scheduler serves: a :class:`GraphStore` (multi-graph
+        hosting — the scheduler adopts it), an
+        :class:`~repro.uncertain.graph.UncertainGraph` (the classic
+        single-graph form; a private store is created around it), or
+        ``None`` (an empty private store — graphs arrive per call or via
+        :attr:`store`).
     max_workers:
         Thread-pool bound (default :data:`DEFAULT_MAX_WORKERS`).
-    cache:
-        Optional externally-owned :class:`CompiledGraphCache`; by default
-        the scheduler creates one bounded at :data:`DEFAULT_CACHE_MAXSIZE`.
     """
 
     def __init__(
         self,
-        graph: UncertainGraph,
+        target: "GraphStore | UncertainGraph | None" = None,
         *,
         max_workers: int | None = None,
-        cache: CompiledGraphCache | None = None,
     ) -> None:
         if max_workers is None:
             max_workers = DEFAULT_MAX_WORKERS
         if max_workers < 1:
             raise ParameterError(f"max_workers must be positive, got {max_workers}")
         self._max_workers = max_workers
-        self._cache = (
-            cache if cache is not None else CompiledGraphCache(maxsize=DEFAULT_CACHE_MAXSIZE)
-        )
+        if isinstance(target, GraphStore):
+            self._store = target
+        elif isinstance(target, UncertainGraph):
+            self._store = GraphStore()
+            self._store.add(target, pin=True)
+        elif target is None:
+            self._store = GraphStore()
+        else:
+            raise ParameterError(
+                f"scheduler target must be a GraphStore or UncertainGraph, "
+                f"got {type(target).__name__}"
+            )
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-enumerate"
         )
         self._lock = threading.Lock()
-        self._sessions: dict[str, MiningSession] = {}
-        self._session = self._register(MiningSession(graph, cache=self._cache))
         self._inflight_compiles: dict[tuple, threading.Event] = {}
         self._submitted = 0
         self._started = 0
@@ -119,44 +127,50 @@ class EnumerationScheduler:
     # Sessions
     # ------------------------------------------------------------------ #
     @property
+    def store(self) -> GraphStore:
+        """The graph store owning every session this scheduler runs over."""
+        return self._store
+
+    @property
     def session(self) -> MiningSession:
-        """The primary graph's session."""
-        return self._session
+        """The default graph's session (raises ``StoreError`` when empty)."""
+        return self._store.session(None)
 
     @property
     def graph(self) -> UncertainGraph:
-        """The primary graph."""
-        return self._session.graph
+        """The default graph."""
+        return self.session.graph
 
-    def _register(self, session: MiningSession) -> MiningSession:
-        self._sessions[session.fingerprint] = session
-        return session
+    def session_for(
+        self, graph: UncertainGraph | None, ref: str | None = None
+    ) -> MiningSession:
+        """Resolve a submission target to its session.
 
-    def session_for(self, graph: UncertainGraph | None) -> MiningSession:
-        """Return (creating on first use) the session serving ``graph``.
-
-        Sessions are keyed by content fingerprint, so two equal graphs
-        share one session — and two different graphs can never share
-        artifacts, however interleaved their requests are.
+        ``ref`` (store name/fingerprint) wins over ``graph`` (an ad-hoc
+        object, registered in the store on first use); both ``None``
+        resolves to the default graph.  Sessions are keyed by content
+        fingerprint, so two equal graphs share one session — and two
+        different graphs can never share artifacts, however interleaved
+        their requests are.
         """
-        if graph is None:
-            return self._session
-        fingerprint = graph.fingerprint()
-        with self._lock:
-            session = self._sessions.get(fingerprint)
-            if session is None:
-                session = MiningSession(graph, cache=self._cache)
-                self._sessions[fingerprint] = session
-            return session
+        if ref is not None:
+            return self._store.session(ref)
+        if graph is not None:
+            return self._store.ensure(graph)
+        return self._store.session(None)
 
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
     def submit(
-        self, request: EnumerationRequest, *, graph: UncertainGraph | None = None
+        self,
+        request: EnumerationRequest,
+        *,
+        graph: UncertainGraph | None = None,
+        ref: str | None = None,
     ) -> "Future[EnumerationOutcome]":
         """Queue one request; returns a future resolving to its outcome."""
-        session = self.session_for(graph)
+        session = self.session_for(graph, ref)
         with self._lock:
             if self._closed:
                 raise RuntimeError("scheduler is shut down")
@@ -164,16 +178,21 @@ class EnumerationScheduler:
         return self._executor.submit(self._run_job, session, request)
 
     def run(
-        self, request: EnumerationRequest, *, graph: UncertainGraph | None = None
+        self,
+        request: EnumerationRequest,
+        *,
+        graph: UncertainGraph | None = None,
+        ref: str | None = None,
     ) -> EnumerationOutcome:
         """Run one request through the pool and block for its outcome."""
-        return self.submit(request, graph=graph).result()
+        return self.submit(request, graph=graph, ref=ref).result()
 
     def batch(
         self,
         requests: Iterable[EnumerationRequest],
         *,
         graph: UncertainGraph | None = None,
+        ref: str | None = None,
     ) -> list[EnumerationOutcome]:
         """Run many requests concurrently, sharing one compilation.
 
@@ -186,9 +205,9 @@ class EnumerationScheduler:
         request order.
         """
         requests = list(requests)
-        session = self.session_for(graph)
+        session = self.session_for(graph, ref)
         self._executor.submit(self._prepare, session, requests).result()
-        futures = [self.submit(request, graph=graph) for request in requests]
+        futures = [self.submit(request, graph=graph, ref=ref) for request in requests]
         return [future.result() for future in futures]
 
     def sweep(
@@ -197,6 +216,7 @@ class EnumerationScheduler:
         *,
         algorithm: str = "mule",
         graph: UncertainGraph | None = None,
+        ref: str | None = None,
         **options: object,
     ) -> list[EnumerationOutcome]:
         """Run one request per α concurrently over a single compilation."""
@@ -204,7 +224,7 @@ class EnumerationScheduler:
             EnumerationRequest(algorithm=algorithm, alpha=alpha, **options)
             for alpha in alphas
         ]
-        return self.batch(requests, graph=graph)
+        return self.batch(requests, graph=graph, ref=ref)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -299,12 +319,12 @@ class EnumerationScheduler:
                 queued=self._submitted - self._started,
                 single_flight_waits=self._single_flight_waits,
                 max_workers=self._max_workers,
-                sessions=len(self._sessions),
+                sessions=len(self._store),
             )
 
     def cache_info(self) -> CacheInfo:
         """Hit/miss/compilation/derivation counters of the shared cache."""
-        return self._cache.info()
+        return self._store.cache_info()
 
     def shutdown(self, *, wait: bool = True) -> None:
         """Stop accepting work and (optionally) wait for running jobs."""

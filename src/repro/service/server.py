@@ -1,25 +1,32 @@
 """The HTTP serving surface — ``repro-mule serve`` and :class:`MiningServer`.
 
 A deliberately dependency-free server (stdlib ``http.server`` only) that
-exposes one :class:`~repro.service.scheduler.EnumerationScheduler` over the
-wire codec:
+exposes one graph-agnostic
+:class:`~repro.service.scheduler.EnumerationScheduler` over a
+:class:`~repro.api.store.GraphStore` of named graphs:
 
-==========================  ====================================================
-endpoint                    semantics
-==========================  ====================================================
-``POST /v1/enumerate``      body: ``enumeration-request`` envelope →
-                            ``enumeration-outcome`` envelope
-``POST /v1/sweep``          body: ``sweep-request`` envelope →
-                            ``outcome-list`` envelope; the whole sweep shares
-                            one server-side compilation
-``GET /v1/health``          liveness + the served graph's shape/fingerprint
-``GET /v1/stats``           cache, scheduler and HTTP counters
-==========================  ====================================================
+================================--  ================================================
+endpoint                            semantics
+================================--  ================================================
+``POST /v1/enumerate``              run against the *default* graph (v1, frozen)
+``POST /v1/sweep``                  sweep the default graph; one shared compilation
+``GET /v1/health``                  liveness + the default graph's shape/fingerprint
+``GET /v1/stats``                   cache, scheduler, HTTP and per-graph counters
+``POST /v2/graphs``                 create a graph: upload an edge set, or build a
+                                    named dataset analog server-side
+``GET /v2/graphs``                  list resident graphs (``graph-list`` envelope)
+``GET /v2/graphs/{ref}``            one graph's ``graph-info``
+``DELETE /v2/graphs/{ref}``         unregister a graph (and its cached artifacts)
+``POST /v2/graphs/{ref}/enumerate`` run against the referenced graph
+``POST /v2/graphs/{ref}/sweep``     sweep the referenced graph
+================================--  ================================================
 
-Library errors map to ``400`` with an ``error`` envelope (the client
-re-raises the original exception type); unknown routes to ``404``;
-anything unexpected to ``500``.  See ``docs/service.md`` for the wire
-schema and curl-able examples.
+``{ref}`` is a registered name or a fingerprint (unambiguous prefixes of
+8+ characters accepted).  Library errors map to ``400`` with an ``error``
+envelope (the client re-raises the original exception type); unknown
+routes *and* unknown graph references to ``404``; anything unexpected to
+``500``.  See ``docs/service.md`` for the wire schema and curl-able
+examples.
 
 The server is concurrency-correct by construction: each connection gets a
 handler thread (``ThreadingHTTPServer``) which *blocks* on the scheduler's
@@ -32,7 +39,8 @@ from __future__ import annotations
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..errors import FormatError, ReproError
+from ..api.store import GraphStore
+from ..errors import FormatError, GraphNotFoundError, ReproError, StoreError
 from ..uncertain.graph import UncertainGraph
 from . import codec
 from .scheduler import EnumerationScheduler
@@ -42,10 +50,14 @@ __all__ = ["MiningServer", "DEFAULT_PORT"]
 #: Default TCP port of ``repro-mule serve``.
 DEFAULT_PORT = 8765
 
-#: Largest request body accepted, in bytes.  Requests are tiny (an
-#: envelope of scalars); the cap exists so a misbehaving client cannot
-#: make a handler thread buffer arbitrary data.
+#: Largest enumeration/sweep request body accepted, in bytes.  Those
+#: requests are tiny (an envelope of scalars); the cap exists so a
+#: misbehaving client cannot make a handler thread buffer arbitrary data.
 MAX_REQUEST_BYTES = 1 << 20
+
+#: Largest ``POST /v2/graphs`` body accepted — graph uploads legitimately
+#: carry whole edge lists, so their cap is wider.
+MAX_UPLOAD_BYTES = 64 << 20
 
 
 class _ServiceHTTPServer(ThreadingHTTPServer):
@@ -62,55 +74,106 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
-    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+    def _handle(self, route, *, counted: bool) -> None:
+        """Run one route with the uniform error→status mapping.
+
+        ``counted`` selects whether the request lands in the HTTP
+        received/failed counters — mutating verbs (POST/DELETE) are
+        counted, read-only polls (GET health/stats/listings) are not,
+        matching the original v1 accounting.
+        """
         service = self.server.service
+        if counted:
+            service._count_request()
+        try:
+            route(service)
+        except BaseException as exc:  # noqa: BLE001 — a handler must not die
+            if counted:
+                service._count_failure()
+            if isinstance(exc, _RouteError):
+                self._respond_error(404, ReproError(str(exc)))
+            elif isinstance(exc, GraphNotFoundError):
+                self._respond_error(404, exc)
+            elif isinstance(exc, ReproError):
+                self._respond_error(400, exc)
+            else:
+                self._respond_error(500, exc)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._handle(self._route_get, counted=False)
+
+    def do_DELETE(self) -> None:  # noqa: N802 (http.server API)
+        self._handle(self._route_delete, counted=True)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._handle(self._route_post, counted=True)
+
+    def _route_get(self, service: "MiningServer") -> None:
         if self.path == "/v1/health":
             self._respond(200, service.health_payload())
         elif self.path == "/v1/stats":
             self._respond(200, service.stats_payload())
+        elif self.path == "/v2/graphs":
+            self._respond(200, codec.graph_list_to_wire(service.store.list()))
         else:
-            self._respond_error(404, ReproError(f"unknown endpoint {self.path}"))
-
-    def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        service = self.server.service
-        service._count_request()
-        try:
-            payload = codec.decode(self._read_body())
-            if self.path == "/v1/enumerate":
-                request = codec.request_from_wire(payload)
-                outcome = service.scheduler.run(request)
-                self._respond(200, codec.outcome_to_wire(outcome))
-            elif self.path == "/v1/sweep":
-                base, alphas = codec.sweep_from_wire(payload)
-                requests = [base.with_alpha(alpha) for alpha in alphas]
-                outcomes = service.scheduler.batch(requests)
-                self._respond(200, codec.outcomes_to_wire(outcomes))
-            else:
+            ref = _graph_ref(self.path)
+            if ref is None:
                 raise _RouteError(f"unknown endpoint {self.path}")
-        except _RouteError as exc:
-            service._count_failure()
-            self._respond_error(404, ReproError(str(exc)))
-        except ReproError as exc:
-            service._count_failure()
-            self._respond_error(400, exc)
-        except Exception as exc:  # noqa: BLE001 — a handler must not die
-            service._count_failure()
-            self._respond_error(500, exc)
+            self._respond(200, codec.graph_info_to_wire(service.store.get(ref)))
+
+    def _route_delete(self, service: "MiningServer") -> None:
+        ref = _graph_ref(self.path)
+        if ref is None:
+            raise _RouteError(f"unknown endpoint {self.path}")
+        self._respond(200, codec.graph_info_to_wire(service.store.remove(ref)))
+
+    def _route_post(self, service: "MiningServer") -> None:
+        if self.path == "/v1/enumerate":
+            payload = codec.decode(self._read_body())
+            request = codec.request_from_wire(payload)
+            outcome = service.scheduler.run(request)
+            self._respond(200, codec.outcome_to_wire(outcome))
+        elif self.path == "/v1/sweep":
+            payload = codec.decode(self._read_body())
+            base, alphas = codec.sweep_from_wire(payload)
+            requests = [base.with_alpha(alpha) for alpha in alphas]
+            outcomes = service.scheduler.batch(requests)
+            self._respond(200, codec.outcomes_to_wire(outcomes))
+        elif self.path == "/v2/graphs":
+            payload = codec.decode(self._read_body(limit=MAX_UPLOAD_BYTES))
+            upload = codec.upload_from_wire(payload)
+            self._respond(200, codec.graph_info_to_wire(service.create_graph(upload)))
+        else:
+            target = _graph_action(self.path)
+            if target is None:
+                raise _RouteError(f"unknown endpoint {self.path}")
+            ref, action = target
+            payload = codec.decode(self._read_body())
+            if action == "enumerate":
+                body_ref, request = codec.ref_request_from_wire(payload)
+                _check_body_ref(service.store, ref, body_ref)
+                outcome = service.scheduler.run(request, ref=ref)
+                self._respond(200, codec.outcome_to_wire(outcome))
+            else:
+                body_ref, base, alphas = codec.ref_sweep_from_wire(payload)
+                _check_body_ref(service.store, ref, body_ref)
+                requests = [base.with_alpha(alpha) for alpha in alphas]
+                outcomes = service.scheduler.batch(requests, ref=ref)
+                self._respond(200, codec.outcomes_to_wire(outcomes))
 
     # ------------------------------------------------------------------ #
     # I/O helpers
     # ------------------------------------------------------------------ #
-    def _read_body(self) -> bytes:
+    def _read_body(self, *, limit: int = MAX_REQUEST_BYTES) -> bytes:
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError as exc:
             raise FormatError("invalid Content-Length header") from exc
         if length <= 0:
             raise FormatError("request body is required")
-        if length > MAX_REQUEST_BYTES:
+        if length > limit:
             raise FormatError(
-                f"request body of {length} bytes exceeds the "
-                f"{MAX_REQUEST_BYTES}-byte limit"
+                f"request body of {length} bytes exceeds the {limit}-byte limit"
             )
         return self.rfile.read(length)
 
@@ -140,17 +203,58 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class _RouteError(Exception):
-    """POST to a path the service does not serve."""
+    """Request for a path the service does not serve."""
+
+
+def _graph_ref(path: str) -> str | None:
+    """Parse ``/v2/graphs/{ref}`` (no trailing action) or return ``None``."""
+    parts = path.strip("/").split("/")
+    if len(parts) == 3 and parts[0] == "v2" and parts[1] == "graphs" and parts[2]:
+        return parts[2]
+    return None
+
+
+def _graph_action(path: str) -> "tuple[str, str] | None":
+    """Parse ``/v2/graphs/{ref}/enumerate|sweep`` or return ``None``."""
+    parts = path.strip("/").split("/")
+    if (
+        len(parts) == 4
+        and parts[0] == "v2"
+        and parts[1] == "graphs"
+        and parts[2]
+        and parts[3] in ("enumerate", "sweep")
+    ):
+        return parts[2], parts[3]
+    return None
+
+
+def _check_body_ref(store: GraphStore, path_ref: str, body_ref: str | None) -> None:
+    """Reject a body whose graph reference contradicts the URL's.
+
+    A v2 body may omit its ``graph`` field (the path is authoritative) or
+    repeat it; naming a *different* graph is a client bug worth failing
+    loudly instead of silently trusting one of the two.
+    """
+    if body_ref is None:
+        return
+    if store.resolve(body_ref) != store.resolve(path_ref):
+        raise StoreError(
+            f"request body names graph {body_ref!r} but the URL names "
+            f"{path_ref!r}"
+        )
 
 
 class MiningServer:
-    """One graph served over HTTP.
+    """A catalog of graphs served over HTTP.
 
     Parameters
     ----------
-    graph:
-        The uncertain graph to serve (compiled artifacts are cached and
-        shared across all requests).
+    target:
+        What to serve: an :class:`~repro.uncertain.graph.UncertainGraph`
+        (the classic single-graph server — it becomes the store's pinned
+        default graph) or a pre-populated
+        :class:`~repro.api.store.GraphStore` (multi-graph hosting; its
+        default graph answers the ``/v1`` surface).
     host, port:
         Bind address; ``port=0`` picks a free ephemeral port (the bound
         port is available as :attr:`port` — what the tests use).
@@ -168,7 +272,7 @@ class MiningServer:
 
     def __init__(
         self,
-        graph: UncertainGraph,
+        target: "UncertainGraph | GraphStore",
         *,
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
@@ -176,7 +280,7 @@ class MiningServer:
         quiet: bool = True,
     ) -> None:
         self.quiet = quiet
-        self._scheduler = EnumerationScheduler(graph, max_workers=max_workers)
+        self._scheduler = EnumerationScheduler(target, max_workers=max_workers)
         self._httpd = _ServiceHTTPServer((host, port), _Handler)
         self._httpd.service = self
         self._serve_thread: threading.Thread | None = None
@@ -195,8 +299,13 @@ class MiningServer:
         return self._scheduler
 
     @property
+    def store(self) -> GraphStore:
+        """The graph store this server hosts."""
+        return self._scheduler.store
+
+    @property
     def graph(self) -> UncertainGraph:
-        """The served graph."""
+        """The default graph (the one the ``/v1`` surface serves)."""
         return self._scheduler.graph
 
     @property
@@ -213,22 +322,56 @@ class MiningServer:
         """Base URL clients should connect to."""
         return f"http://{self.host}:{self.port}"
 
+    def create_graph(self, upload: "codec.GraphUpload"):
+        """Materialise a ``graph-upload`` into the store (POST /v2/graphs)."""
+        store = self.store
+        if upload.graph is not None:
+            return store.add(upload.graph, name=upload.name)
+        kwargs: dict = {}
+        if upload.scale is not None:
+            kwargs["scale"] = upload.scale
+        if upload.seed is not None:
+            kwargs["seed"] = upload.seed
+        # Uploaded datasets are *not* pinned: only the operator's CLI
+        # catalog is; client-created graphs stay subject to the LRU budget.
+        return store.add_dataset(
+            upload.dataset, name=upload.name, pin=False, **kwargs
+        )
+
     def health_payload(self) -> dict:
-        graph = self.graph
+        store = self.store
+        if store.default_fingerprint is None:
+            graph_section = None
+        else:
+            session = store.session(None)
+            graph = session.graph
+            graph_section = {
+                "num_vertices": graph.num_vertices,
+                "num_edges": graph.num_edges,
+                "fingerprint": session.fingerprint,
+            }
         return {
             "schema": codec.SCHEMA_VERSION,
             "kind": "health",
             "status": "ok",
-            "graph": {
-                "num_vertices": graph.num_vertices,
-                "num_edges": graph.num_edges,
-                "fingerprint": self._scheduler.session.fingerprint,
-            },
+            "graph": graph_section,
         }
 
     def stats_payload(self) -> dict:
-        cache = self._scheduler.cache_info()
+        store = self.store
+        cache = store.cache_info()
         scheduler = self._scheduler.stats()
+        # cache.info_for (not store.cache_info_for): it never resolves, so
+        # a graph deleted between list() and here yields zero counters
+        # instead of turning a stats poll into a 404.
+        graphs = {
+            info.fingerprint: {
+                "name": info.name,
+                "default": info.default,
+                "cache": dict(store.cache.info_for(info.fingerprint)._asdict()),
+            }
+            for info in store.list()
+        }
         with self._http_lock:
             received, failed = self._http_received, self._http_failed
         return {
@@ -237,6 +380,7 @@ class MiningServer:
             "cache": dict(cache._asdict()),
             "scheduler": dict(scheduler._asdict()),
             "http": {"received": received, "failed": failed},
+            "graphs": graphs,
         }
 
     def _count_request(self) -> None:
@@ -291,4 +435,4 @@ class MiningServer:
         self.close()
 
     def __repr__(self) -> str:
-        return f"MiningServer(url={self.url!r}, graph={self.graph!r})"
+        return f"MiningServer(url={self.url!r}, graphs={len(self.store)})"

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.api.cache import CompiledGraphCache
+from repro.api.cache import CacheInfo, CompiledGraphCache
 from repro.core.engine import compile_graph
 from repro.core.pruning import PruningReport
 from repro.errors import ParameterError
@@ -174,3 +174,52 @@ class TestStore:
         cache.clear()
         assert len(cache) == 0
         assert cache.info() == (0, 0, 0, 0, 0)
+
+
+class TestPerFingerprintCounters:
+    """The per-graph view behind multi-graph service stats."""
+
+    def test_counters_separate_by_fingerprint(self, graph):
+        import random
+
+        from repro.generators.erdos_renyi import random_uncertain_graph
+
+        other = random_uncertain_graph(10, 0.5, rng=random.Random(3))
+        cache = CompiledGraphCache()
+        fp, other_fp = graph.fingerprint(), other.fingerprint()
+        cache.get(graph, fp, alpha=0.3)
+        cache.get(graph, fp, alpha=0.3)  # hit
+        cache.get(graph, fp, alpha=0.5)  # derived
+        cache.get(other, other_fp, alpha=0.3)
+        mine, theirs = cache.info_for(fp), cache.info_for(other_fp)
+        assert (mine.hits, mine.compilations, mine.derivations) == (1, 1, 1)
+        assert (theirs.hits, theirs.compilations, theirs.derivations) == (0, 1, 0)
+        assert cache.info().compilations == 2
+        assert cache.info_for("unseen").entries == 0
+
+    def test_discard_drops_entries_and_counters(self, graph):
+        cache = CompiledGraphCache()
+        fp = graph.fingerprint()
+        cache.get(graph, fp, alpha=0.3)
+        removed = cache.discard(fp)
+        assert removed == 1
+        assert len(cache) == 0
+        assert cache.info_for(fp) == CacheInfo(0, 0, 0, 0, 0)
+        # Global history survives a discard.
+        assert cache.info().compilations == 1
+
+    def test_counters_pruned_when_last_artifact_evicts(self, graph):
+        import random
+
+        from repro.generators.erdos_renyi import random_uncertain_graph
+
+        cache = CompiledGraphCache(maxsize=2)
+        fp = graph.fingerprint()
+        cache.get(graph, fp, alpha=0.3)
+        assert cache.info_for(fp).compilations == 1
+        # Two fresh graphs push the first graph's only artifact out; its
+        # per-fingerprint counters must leave with it (bounded counter map).
+        for seed in (5, 6):
+            g = random_uncertain_graph(8, 0.5, rng=random.Random(seed))
+            cache.get(g, g.fingerprint(), alpha=0.3)
+        assert cache.info_for(fp) == CacheInfo(0, 0, 0, 0, 0)

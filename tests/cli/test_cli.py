@@ -327,8 +327,152 @@ class TestServeCommand:
         assert exit_code == 0
         assert outcomes[0].num_cliques == 2
         out = capsys.readouterr().out
-        assert "serving graph" in out
+        assert "serving 1 graph(s)" in out
         assert "/v1/enumerate" in out
+
+
+class TestMultiGraphServe:
+    def test_serve_two_datasets_one_process(self, monkeypatch, capsys):
+        """The acceptance command shape: serve --dataset ppi --dataset dblp
+        (alias of dblp10), both answerable over v2 by name."""
+        import importlib
+
+        from repro.api import EnumerationRequest, MiningSession
+        from repro.datasets.registry import load_dataset
+        from repro.service import connect
+
+        cli_main = importlib.import_module("repro.cli.main")
+        checked = []
+
+        def probe_instead_of_blocking(server):
+            server.start()
+            remote = connect(server.url)
+            names = {info.name for info in remote.list()}
+            assert names == {"ppi", "dblp10"}
+            for name, scale in (("ppi", 0.01), ("dblp10", 0.00005)):
+                outcome = remote.session(name).enumerate(
+                    EnumerationRequest(algorithm="mule", alpha=0.5)
+                )
+                local = MiningSession(
+                    load_dataset(name, scale=scale, seed=2015)
+                ).enumerate(EnumerationRequest(algorithm="mule", alpha=0.5))
+                outcome.assert_matches(local)
+            checked.append(True)
+
+        monkeypatch.setattr(
+            cli_main.MiningServer, "serve_forever", probe_instead_of_blocking
+        )
+        exit_code = main(
+            [
+                "serve",
+                "--dataset",
+                "ppi:0.01",
+                "--dataset",
+                "dblp:0.00005",
+                "--port",
+                "0",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        assert checked
+        out = capsys.readouterr().out
+        assert "serving 2 graph(s)" in out
+        assert "default graph (v1 surface): ppi" in out
+
+    def test_serve_requires_a_source(self, capsys):
+        exit_code = main(["serve", "--port", "0"])
+        assert exit_code == 2
+        assert "nothing to serve" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_dataset_scale(self, capsys):
+        exit_code = main(["serve", "--dataset", "ppi:huge", "--port", "0"])
+        assert exit_code == 1
+        assert "invalid dataset scale" in capsys.readouterr().err
+
+
+class TestRemoteCommands:
+    @pytest.fixture()
+    def server(self, graph_file):
+        from repro.service import MiningServer
+        from repro.uncertain.io import read_edge_list
+
+        graph = read_edge_list(graph_file, vertex_type=str)
+        store_graph = UncertainGraph(edges=[("p", "q", 0.9), ("q", "r", 0.8)])
+        from repro.api import GraphStore
+
+        store = GraphStore()
+        store.add(graph, name="toy", pin=True)
+        store.add(store_graph, name="other", pin=True)
+        with MiningServer(store, port=0) as srv:
+            yield srv
+
+    def test_enumerate_remote_default_graph(self, server, capsys):
+        exit_code = main(
+            ["enumerate", "--remote", server.url, "--alpha", "0.5", "--quiet"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "2 alpha-maximal cliques" in out
+        assert "n=4, m=4" in out
+
+    def test_enumerate_remote_named_graph(self, server, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--remote",
+                server.url,
+                "--graph",
+                "other",
+                "--alpha",
+                "0.5",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "n=3, m=2" in out
+
+    def test_compare_remote(self, server, capsys):
+        exit_code = main(
+            ["compare", "--remote", server.url, "--graph", "toy", "--alpha", "0.5"]
+        )
+        assert exit_code == 0
+        assert "outputs agree" in capsys.readouterr().out
+
+    def test_remote_conflicts_with_local_input(self, server, graph_file, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--remote",
+                server.url,
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+            ]
+        )
+        assert exit_code == 2
+        assert "--remote cannot be combined" in capsys.readouterr().err
+
+    def test_graph_flag_requires_remote(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--graph",
+                "toy",
+                "--alpha",
+                "0.5",
+            ]
+        )
+        assert exit_code == 2
+        assert "--graph NAME requires --remote" in capsys.readouterr().err
+
+    def test_enumerate_requires_some_source(self, capsys):
+        exit_code = main(["enumerate", "--alpha", "0.5"])
+        assert exit_code == 2
+        assert "one of --input, --dataset or --remote" in capsys.readouterr().err
 
 
 class TestParallelEnumeration:

@@ -51,13 +51,39 @@ class TestLoading:
         with pytest.raises(DatasetError):
             load_dataset("no-such-graph")
 
+    def test_unknown_dataset_error_lists_available_names(self):
+        with pytest.raises(DatasetError, match="available:.*ppi"):
+            load_dataset("no-such-graph")
+
     def test_invalid_scale(self):
         with pytest.raises(DatasetError):
             load_dataset("ppi", scale=0.0)
 
+    def test_scale_validated_before_build(self):
+        # Negative, non-finite and non-numeric scales all fail fast with a
+        # DatasetError — never a bare TypeError/ValueError mid-generation.
+        for bad in (-1.0, float("inf"), float("nan"), "huge"):
+            with pytest.raises(DatasetError):
+                load_dataset("ppi", scale=bad)
+
     def test_case_insensitive_lookup(self):
         g = load_dataset("PPI", scale=0.05, seed=1)
         assert g.num_vertices > 0
+
+    def test_aliases_resolve(self):
+        from repro.datasets.registry import resolve_dataset_name
+
+        assert resolve_dataset_name("dblp") == "dblp10"
+        assert resolve_dataset_name("DBLP") == "dblp10"
+        assert resolve_dataset_name("wikivote") == "wiki-vote"
+        with pytest.raises(DatasetError):
+            resolve_dataset_name("not-a-dataset")
+
+    def test_available_datasets_exported_at_top_level(self):
+        import repro
+
+        assert repro.available_datasets() == available_datasets()
+        assert "ppi" in repro.available_datasets()
 
     def test_scaled_vertex_counts(self):
         for name in ("ppi", "ba5000", "ca-grqc"):

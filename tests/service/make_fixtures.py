@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.api import EnumerationRequest, MiningSession
+from repro.api import EnumerationRequest, GraphInfo, MiningSession
 from repro.core.engine import RunControls
 from repro.core.result import CliqueRecord
 from repro.errors import ParameterError
@@ -93,6 +93,37 @@ def build_payloads() -> dict[str, dict]:
         ),
         "error_parameter": codec.to_wire(
             ParameterError("algorithm 'top_k' requires k")
+        ),
+        # ---- schema v2: graphs as values and as references ---- #
+        "graph_mixed_labels": codec.graph_to_wire(
+            UncertainGraph(
+                vertices=["isolated"],
+                edges=[
+                    (1, 2, 0.9),
+                    (2, "gene", 1 / 3),  # non-terminating binary fraction
+                    (2.5, "gene", 0.0625),
+                ],
+            )
+        ),
+        "graph_upload": codec.upload_to_wire(
+            codec.GraphUpload(dataset="ppi", scale=0.05, seed=2015, name="ppi")
+        ),
+        "graph_upload_literal": codec.upload_to_wire(
+            codec.GraphUpload(graph=fixture_graph(), name="triangle")
+        ),
+        "graph_ref_request": codec.ref_request_to_wire(mule_request, graph="ppi"),
+        "graph_ref_sweep": codec.ref_sweep_to_wire(
+            mule_request, [0.5, 0.6, 0.7, 0.8, 0.9], graph="ppi"
+        ),
+        "graph_info_ppi": codec.graph_info_to_wire(
+            GraphInfo(
+                fingerprint="a3f1" * 16,
+                name="ppi",
+                num_vertices=3751,
+                num_edges=3692,
+                pinned=True,
+                default=True,
+            )
         ),
     }
 

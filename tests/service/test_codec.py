@@ -23,6 +23,7 @@ from repro.errors import (
     ServiceError,
 )
 from repro.service import codec
+from repro.uncertain.graph import UncertainGraph
 
 
 def envelope_of(obj) -> dict:
@@ -92,7 +93,23 @@ class TestEnvelopeStrictness:
 
     def test_wrong_schema_version_rejected(self):
         payload = envelope_of(EnumerationRequest(algorithm="mule", alpha=0.5))
-        payload["schema"] = codec.SCHEMA_VERSION + 1
+        payload["schema"] = max(codec.SUPPORTED_SCHEMA_VERSIONS) + 1
+        with pytest.raises(FormatError, match="unsupported schema version"):
+            codec.from_wire(payload)
+
+    def test_v1_kind_decodes_under_v2_stamp(self):
+        # v2 is additive: a v1-shaped envelope sent by a v2 speaker (stamped
+        # schema 2) decodes to the same object.
+        request = EnumerationRequest(algorithm="mule", alpha=0.5)
+        payload = envelope_of(request)
+        payload["schema"] = codec.SCHEMA_VERSION_V2
+        assert codec.from_wire(payload) == request
+
+    def test_v2_only_kind_rejects_v1_stamp(self):
+        from repro.uncertain.graph import UncertainGraph
+
+        payload = codec.graph_to_wire(UncertainGraph(edges=[(1, 2, 0.5)]))
+        payload["schema"] = codec.SCHEMA_VERSION
         with pytest.raises(FormatError, match="unsupported schema version"):
             codec.from_wire(payload)
 
@@ -247,3 +264,138 @@ class TestGenericDispatch:
         for obj in objects:
             decoded = codec.from_wire(codec.to_wire(obj))
             assert type(decoded) is type(obj)
+
+
+class TestGraphCodec:
+    """The lossless graph envelope (schema v2) and its strictness rules."""
+
+    def roundtrip(self, graph):
+        wire = codec.graph_to_wire(graph)
+        return codec.graph_from_wire(codec.decode(codec.encode(wire)))
+
+    def test_roundtrip_preserves_everything(self):
+        graph = UncertainGraph(
+            vertices=["isolated", 99],
+            edges=[(1, 2, 0.9), (2, "gene", 1 / 3), (2.5, "gene", 0.0625)],
+        )
+        back = self.roundtrip(graph)
+        assert back == graph
+        assert back.probability(2, "gene") == 1 / 3  # exact float survival
+        assert set(back.vertices()) == set(graph.vertices())
+
+    def test_empty_and_edgeless_graphs(self):
+        assert self.roundtrip(UncertainGraph()) == UncertainGraph()
+        lonely = UncertainGraph(vertices=[1, 2, 3])
+        assert self.roundtrip(lonely) == lonely
+
+    def test_encoding_is_canonical_regardless_of_insertion_order(self):
+        a = UncertainGraph(edges=[(1, 2, 0.5), (2, 3, 0.25)])
+        b = UncertainGraph(edges=[(3, 2, 0.25), (2, 1, 0.5)])
+        assert codec.encode(codec.graph_to_wire(a)) == codec.encode(
+            codec.graph_to_wire(b)
+        )
+
+    def test_unencodable_labels_rejected(self):
+        graph = UncertainGraph(edges=[((1, 2), 3, 0.5)])
+        with pytest.raises(FormatError, match="not wire-encodable"):
+            codec.graph_to_wire(graph)
+
+    def test_duplicate_vertices_rejected(self):
+        payload = codec.graph_to_wire(UncertainGraph(vertices=[1, 2]))
+        payload["vertices"] = [1, 1.0]
+        with pytest.raises(FormatError, match="duplicate vertex"):
+            codec.graph_from_wire(payload)
+
+    def test_duplicate_edges_rejected(self):
+        payload = codec.graph_to_wire(UncertainGraph(edges=[(1, 2, 0.5)]))
+        payload["edges"] = [[1, 2, 0.5], [2, 1, 0.5]]
+        with pytest.raises(FormatError, match="duplicate edge"):
+            codec.graph_from_wire(payload)
+
+    def test_edge_endpoint_missing_from_vertex_list_rejected(self):
+        payload = codec.graph_to_wire(UncertainGraph(edges=[(1, 2, 0.5)]))
+        payload["edges"] = [[1, 3, 0.5]]
+        with pytest.raises(FormatError, match="endpoint missing"):
+            codec.graph_from_wire(payload)
+
+    def test_domain_errors_delegate_to_constructors(self):
+        from repro.errors import ProbabilityError
+
+        payload = codec.graph_to_wire(UncertainGraph(edges=[(1, 2, 0.5)]))
+        payload["edges"] = [[1, 2, 1.5]]
+        with pytest.raises(ProbabilityError):
+            codec.graph_from_wire(payload)
+
+    def test_boolean_probability_rejected_structurally(self):
+        payload = codec.graph_to_wire(UncertainGraph(edges=[(1, 2, 0.5)]))
+        payload["edges"] = [[1, 2, True]]
+        with pytest.raises(FormatError, match="must be a number"):
+            codec.graph_from_wire(payload)
+
+
+class TestUploadAndRefEnvelopes:
+    def test_upload_requires_exactly_one_source(self):
+        with pytest.raises(FormatError, match="exactly one"):
+            codec.upload_to_wire(codec.GraphUpload())
+        with pytest.raises(FormatError, match="exactly one"):
+            codec.upload_to_wire(
+                codec.GraphUpload(
+                    graph=UncertainGraph(edges=[(1, 2, 0.5)]), dataset="ppi"
+                )
+            )
+
+    def test_upload_scale_requires_dataset(self):
+        with pytest.raises(FormatError, match="only valid with dataset"):
+            codec.upload_to_wire(
+                codec.GraphUpload(
+                    graph=UncertainGraph(edges=[(1, 2, 0.5)]), scale=0.5
+                )
+            )
+
+    def test_upload_roundtrip_both_sources(self):
+        by_dataset = codec.GraphUpload(dataset="ppi", scale=0.05, seed=1, name="x")
+        assert codec.upload_from_wire(codec.upload_to_wire(by_dataset)) == by_dataset
+        graph = UncertainGraph(edges=[("a", "b", 0.5)])
+        by_graph = codec.upload_from_wire(
+            codec.upload_to_wire(codec.GraphUpload(graph=graph))
+        )
+        assert by_graph.graph == graph and by_graph.dataset is None
+
+    def test_ref_request_roundtrip(self):
+        request = EnumerationRequest(algorithm="large", alpha=0.25, size_threshold=3)
+        for ref in ("ppi", None):
+            wire = codec.ref_request_to_wire(request, graph=ref)
+            assert codec.ref_request_from_wire(wire) == (ref, request)
+
+    def test_ref_sweep_roundtrip_and_empty_alphas_rejected(self):
+        request = EnumerationRequest(algorithm="mule", alpha=0.5)
+        wire = codec.ref_sweep_to_wire(request, [0.5, 0.75], graph="g")
+        assert codec.ref_sweep_from_wire(wire) == ("g", request, [0.5, 0.75])
+        wire["alphas"] = []
+        with pytest.raises(FormatError, match="must not be empty"):
+            codec.ref_sweep_from_wire(wire)
+
+    def test_graph_info_and_list_roundtrip(self):
+        from repro.api import GraphInfo
+
+        infos = [
+            GraphInfo(
+                fingerprint="ab" * 32,
+                name="a",
+                num_vertices=3,
+                num_edges=2,
+                pinned=True,
+                default=True,
+            ),
+            GraphInfo(
+                fingerprint="cd" * 32,
+                name=None,
+                num_vertices=0,
+                num_edges=0,
+                pinned=False,
+                default=False,
+            ),
+        ]
+        assert codec.graph_list_from_wire(codec.graph_list_to_wire(infos)) == infos
+        for info in infos:
+            assert codec.from_wire(codec.graph_info_to_wire(info)) == info

@@ -30,11 +30,18 @@ FIXTURE_PATHS = sorted(FIXTURES.glob("*.json"))
 def roundtrip(raw: bytes) -> bytes:
     """Decode fixture bytes to an object and re-encode them canonically."""
     payload = codec.decode(raw)
-    if payload.get("kind") == "sweep-request":
+    kind = payload.get("kind")
+    if kind == "sweep-request":
         request, alphas = codec.sweep_from_wire(payload)
         return codec.encode(codec.sweep_to_wire(request, alphas))
+    if kind == "graph-ref-request":
+        ref, request = codec.ref_request_from_wire(payload)
+        return codec.encode(codec.ref_request_to_wire(request, graph=ref))
+    if kind == "graph-ref-sweep":
+        ref, request, alphas = codec.ref_sweep_from_wire(payload)
+        return codec.encode(codec.ref_sweep_to_wire(request, alphas, graph=ref))
     obj = codec.from_wire(payload)
-    if payload.get("kind") == "error":
+    if kind == "error":
         return codec.encode(codec.error_to_wire(obj))
     return codec.encode(codec.to_wire(obj))
 
@@ -58,8 +65,46 @@ def test_byte_stable_roundtrip(path):
 @pytest.mark.parametrize("path", FIXTURE_PATHS, ids=lambda p: p.stem)
 def test_fixture_envelopes_are_versioned(path):
     payload = codec.decode(path.read_bytes())
-    assert payload["schema"] == codec.SCHEMA_VERSION
+    assert payload["schema"] in codec.SUPPORTED_SCHEMA_VERSIONS
     assert isinstance(payload["kind"], str)
+
+
+def _restamp(payload, version):
+    """Recursively rewrite every nested envelope's schema version."""
+    if isinstance(payload, dict):
+        restamped = {k: _restamp(v, version) for k, v in payload.items()}
+        if "schema" in restamped and "kind" in restamped:
+            restamped["schema"] = version
+        return restamped
+    if isinstance(payload, list):
+        return [_restamp(item, version) for item in payload]
+    return payload
+
+
+@pytest.mark.parametrize(
+    "path",
+    [p for p in FIXTURE_PATHS if not p.stem.startswith("graph")],
+    ids=lambda p: p.stem,
+)
+def test_v1_corpus_decodes_identically_under_v2(path):
+    """The v1→v2 compatibility contract: every v1 envelope decodes to the
+    same object whether stamped schema 1 (an old client) or schema 2 (a new
+    one) — v2 is strictly additive over the v1 kinds."""
+    original = codec.decode(path.read_bytes())
+    restamped = _restamp(original, codec.SCHEMA_VERSION_V2)
+
+    def load(payload):
+        kind = payload.get("kind")
+        if kind == "sweep-request":
+            return codec.sweep_from_wire(payload)
+        obj = codec.from_wire(payload)
+        if kind == "error":
+            # Exceptions compare by identity; their decoded meaning is
+            # (reconstructed type, message).
+            return type(obj), str(obj)
+        return obj
+
+    assert load(restamped) == load(original)
 
 
 class TestDecodeEquality:
@@ -139,3 +184,47 @@ class TestDecodeEquality:
         error = codec.from_wire(self.load("error_parameter"))
         assert isinstance(error, ParameterError)
         assert "requires k" in str(error)
+
+    def test_graph_mixed_labels(self):
+        from repro.uncertain.graph import UncertainGraph
+
+        graph = codec.from_wire(self.load("graph_mixed_labels"))
+        assert graph == UncertainGraph(
+            vertices=["isolated"],
+            edges=[(1, 2, 0.9), (2, "gene", 1 / 3), (2.5, "gene", 0.0625)],
+        )
+        # Exact float round-trip of a non-terminating binary fraction.
+        assert graph.probability(2, "gene") == 1 / 3
+
+    def test_graph_upload(self):
+        upload = codec.from_wire(self.load("graph_upload"))
+        assert upload == codec.GraphUpload(
+            dataset="ppi", scale=0.05, seed=2015, name="ppi"
+        )
+
+    def test_graph_upload_literal(self):
+        from tests.service.make_fixtures import fixture_graph
+
+        upload = codec.from_wire(self.load("graph_upload_literal"))
+        assert upload.graph == fixture_graph()
+        assert upload.dataset is None
+        assert upload.name == "triangle"
+
+    def test_graph_ref_request(self):
+        ref, request = codec.ref_request_from_wire(self.load("graph_ref_request"))
+        assert ref == "ppi"
+        assert request == EnumerationRequest(algorithm="mule", alpha=0.5)
+
+    def test_graph_ref_sweep(self):
+        ref, request, alphas = codec.ref_sweep_from_wire(
+            self.load("graph_ref_sweep")
+        )
+        assert ref == "ppi"
+        assert request == EnumerationRequest(algorithm="mule", alpha=0.5)
+        assert alphas == [0.5, 0.6, 0.7, 0.8, 0.9]
+
+    def test_graph_info_ppi(self):
+        info = codec.from_wire(self.load("graph_info_ppi"))
+        assert info.name == "ppi"
+        assert info.num_vertices == 3751
+        assert info.pinned and info.default
