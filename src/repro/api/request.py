@@ -60,6 +60,7 @@ ALGORITHM_LABELS = {
 
 _EXECUTIONS = ("auto", "serial", "parallel")
 _BACKENDS = ("auto", "process", "inline")
+_KERNELS = ("auto", "python", "vector")
 
 
 @dataclass(frozen=True)
@@ -104,6 +105,14 @@ class EnumerationRequest:
         ``workers=1`` — what :func:`repro.parallel.parallel_mule` does, so
         its ``workers=1`` results keep the ``parallel-mule`` label and
         shard-merge semantics).
+    kernel:
+        Engine kernel backend running the enumeration hot path:
+        ``"python"`` (the reference strategy-protocol kernel),
+        ``"vector"`` (the fused word-array kernel, MULE family only), or
+        ``"auto"`` (vector where supported, python otherwise — the
+        default).  Independent of ``backend``, which picks where parallel
+        shards *run*; this picks how each shard's inner loop runs.  Both
+        kernels are bit-identical, so the choice never changes results.
     """
 
     algorithm: str = "mule"
@@ -118,6 +127,7 @@ class EnumerationRequest:
     num_shards: int | None = None
     backend: str = "auto"
     execution: str = "auto"
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         canonical = _ALIASES.get(self.algorithm)
@@ -165,6 +175,18 @@ class EnumerationRequest:
         if self.backend not in _BACKENDS:
             raise ParameterError(
                 f"unknown backend {self.backend!r}; expected one of {_BACKENDS}"
+            )
+        if self.kernel not in _KERNELS:
+            raise ParameterError(
+                f"unknown kernel {self.kernel!r}; expected one of {_KERNELS}"
+            )
+        if self.kernel == "vector" and canonical == "noip":
+            # DFS-NOIP is the from-scratch baseline; running it on the
+            # fused kernel would change what the experiment measures.
+            # 'auto' quietly resolves to the python kernel instead.
+            raise ParameterError(
+                "algorithm 'noip' (DFS-NOIP) only runs on the python "
+                "kernel; use kernel='python' or 'auto'"
             )
         if self.num_shards is not None and self.num_shards < 1:
             raise ParameterError(f"num_shards must be positive, got {self.num_shards}")

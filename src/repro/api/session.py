@@ -43,9 +43,9 @@ from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import replace
 from time import monotonic
 
+from ..core.engine.backends import run_kernel_search
 from ..core.engine.compiled import CompiledGraph
 from ..core.engine.controls import RunControls, RunReport
-from ..core.engine.kernel import run_search
 from ..core.engine.strategies import (
     EnumerationStrategy,
     LargeCliqueStrategy,
@@ -220,10 +220,11 @@ class MiningSession:
             size_threshold=request.compile_size_threshold(),
             pruning_report=pruning_report,
         )
-        yield from run_search(
+        yield from run_kernel_search(
             compiled,
             request.alpha,
             _strategy_for(request),
+            kernel=request.kernel,
             statistics=stats,
             controls=request.controls,
             report=report,
@@ -424,6 +425,7 @@ class MiningSession:
                     controls=request.controls,
                     num_shards=request.num_shards,
                     backend=request.backend,
+                    kernel=request.kernel,
                 )
                 report.stop_reason = stop_reason
                 report.cliques_emitted = len(records)

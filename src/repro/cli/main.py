@@ -97,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(mule/fast-mule only; default: 1 = serial)"
         ),
     )
+    _add_kernel_argument(enumerate_parser)
     _add_run_control_arguments(enumerate_parser)
 
     stats_parser = subparsers.add_parser(
@@ -123,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_input_arguments(compare_parser, required=False)
     _add_remote_arguments(compare_parser)
     compare_parser.add_argument("--alpha", type=float, required=True)
+    _add_kernel_argument(compare_parser)
     _add_run_control_arguments(compare_parser)
 
     core_parser = subparsers.add_parser(
@@ -197,6 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="enumeration worker threads (default: 4)",
     )
     serve_parser.add_argument(
+        "--kernel",
+        choices=["auto", "python", "vector"],
+        default="auto",
+        help=(
+            "default engine kernel for requests that leave kernel=auto "
+            "(explicit per-request kernels always win)"
+        ),
+    )
+    serve_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-request access logs"
     )
 
@@ -227,6 +238,19 @@ def _add_remote_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "with --remote: the served graph to target, by registered name "
             "or fingerprint (default: the server's default graph)"
+        ),
+    )
+
+
+def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        choices=["auto", "python", "vector"],
+        default="auto",
+        help=(
+            "engine kernel backend: vector (fused word-array kernel), "
+            "python (reference kernel), or auto (vector where supported; "
+            "default).  Results are bit-identical either way."
         ),
     )
 
@@ -307,6 +331,13 @@ def _command_enumerate(args: argparse.Namespace) -> int:
     if args.algorithm == "large-mule" and args.min_size is None:
         print("error: --min-size is required with --algorithm=large-mule", file=sys.stderr)
         return 2
+    if args.kernel == "vector" and args.algorithm == "dfs-noip":
+        print(
+            "error: --kernel=vector is not supported with --algorithm=dfs-noip "
+            "(the baseline always runs on the python kernel)",
+            file=sys.stderr,
+        )
+        return 2
     resolved = _resolve_session(args)
     if resolved is None:
         return 2
@@ -322,6 +353,7 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         size_threshold=args.min_size if args.algorithm == "large-mule" else None,
         controls=controls,
         workers=args.workers,
+        kernel=args.kernel,
     )
     result = session.enumerate(request).to_result()
 
@@ -405,8 +437,12 @@ def _command_compare(args: argparse.Namespace) -> int:
     # Both algorithms run in one session, so the graph is compiled once and
     # the DFS-NOIP pass reuses MULE's cached artifact (server-side when
     # --remote is given — the shared scheduler cache plays the same role).
+    # --kernel only steers the MULE side: DFS-NOIP is the from-scratch
+    # baseline and always runs on the python kernel.
     fast = session.enumerate(
-        EnumerationRequest(algorithm="mule", alpha=args.alpha, controls=controls)
+        EnumerationRequest(
+            algorithm="mule", alpha=args.alpha, controls=controls, kernel=args.kernel
+        )
     ).to_result()
     slow = session.enumerate(
         EnumerationRequest(algorithm="dfs-noip", alpha=args.alpha, controls=controls)
@@ -518,6 +554,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         max_workers=args.max_workers,
+        default_kernel=args.kernel,
         quiet=args.quiet,
     )
     names = [info.name or info.fingerprint[:12] for info in store.list()]

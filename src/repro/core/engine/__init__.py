@@ -28,6 +28,14 @@ shims over these layers; see ``docs/architecture.md`` for how to add a new
 strategy.
 """
 
+from .backends import (
+    KERNELS,
+    KernelCapability,
+    kernel_capabilities,
+    resolve_kernel,
+    run_kernel_search,
+    run_vector_search,
+)
 from .compiled import CompiledGraph, compile_graph
 from .controls import RunControls, RunReport, StopReason
 from .kernel import run_search
@@ -46,6 +54,12 @@ __all__ = [
     "RunReport",
     "StopReason",
     "run_search",
+    "KERNELS",
+    "KernelCapability",
+    "kernel_capabilities",
+    "resolve_kernel",
+    "run_kernel_search",
+    "run_vector_search",
     "EnumerationStrategy",
     "MuleStrategy",
     "NoIncrementalStrategy",

@@ -1,0 +1,182 @@
+"""Engine kernel backends: the python reference kernel and the vector kernel.
+
+The engine has two interchangeable implementations of the enumeration
+hot path:
+
+``python``
+    The reference: :func:`~repro.core.engine.kernel.run_search` driving a
+    pluggable :class:`~repro.core.engine.strategies.EnumerationStrategy`.
+    Supports every strategy, including user-defined ones.
+``vector``
+    The fused drivers of
+    :mod:`~repro.core.engine.backends.vector_kernel` over the uint64
+    word-array representation of
+    :mod:`~repro.core.engine.backends.vector_form`.  Supports exactly the
+    MULE family (:class:`MuleStrategy`, :class:`TopKStrategy`,
+    :class:`LargeCliqueStrategy`) and is bit-identical to the python
+    kernel on them — cliques, probabilities, stop reasons and statistics.
+
+The kernel axis is deliberately independent of the parallel *execution*
+backend (``process``/``inline`` in :mod:`repro.parallel`): one picks how
+each shard's inner loop runs, the other picks where shards run, and the
+two compose freely.
+
+Selection (:func:`resolve_kernel`) is capability-based, never
+import-error-based: ``auto`` picks the vector kernel whenever the
+strategy is supported and quietly stays on python otherwise (DFS-NOIP is
+*defined* by its from-scratch recomputation, so the baseline always runs
+on the python kernel).  numpy is an optional accelerant (install as
+``repro[fast]``) used by the word-array build; without it the vector
+kernel still works on a pure-``array`` representation —
+:func:`kernel_capabilities` reports which flavour is active.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import NamedTuple
+
+from ....errors import ParameterError
+from ...result import SearchStatistics
+from ..compiled import CompiledGraph
+from ..controls import RunControls, RunReport
+from ..kernel import run_search
+from ..strategies import (
+    EnumerationStrategy,
+    LargeCliqueStrategy,
+    MuleStrategy,
+    TopKStrategy,
+)
+from .vector_form import VectorForm, numpy_or_none, reset_numpy_probe, vector_form
+from .vector_kernel import run_vector_search
+
+__all__ = [
+    "KERNELS",
+    "KernelCapability",
+    "kernel_capabilities",
+    "resolve_kernel",
+    "run_kernel_search",
+    "run_vector_search",
+    "VectorForm",
+    "vector_form",
+    "numpy_or_none",
+    "reset_numpy_probe",
+]
+
+#: Valid values of every ``kernel`` parameter in the stack (requests,
+#: CLI flags, wire schema v2, scheduler defaults).
+KERNELS = ("auto", "python", "vector")
+
+# Exact types the fused drivers implement.  Subclasses are excluded on
+# purpose: they may override hooks the drivers never call.
+_VECTOR_STRATEGIES = (MuleStrategy, TopKStrategy, LargeCliqueStrategy)
+
+
+class KernelCapability(NamedTuple):
+    """One kernel backend's availability, as reported by the probe."""
+
+    #: Kernel name (``"python"`` or ``"vector"``).
+    name: str
+    #: Whether the kernel can run at all on this host.
+    available: bool
+    #: Whether the accelerated (numpy word-array) representation is active.
+    accelerated: bool
+    #: Human-readable description of the active representation.
+    detail: str
+
+
+def kernel_capabilities() -> tuple[KernelCapability, ...]:
+    """Probe both kernels and report what this host can run.
+
+    This is the request-time availability story: callers ask, they do not
+    ``import numpy`` and catch.  The vector kernel is *always* available —
+    numpy only switches its word-array build between the accelerated and
+    the pure-``array`` representation.
+
+    >>> [c.name for c in kernel_capabilities()]
+    ['python', 'vector']
+    >>> all(c.available for c in kernel_capabilities())
+    True
+    """
+    np = numpy_or_none()
+    return (
+        KernelCapability(
+            name="python",
+            available=True,
+            accelerated=False,
+            detail="reference strategy-protocol kernel (all strategies)",
+        ),
+        KernelCapability(
+            name="vector",
+            available=True,
+            accelerated=np is not None,
+            detail=(
+                f"uint64 word arrays via numpy {np.__version__}"
+                if np is not None
+                else "uint64 word arrays via pure array('Q') fallback"
+            ),
+        ),
+    )
+
+
+def resolve_kernel(kernel: str, strategy: EnumerationStrategy) -> str:
+    """Resolve a requested kernel name against a strategy's capabilities.
+
+    Returns ``"python"`` or ``"vector"``.  ``auto`` prefers the vector
+    kernel when the strategy is one the fused drivers implement and falls
+    back to python otherwise; an *explicit* ``vector`` request for an
+    unsupported strategy is a :class:`~repro.errors.ParameterError` —
+    silently ignoring it would misreport what was measured.
+    """
+    if kernel not in KERNELS:
+        raise ParameterError(
+            f"unknown kernel {kernel!r}; expected one of {', '.join(KERNELS)}"
+        )
+    supported = type(strategy) in _VECTOR_STRATEGIES
+    if kernel == "python":
+        return "python"
+    if kernel == "vector":
+        if not supported:
+            raise ParameterError(
+                f"the vector kernel does not support strategy "
+                f"{type(strategy).__name__!r} (algorithm "
+                f"{strategy.algorithm!r}); use kernel='python' or 'auto'"
+            )
+        return "vector"
+    return "vector" if supported else "python"
+
+
+def run_kernel_search(
+    compiled: CompiledGraph,
+    alpha: float,
+    strategy: EnumerationStrategy,
+    *,
+    kernel: str = "auto",
+    statistics: SearchStatistics | None = None,
+    controls: RunControls | None = None,
+    report: RunReport | None = None,
+) -> Iterator[tuple[frozenset, float]]:
+    """Run one enumeration on the resolved kernel backend.
+
+    The single front door of kernel selection: same contract as
+    :func:`~repro.core.engine.kernel.run_search` plus the ``kernel``
+    parameter (one of :data:`KERNELS`).  Both backends yield identical
+    streams, so callers never need to know which one ran.
+    """
+    if resolve_kernel(kernel, strategy) == "vector":
+        return run_vector_search(
+            compiled,
+            alpha,
+            strategy,
+            statistics=statistics,
+            controls=controls,
+            report=report,
+        )
+    return run_search(
+        compiled,
+        alpha,
+        strategy,
+        statistics=statistics,
+        controls=controls,
+        report=report,
+    )

@@ -77,6 +77,7 @@ class CompiledGraph:
         "all_mask",
         "higher_masks",
         "root_mask",
+        "vector_form",
     )
 
     def __init__(
@@ -95,6 +96,11 @@ class CompiledGraph:
             self.all_mask ^ ((1 << (i + 1)) - 1) for i in range(self.n)
         ]
         self.root_mask = self.all_mask
+        # Lazily-built word-array view of this artifact (see
+        # repro.core.engine.backends.vector_form).  restrict_roots copies the
+        # slot, so shard views inherit the compiled word arrays; derived
+        # artifacts (restrict_probability) start from None and build their own.
+        self.vector_form = None
 
     @classmethod
     def from_graph(
@@ -192,9 +198,14 @@ class CompiledGraph:
     # Queries used by strategies and tests
     # ------------------------------------------------------------------ #
     def decode(self, indices: Iterable[int]) -> frozenset:
-        """Translate vertex indices back to a frozenset of original labels."""
-        labels = self.labels
-        return frozenset(labels[i] for i in indices)
+        """Translate vertex indices back to a frozenset of original labels.
+
+        This sits on the kernel's per-emission path, so it avoids the
+        generator-expression frame a naive ``frozenset(labels[i] for i in
+        indices)`` would allocate per call (``benchmarks/
+        bench_emission_decode.py`` measures the difference).
+        """
+        return frozenset(map(self.labels.__getitem__, indices))
 
     def probability(self, i: int, j: int) -> float:
         """Return ``p({i, j})`` for vertex indices, or ``0.0`` when absent."""

@@ -89,7 +89,7 @@ def run_search(
     if compiled.n == 0:
         return
 
-    labels = compiled.labels
+    decode = compiled.decode
     # Shard restriction (CompiledGraph.restrict_roots): first-level branches
     # outside root_mask are skipped without calling the strategy — but still
     # retired into the exclusion side below — so *every* strategy honours
@@ -114,7 +114,7 @@ def run_search(
     candidates, probability = expand(root, clique)
     report.frames_expanded += 1
     if probability is not None:
-        yield frozenset(labels[i] for i in clique), probability
+        yield decode(clique), probability
         report.cliques_emitted += 1
         if max_cliques is not None and report.cliques_emitted >= max_cliques:
             report.stop_reason = StopReason.MAX_CLIQUES
@@ -169,7 +169,7 @@ def run_search(
         child_candidates, probability = expand(child, clique)
         report.frames_expanded += 1
         if probability is not None:
-            yield frozenset(labels[i] for i in clique), probability
+            yield decode(clique), probability
             report.cliques_emitted += 1
             if max_cliques is not None and report.cliques_emitted >= max_cliques:
                 report.stop_reason = StopReason.MAX_CLIQUES

@@ -38,9 +38,9 @@ from multiprocessing import get_all_start_methods, get_context
 from time import monotonic
 from typing import NamedTuple
 
+from ..core.engine.backends import run_kernel_search
 from ..core.engine.compiled import CompiledGraph
 from ..core.engine.controls import RunControls, RunReport, StopReason
-from ..core.engine.kernel import run_search
 from ..core.engine.strategies import MuleStrategy
 from ..core.mule import MuleConfig
 from ..core.result import CliqueRecord, EnumerationResult, SearchStatistics
@@ -91,6 +91,7 @@ def _enumerate_shard(
     max_cliques: int | None,
     deadline: float | None,
     check_every: int,
+    kernel: str = "auto",
 ) -> ShardOutcome:
     """Run one shard to completion (or until its run controls stop it)."""
     time_budget = None
@@ -107,10 +108,11 @@ def _enumerate_shard(
     report = RunReport()
     restricted = compiled.restrict_roots(shard.root_mask)
     pairs = list(
-        run_search(
+        run_kernel_search(
             restricted,
             alpha,
             MuleStrategy(),
+            kernel=kernel,
             statistics=statistics,
             controls=controls,
             report=report,
@@ -124,12 +126,14 @@ def _enumerate_shard(
 # the pool initializer (not once per shard task), so the per-task payload is
 # just the shard and the scalar controls.
 # ----------------------------------------------------------------------- #
-_WORKER_STATE: tuple[CompiledGraph, float, int] | None = None
+_WORKER_STATE: tuple[CompiledGraph, float, int, str] | None = None
 
 
-def _worker_initializer(compiled: CompiledGraph, alpha: float, check_every: int) -> None:
+def _worker_initializer(
+    compiled: CompiledGraph, alpha: float, check_every: int, kernel: str
+) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (compiled, alpha, check_every)
+    _WORKER_STATE = (compiled, alpha, check_every, kernel)
 
 
 def _worker_run_shard(
@@ -137,8 +141,10 @@ def _worker_run_shard(
 ) -> ShardOutcome:
     shard, max_cliques, deadline = task
     assert _WORKER_STATE is not None, "worker used before initialization"
-    compiled, alpha, check_every = _WORKER_STATE
-    return _enumerate_shard(compiled, alpha, shard, max_cliques, deadline, check_every)
+    compiled, alpha, check_every, kernel = _WORKER_STATE
+    return _enumerate_shard(
+        compiled, alpha, shard, max_cliques, deadline, check_every, kernel
+    )
 
 
 def _process_backend_available() -> bool:
@@ -161,6 +167,7 @@ def run_shards(
     workers: int,
     controls: RunControls | None = None,
     backend: str = "auto",
+    kernel: str = "auto",
 ) -> list[ShardOutcome]:
     """Execute ``shards`` and return their outcomes in shard order.
 
@@ -184,6 +191,11 @@ def run_shards(
         :class:`~repro.errors.ParameterError` on fork-less platforms), or
         ``"inline"`` (sequential, in-process — deterministic and cheap,
         used by the property tests).
+    kernel:
+        Engine kernel each shard's inner loop runs on (``"auto"`` /
+        ``"python"`` / ``"vector"``); orthogonal to ``backend``, which
+        picks where the shards run.  Forwarded to
+        :func:`repro.core.engine.backends.run_kernel_search`.
     """
     if backend not in ("auto", "process", "inline"):
         raise ParameterError(f"unknown backend {backend!r}")
@@ -208,7 +220,9 @@ def run_shards(
     )
     if not use_processes or len(shards) <= 1:
         return [
-            _enumerate_shard(compiled, alpha, shard, max_cliques, deadline, check_every)
+            _enumerate_shard(
+                compiled, alpha, shard, max_cliques, deadline, check_every, kernel
+            )
             for shard in shards
         ]
 
@@ -218,7 +232,7 @@ def run_shards(
         max_workers=min(workers, len(shards)),
         mp_context=context,
         initializer=_worker_initializer,
-        initargs=(compiled, alpha, check_every),
+        initargs=(compiled, alpha, check_every, kernel),
     ) as pool:
         # Executor.map preserves task order, so the merge is deterministic
         # regardless of which shard finishes first.
@@ -233,6 +247,7 @@ def parallel_enumerate(
     controls: RunControls | None = None,
     num_shards: int | None = None,
     backend: str = "auto",
+    kernel: str = "auto",
 ) -> tuple[list[CliqueRecord], SearchStatistics, str]:
     """Run the shard/merge pipeline over an already-compiled graph.
 
@@ -255,6 +270,7 @@ def parallel_enumerate(
         workers=workers,
         controls=controls,
         backend=backend,
+        kernel=kernel,
     )
     for outcome in outcomes:
         statistics = statistics.merge(outcome.statistics)
@@ -285,6 +301,7 @@ def parallel_mule(
     config: MuleConfig | None = None,
     num_shards: int | None = None,
     backend: str = "auto",
+    kernel: str = "auto",
     compiled: CompiledGraph | None = None,
 ) -> EnumerationResult:
     """Enumerate all α-maximal cliques with sharded parallel MULE.
@@ -319,6 +336,10 @@ def parallel_mule(
         number of vertices); the output does not depend on it.
     backend:
         Execution backend passed through to :func:`run_shards`.
+    kernel:
+        Engine kernel each shard runs on (``"auto"`` / ``"python"`` /
+        ``"vector"``); independent of ``backend``.  Either way the
+        results are bit-identical.
     compiled:
         Optional precompiled graph.  Must have been produced by
         ``compile_graph(graph, alpha=alpha if config.prune_edges else None)``
@@ -354,6 +375,7 @@ def parallel_mule(
         workers=workers,
         num_shards=num_shards,
         backend=backend,
+        kernel=kernel,
         # Force the shard/merge path so workers=1 keeps the parallel-mule
         # label and merge semantics it has always had.
         execution="parallel",

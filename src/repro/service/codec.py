@@ -403,31 +403,53 @@ _REQUEST_KEYS = frozenset(
 
 
 def request_to_wire(request: EnumerationRequest) -> dict:
-    """Encode a request.  Every field is explicit (nullable ones as null)."""
-    return _envelope(
-        "enumeration-request",
-        {
-            "algorithm": request.algorithm,
-            "alpha": request.alpha,
-            "k": request.k,
-            "size_threshold": request.size_threshold,
-            "min_size": request.min_size,
-            "prune_edges": request.prune_edges,
-            "shared_neighborhood_filtering": request.shared_neighborhood_filtering,
-            "controls": (
-                None if request.controls is None else controls_to_wire(request.controls)
-            ),
-            "workers": request.workers,
-            "num_shards": request.num_shards,
-            "backend": request.backend,
-            "execution": request.execution,
-        },
-    )
+    """Encode a request.  Every field is explicit (nullable ones as null).
+
+    The ``kernel`` field is the one exception: it was added after the v1
+    envelope shape was frozen, so it rides as an *additive* v2 key — it is
+    emitted only when it deviates from its default (``"auto"``), and its
+    presence promotes the envelope to ``schema: 2``.  A request that never
+    touches ``kernel`` therefore still encodes to the exact v1 bytes the
+    conformance corpus pins.
+    """
+    fields = {
+        "algorithm": request.algorithm,
+        "alpha": request.alpha,
+        "k": request.k,
+        "size_threshold": request.size_threshold,
+        "min_size": request.min_size,
+        "prune_edges": request.prune_edges,
+        "shared_neighborhood_filtering": request.shared_neighborhood_filtering,
+        "controls": (
+            None if request.controls is None else controls_to_wire(request.controls)
+        ),
+        "workers": request.workers,
+        "num_shards": request.num_shards,
+        "backend": request.backend,
+        "execution": request.execution,
+    }
+    version = SCHEMA_VERSION
+    if request.kernel != "auto":
+        fields["kernel"] = request.kernel
+        version = SCHEMA_VERSION_V2
+    return _envelope("enumeration-request", fields, version=version)
 
 
 def request_from_wire(payload: object) -> EnumerationRequest:
-    payload = _open_envelope(payload, "enumeration-request", _REQUEST_KEYS)
     kind = "enumeration-request"
+    keys = _REQUEST_KEYS
+    kernel = "auto"
+    if isinstance(payload, dict) and "kernel" in payload:
+        # Additive v2 key: a v1 speaker cannot have produced it, so an
+        # envelope carrying it while claiming schema 1 is rejected.
+        if payload.get("schema") == SCHEMA_VERSION:
+            raise FormatError(
+                f"{kind}.kernel requires schema >= {SCHEMA_VERSION_V2}"
+            )
+        keys = _REQUEST_KEYS | {"kernel"}
+    payload = _open_envelope(payload, kind, keys)
+    if "kernel" in payload:
+        kernel = _field(payload, kind, "kernel", str)
     controls = payload["controls"]
     return EnumerationRequest(
         algorithm=_field(payload, kind, "algorithm", str),
@@ -444,6 +466,7 @@ def request_from_wire(payload: object) -> EnumerationRequest:
         num_shards=_field(payload, kind, "num_shards", int, optional=True),
         backend=_field(payload, kind, "backend", str),
         execution=_field(payload, kind, "execution", str),
+        kernel=kernel,
     )
 
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 import threading
 from collections.abc import Iterable, Sequence
 from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import replace
 from typing import NamedTuple
 
 from ..api.cache import CacheInfo
@@ -86,6 +87,11 @@ class EnumerationScheduler:
         :attr:`store`).
     max_workers:
         Thread-pool bound (default :data:`DEFAULT_MAX_WORKERS`).
+    default_kernel:
+        Engine kernel applied to requests that leave ``kernel`` at
+        ``"auto"`` (what ``repro serve --kernel`` sets).  Requests that
+        name a kernel explicitly keep it — the deployment default never
+        overrides a caller's choice.
     """
 
     def __init__(
@@ -93,12 +99,19 @@ class EnumerationScheduler:
         target: "GraphStore | UncertainGraph | None" = None,
         *,
         max_workers: int | None = None,
+        default_kernel: str = "auto",
     ) -> None:
         if max_workers is None:
             max_workers = DEFAULT_MAX_WORKERS
         if max_workers < 1:
             raise ParameterError(f"max_workers must be positive, got {max_workers}")
+        if default_kernel not in ("auto", "python", "vector"):
+            raise ParameterError(
+                f"unknown default_kernel {default_kernel!r}; "
+                f"expected one of ('auto', 'python', 'vector')"
+            )
         self._max_workers = max_workers
+        self._default_kernel = default_kernel
         if isinstance(target, GraphStore):
             self._store = target
         elif isinstance(target, UncertainGraph):
@@ -170,12 +183,26 @@ class EnumerationScheduler:
         ref: str | None = None,
     ) -> "Future[EnumerationOutcome]":
         """Queue one request; returns a future resolving to its outcome."""
+        request = self._apply_default_kernel(request)
         session = self.session_for(graph, ref)
         with self._lock:
             if self._closed:
                 raise RuntimeError("scheduler is shut down")
             self._submitted += 1
         return self._executor.submit(self._run_job, session, request)
+
+    def _apply_default_kernel(self, request: EnumerationRequest) -> EnumerationRequest:
+        """Resolve ``kernel="auto"`` to this deployment's default kernel.
+
+        Explicit per-request choices always win.  A ``vector`` default is
+        not forced onto algorithms the vector kernel cannot run (DFS-NOIP);
+        their ``"auto"`` survives and resolves to the python kernel.
+        """
+        if self._default_kernel == "auto" or request.kernel != "auto":
+            return request
+        if self._default_kernel == "vector" and request.algorithm == "noip":
+            return request
+        return replace(request, kernel=self._default_kernel)
 
     def run(
         self,

@@ -260,6 +260,10 @@ class MiningServer:
         port is available as :attr:`port` — what the tests use).
     max_workers:
         Enumeration thread-pool bound, forwarded to the scheduler.
+    default_kernel:
+        Engine kernel applied to requests arriving with ``kernel="auto"``
+        (forwarded to the scheduler; what ``repro-mule serve --kernel``
+        sets).  Explicit per-request kernels always win.
     quiet:
         Suppress per-request access logging (default ``True``; the CLI
         turns logging on).
@@ -277,10 +281,13 @@ class MiningServer:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         max_workers: int | None = None,
+        default_kernel: str = "auto",
         quiet: bool = True,
     ) -> None:
         self.quiet = quiet
-        self._scheduler = EnumerationScheduler(target, max_workers=max_workers)
+        self._scheduler = EnumerationScheduler(
+            target, max_workers=max_workers, default_kernel=default_kernel
+        )
         self._httpd = _ServiceHTTPServer((host, port), _Handler)
         self._httpd.service = self
         self._serve_thread: threading.Thread | None = None

@@ -110,6 +110,36 @@ class TestValidation:
         with pytest.raises(ParameterError):
             EnumerationRequest(algorithm="mule", alpha=0.5, backend="threads")
 
+    def test_unknown_kernel(self):
+        with pytest.raises(ParameterError):
+            EnumerationRequest(algorithm="mule", alpha=0.5, kernel="simd")
+
+    def test_kernel_accepted_for_mule_family(self):
+        for algorithm in ("mule", "fast", "large", "top_k"):
+            kwargs = {"alpha": 0.5}
+            if algorithm == "large":
+                kwargs["size_threshold"] = 3
+            if algorithm == "top_k":
+                kwargs = {"k": 3}
+            request = EnumerationRequest(
+                algorithm=algorithm, kernel="vector", **kwargs
+            )
+            assert request.kernel == "vector"
+
+    def test_vector_kernel_rejected_for_noip(self):
+        # DFS-NOIP is the from-scratch baseline; accelerating it would
+        # change what the Figure 1 experiment measures.
+        with pytest.raises(ParameterError):
+            EnumerationRequest(algorithm="noip", alpha=0.5, kernel="vector")
+        # 'python' and 'auto' stay valid (auto resolves to python).
+        assert (
+            EnumerationRequest(
+                algorithm="noip", alpha=0.5, kernel="python"
+            ).kernel
+            == "python"
+        )
+        assert EnumerationRequest(algorithm="noip", alpha=0.5).kernel == "auto"
+
 
 class TestExecutionResolution:
     def test_default_is_serial(self):

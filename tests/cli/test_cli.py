@@ -68,6 +68,55 @@ class TestEnumerateCommand:
         assert payload["num_cliques"] == 2
         assert sorted(payload["cliques"][0]["vertices"]) == payload["cliques"][0]["vertices"]
 
+    @pytest.mark.parametrize("kernel", ["auto", "python", "vector"])
+    def test_kernel_flag_runs_identically(self, graph_file, capsys, kernel):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--kernel",
+                kernel,
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "2 alpha-maximal cliques" in out
+        assert "1,2,3" in out
+
+    def test_vector_kernel_rejected_for_dfs_noip(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--algorithm",
+                "dfs-noip",
+                "--kernel",
+                "vector",
+            ]
+        )
+        assert exit_code == 2
+        assert "--kernel=vector" in capsys.readouterr().err
+
+    def test_unknown_kernel_rejected_by_parser(self, graph_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "enumerate",
+                    "--input",
+                    str(graph_file),
+                    "--alpha",
+                    "0.5",
+                    "--kernel",
+                    "simd",
+                ]
+            )
+
     def test_dfs_noip_algorithm(self, graph_file, capsys):
         exit_code = main(
             [
@@ -210,6 +259,23 @@ class TestCompareCommand:
         )
         assert exit_code == 0
         assert "speed-up" in capsys.readouterr().out
+
+    def test_compare_with_vector_kernel(self, graph_file, capsys):
+        # --kernel steers the MULE side only; DFS-NOIP stays on the python
+        # kernel and the outputs must still agree.
+        exit_code = main(
+            [
+                "compare",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--kernel",
+                "vector",
+            ]
+        )
+        assert exit_code == 0
+        assert "outputs agree" in capsys.readouterr().out
 
 
 class TestCoreCommand:

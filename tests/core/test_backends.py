@@ -1,0 +1,299 @@
+"""The kernel backend layer: capabilities, vector form, dispatch, parity.
+
+The vector backend's contract is *bit-identical observability*: for every
+algorithm it supports, ``run_vector_search`` must emit the same cliques in
+the same order with the same float probabilities, the same
+:class:`SearchStatistics` counters and the same :class:`RunReport` as the
+reference python kernel.  These tests pin that on fixed graphs (the
+property suite covers random ones), plus the plumbing around it: the
+capability probe, kernel resolution, the numpy-free fallback and the
+shard inheritance of the compiled word arrays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import (
+    KERNELS,
+    LargeCliqueStrategy,
+    MuleStrategy,
+    NoIncrementalStrategy,
+    RunControls,
+    RunReport,
+    TopKStrategy,
+    compile_graph,
+    kernel_capabilities,
+    resolve_kernel,
+    run_kernel_search,
+    run_search,
+    run_vector_search,
+)
+import importlib
+
+# ``backends.__init__`` re-exports the ``vector_form`` *function* under the
+# same name as its defining submodule, so plain attribute-style imports
+# resolve to the function; the module itself is fetched explicitly.
+vector_form_module = importlib.import_module(
+    "repro.core.engine.backends.vector_form"
+)
+
+from repro.core.engine.backends import vector_form
+from repro.core.engine.backends.vector_form import (
+    VectorForm,
+    numpy_or_none,
+    reset_numpy_probe,
+)
+from repro.core.result import SearchStatistics
+from repro.errors import ParameterError
+from repro.uncertain.graph import UncertainGraph
+
+
+@pytest.fixture
+def medium_graph() -> UncertainGraph:
+    """A 70-vertex pseudo-random graph (spans multiple uint64 words)."""
+    import random
+
+    rng = random.Random(20150413)
+    graph = UncertainGraph(vertices=range(70))
+    for u in range(70):
+        for v in range(u + 1, 70):
+            if rng.random() < 0.12:
+                graph.add_edge(u, v, round(rng.uniform(0.05, 1.0), 6))
+    return graph
+
+
+def _observed(kernel_run):
+    """Full observable behaviour of one run: emissions, stats, report."""
+    stats = SearchStatistics()
+    report = RunReport()
+    pairs = list(kernel_run(stats, report))
+    return pairs, stats, report
+
+
+def _assert_bit_identical(compiled, alpha, strategy_factory, controls=None):
+    py = _observed(
+        lambda s, r: run_search(
+            compiled, alpha, strategy_factory(),
+            statistics=s, controls=controls, report=r,
+        )
+    )
+    vec = _observed(
+        lambda s, r: run_vector_search(
+            compiled, alpha, strategy_factory(),
+            statistics=s, controls=controls, report=r,
+        )
+    )
+    assert vec[0] == py[0]  # same cliques, same order, same exact floats
+    assert vec[1] == py[1]
+    assert vec[2].stop_reason == py[2].stop_reason
+    assert vec[2].cliques_emitted == py[2].cliques_emitted
+    assert vec[2].frames_expanded == py[2].frames_expanded
+    return py
+
+
+class TestCapabilities:
+    def test_probe_lists_both_kernels(self):
+        caps = {c.name: c for c in kernel_capabilities()}
+        assert set(caps) == {"python", "vector"}
+        assert all(c.available for c in caps.values())
+        assert caps["python"].accelerated is False
+
+    def test_vector_acceleration_tracks_numpy(self):
+        vector = next(c for c in kernel_capabilities() if c.name == "vector")
+        assert vector.accelerated == (numpy_or_none() is not None)
+
+    def test_numpy_masked_probe(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+        reset_numpy_probe()
+        try:
+            assert numpy_or_none() is None
+            vector = next(
+                c for c in kernel_capabilities() if c.name == "vector"
+            )
+            assert vector.available
+            assert not vector.accelerated
+        finally:
+            monkeypatch.delenv("REPRO_DISABLE_NUMPY")
+            reset_numpy_probe()
+
+
+class TestResolution:
+    def test_known_kernels_constant(self):
+        assert KERNELS == ("auto", "python", "vector")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ParameterError, match="unknown kernel"):
+            resolve_kernel("simd", MuleStrategy())
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [MuleStrategy(), TopKStrategy(min_size=2), LargeCliqueStrategy(3)],
+    )
+    def test_auto_prefers_vector_for_supported(self, strategy):
+        assert resolve_kernel("auto", strategy) == "vector"
+        assert resolve_kernel("vector", strategy) == "vector"
+        assert resolve_kernel("python", strategy) == "python"
+
+    def test_auto_falls_back_for_baseline(self):
+        assert resolve_kernel("auto", NoIncrementalStrategy()) == "python"
+
+    def test_vector_rejected_for_baseline(self):
+        with pytest.raises(ParameterError, match="dfs-noip"):
+            resolve_kernel("vector", NoIncrementalStrategy())
+
+    def test_strategy_subclasses_are_not_assumed_supported(self):
+        # The drivers bake in the exact semantics of the stock strategies;
+        # a subclass may override any hook, so only exact types vectorise.
+        class Sneaky(MuleStrategy):
+            pass
+
+        assert resolve_kernel("auto", Sneaky()) == "python"
+        with pytest.raises(ParameterError):
+            resolve_kernel("vector", Sneaky())
+
+    def test_run_vector_search_rejects_unsupported(self, triangle):
+        compiled = compile_graph(triangle, alpha=0.5)
+        with pytest.raises(ParameterError):
+            list(run_vector_search(compiled, 0.5, NoIncrementalStrategy()))
+
+
+class TestVectorForm:
+    def test_words_roundtrip_adjacency(self, medium_graph):
+        compiled = compile_graph(medium_graph, alpha=0.1)
+        form = vector_form(compiled)
+        assert form.word_count == 2  # 70 vertices -> two uint64 words
+        for u in range(compiled.n):
+            assert form.mask_of(u) == compiled.adjacency_mask[u]
+            assert form.degrees[u] == compiled.adjacency_mask[u].bit_count()
+
+    def test_form_is_cached_on_compiled(self, triangle):
+        compiled = compile_graph(triangle, alpha=0.5)
+        assert vector_form(compiled) is vector_form(compiled)
+        assert compiled.vector_form is vector_form(compiled)
+
+    def test_shards_inherit_form(self, medium_graph):
+        compiled = compile_graph(medium_graph, alpha=0.1)
+        form = vector_form(compiled)
+        shard = compiled.restrict_roots(0b1111)
+        assert shard.vector_form is form
+
+    def test_root_plan_cache_is_bounded(self, triangle):
+        compiled = compile_graph(triangle, alpha=0.01)
+        form = vector_form(compiled)
+        for k in range(1, 20):
+            form.root_plan(k / 40.0)
+        assert len(form._root_plans) <= 8
+
+    def test_pure_fallback_matches_numpy_form(self, medium_graph, monkeypatch):
+        compiled = compile_graph(medium_graph, alpha=0.1)
+        accelerated = VectorForm(compiled)
+        monkeypatch.setattr(vector_form_module, "_numpy_module", None)
+        pure = VectorForm(compiled)
+        assert not pure.uses_numpy
+        assert pure.degrees == accelerated.degrees
+        for u in range(compiled.n):
+            assert pure.mask_of(u) == accelerated.mask_of(u)
+        assert pure.items == accelerated.items
+        assert pure.items_higher == accelerated.items_higher
+
+
+class TestParity:
+    ALPHAS = [0.9, 0.5, 0.1, 0.01]
+
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    def test_mule_bit_identical(self, medium_graph, alpha):
+        compiled = compile_graph(medium_graph, alpha=alpha)
+        pairs, _, _ = _assert_bit_identical(compiled, alpha, MuleStrategy)
+        assert pairs  # the cell must exercise real work
+
+    @pytest.mark.parametrize("alpha", ALPHAS)
+    def test_mule_bit_identical_without_edge_pruning(self, medium_graph, alpha):
+        compiled = compile_graph(medium_graph, alpha=None)
+        _assert_bit_identical(compiled, alpha, MuleStrategy)
+
+    @pytest.mark.parametrize("threshold", [2, 3, 4])
+    def test_large_bit_identical(self, medium_graph, threshold):
+        compiled = compile_graph(medium_graph, alpha=0.1)
+        _assert_bit_identical(
+            compiled, 0.1, lambda: LargeCliqueStrategy(threshold)
+        )
+
+    @pytest.mark.parametrize("min_size", [1, 2, 3])
+    def test_top_k_bit_identical(self, medium_graph, min_size):
+        compiled = compile_graph(medium_graph, alpha=0.1)
+        _assert_bit_identical(
+            compiled, 0.1, lambda: TopKStrategy(min_size=min_size)
+        )
+
+    @pytest.mark.parametrize("max_cliques", [1, 7, 50])
+    def test_max_cliques_bit_identical(self, medium_graph, max_cliques):
+        compiled = compile_graph(medium_graph, alpha=0.05)
+        _assert_bit_identical(
+            compiled,
+            0.05,
+            MuleStrategy,
+            controls=RunControls(max_cliques=max_cliques),
+        )
+
+    @pytest.mark.parametrize("check_every", [1, 3, 64])
+    def test_expired_time_budget_bit_identical(self, medium_graph, check_every):
+        # A zero budget makes the deadline path deterministic: both kernels
+        # must stop at exactly the same frame for every check cadence.
+        compiled = compile_graph(medium_graph, alpha=0.05)
+        _assert_bit_identical(
+            compiled,
+            0.05,
+            MuleStrategy,
+            controls=RunControls(
+                time_budget_seconds=0.0, check_every_frames=check_every
+            ),
+        )
+
+    def test_sharded_roots_bit_identical(self, medium_graph):
+        compiled = compile_graph(medium_graph, alpha=0.1)
+        full_mask = compiled.all_mask
+        shard_masks = [full_mask & 0x3FF, full_mask & ~0x3FF]
+        merged = []
+        for mask in shard_masks:
+            shard = compiled.restrict_roots(mask)
+            pairs, _, _ = _assert_bit_identical(shard, 0.1, MuleStrategy)
+            merged.extend(pairs)
+        reference = list(run_search(compiled, 0.1, MuleStrategy()))
+        assert sorted(
+            (tuple(sorted(c, key=repr)), p) for c, p in merged
+        ) == sorted((tuple(sorted(c, key=repr)), p) for c, p in reference)
+
+    def test_parity_on_pure_fallback(self, medium_graph, monkeypatch):
+        monkeypatch.setattr(vector_form_module, "_numpy_module", None)
+        compiled = compile_graph(medium_graph, alpha=0.1)
+        assert not vector_form(compiled).uses_numpy
+        _assert_bit_identical(compiled, 0.1, MuleStrategy)
+
+    def test_empty_graph(self):
+        compiled = compile_graph(UncertainGraph(), alpha=0.5)
+        stats = SearchStatistics()
+        assert list(
+            run_vector_search(compiled, 0.5, MuleStrategy(), statistics=stats)
+        ) == []
+        assert stats == SearchStatistics()
+
+
+class TestFrontDoor:
+    def test_run_kernel_search_dispatches(self, two_cliques):
+        compiled = compile_graph(two_cliques, alpha=0.5)
+        runs = {
+            kernel: list(
+                run_kernel_search(compiled, 0.5, MuleStrategy(), kernel=kernel)
+            )
+            for kernel in KERNELS
+        }
+        assert runs["auto"] == runs["python"] == runs["vector"]
+        assert runs["auto"]
+
+    def test_front_door_propagates_resolution_errors(self, two_cliques):
+        compiled = compile_graph(two_cliques, alpha=0.5)
+        with pytest.raises(ParameterError):
+            run_kernel_search(
+                compiled, 0.5, NoIncrementalStrategy(), kernel="vector"
+            )

@@ -76,6 +76,12 @@ def build_payloads() -> dict[str, dict]:
                 algorithm="top_k", k=5, min_size=3, prune_edges=False
             )
         ),
+        # A non-default kernel is the one additive v2 request field: its
+        # presence promotes the envelope to schema 2 (kernel="auto"
+        # requests keep encoding to the frozen v1 bytes above).
+        "request_vector_kernel": codec.to_wire(
+            EnumerationRequest(algorithm="mule", alpha=0.5, kernel="vector")
+        ),
         "outcome_mule_triangle": codec.to_wire(
             frozen(session.enumerate(mule_request))
         ),

@@ -133,6 +133,62 @@ class TestEnvelopeStrictness:
             codec.from_wire([1, 2])
 
 
+class TestKernelField:
+    """``kernel`` is the one additive v2 key of the request envelope."""
+
+    def test_default_kernel_keeps_v1_envelope(self):
+        payload = envelope_of(EnumerationRequest(algorithm="mule", alpha=0.5))
+        assert payload["schema"] == codec.SCHEMA_VERSION
+        assert "kernel" not in payload
+
+    def test_non_default_kernel_promotes_to_v2(self):
+        request = EnumerationRequest(algorithm="mule", alpha=0.5, kernel="vector")
+        payload = envelope_of(request)
+        assert payload["schema"] == codec.SCHEMA_VERSION_V2
+        assert payload["kernel"] == "vector"
+        assert codec.from_wire(payload) == request
+
+    def test_python_kernel_roundtrips(self):
+        request = EnumerationRequest(algorithm="mule", alpha=0.5, kernel="python")
+        assert codec.request_from_wire(codec.request_to_wire(request)) == request
+
+    def test_kernel_under_v1_stamp_rejected(self):
+        payload = envelope_of(
+            EnumerationRequest(algorithm="mule", alpha=0.5, kernel="vector")
+        )
+        payload["schema"] = codec.SCHEMA_VERSION
+        with pytest.raises(FormatError, match="kernel requires schema"):
+            codec.request_from_wire(payload)
+
+    def test_absent_kernel_under_v2_stamp_decodes_to_auto(self):
+        payload = envelope_of(EnumerationRequest(algorithm="mule", alpha=0.5))
+        payload["schema"] = codec.SCHEMA_VERSION_V2
+        assert codec.request_from_wire(payload).kernel == "auto"
+
+    def test_invalid_kernel_value_uses_library_exception(self):
+        payload = envelope_of(
+            EnumerationRequest(algorithm="mule", alpha=0.5, kernel="vector")
+        )
+        payload["kernel"] = "simd"
+        with pytest.raises(ParameterError, match="unknown kernel"):
+            codec.request_from_wire(payload)
+
+    def test_non_string_kernel_rejected(self):
+        payload = envelope_of(
+            EnumerationRequest(algorithm="mule", alpha=0.5, kernel="vector")
+        )
+        payload["kernel"] = 2
+        with pytest.raises(FormatError, match="kernel must be str"):
+            codec.request_from_wire(payload)
+
+    def test_nested_request_carries_kernel(self):
+        request = EnumerationRequest(algorithm="mule", alpha=0.5, kernel="vector")
+        ref_payload = codec.ref_request_to_wire(request, graph="ppi")
+        ref, decoded = codec.ref_request_from_wire(ref_payload)
+        assert ref == "ppi"
+        assert decoded.kernel == "vector"
+
+
 class TestTypeStrictness:
     def test_string_alpha_rejected(self):
         payload = envelope_of(EnumerationRequest(algorithm="mule", alpha=0.5))

@@ -194,3 +194,42 @@ class TestBookkeeping:
         with EnumerationScheduler(UncertainGraph()) as scheduler:
             outcome = scheduler.run(REQUEST)
         assert outcome.num_cliques == 0
+
+
+class TestDefaultKernel:
+    """The deployment-level kernel default (``serve --kernel``)."""
+
+    def test_invalid_default_rejected(self, graph):
+        with pytest.raises(ParameterError):
+            EnumerationScheduler(graph, default_kernel="simd")
+
+    @pytest.mark.parametrize("default", ["python", "vector"])
+    def test_auto_requests_adopt_the_default(self, graph, default):
+        with EnumerationScheduler(graph, default_kernel=default) as scheduler:
+            outcome = scheduler.run(REQUEST)
+        assert outcome.request.kernel == default
+
+    def test_explicit_kernel_wins_over_default(self, graph):
+        request = EnumerationRequest(algorithm="mule", alpha=0.4, kernel="python")
+        with EnumerationScheduler(graph, default_kernel="vector") as scheduler:
+            outcome = scheduler.run(request)
+        assert outcome.request.kernel == "python"
+
+    def test_vector_default_spares_the_baseline(self, graph):
+        # DFS-NOIP cannot run on the vector kernel; a vector default must
+        # leave its requests at "auto" instead of rejecting them.
+        request = EnumerationRequest(algorithm="noip", alpha=0.4)
+        with EnumerationScheduler(graph, default_kernel="vector") as scheduler:
+            outcome = scheduler.run(request)
+        assert outcome.request.kernel == "auto"
+        assert outcome.num_cliques > 0
+
+    def test_kernels_produce_identical_outcomes(self, graph):
+        with EnumerationScheduler(graph, default_kernel="python") as py:
+            a = py.run(REQUEST)
+        with EnumerationScheduler(graph, default_kernel="vector") as vec:
+            b = vec.run(REQUEST)
+        assert [
+            (r.vertices, r.probability) for r in a.records
+        ] == [(r.vertices, r.probability) for r in b.records]
+        assert a.statistics == b.statistics
