@@ -45,7 +45,7 @@ from time import monotonic
 
 from ..core.engine.backends import run_kernel_search
 from ..core.engine.compiled import CompiledGraph
-from ..core.engine.controls import RunControls, RunReport
+from ..core.engine.controls import CancellationToken, RunControls, RunReport
 from ..core.engine.strategies import (
     EnumerationStrategy,
     LargeCliqueStrategy,
@@ -188,6 +188,7 @@ class MiningSession:
         statistics: SearchStatistics | None = None,
         report: RunReport | None = None,
         pruning_report: PruningReport | None = None,
+        cancel: CancellationToken | None = None,
     ) -> Iterator[tuple[frozenset, float]]:
         """Lazily yield ``(clique, probability)`` pairs for a serial request.
 
@@ -203,7 +204,7 @@ class MiningSession:
             raise ParameterError("parallel requests cannot stream; use enumerate()")
         if request.algorithm == "top_k" and request.alpha is None:
             raise ParameterError("top_k threshold search cannot stream; use enumerate()")
-        return self._stream(request, statistics, report, pruning_report)
+        return self._stream(request, statistics, report, pruning_report, cancel)
 
     def _stream(
         self,
@@ -211,6 +212,7 @@ class MiningSession:
         statistics: SearchStatistics | None,
         report: RunReport | None,
         pruning_report: PruningReport | None,
+        cancel: CancellationToken | None = None,
     ) -> Iterator[tuple[frozenset, float]]:
         stats = statistics if statistics is not None else SearchStatistics()
         if self._graph.num_vertices == 0:
@@ -228,6 +230,7 @@ class MiningSession:
             statistics=stats,
             controls=request.controls,
             report=report,
+            cancel=cancel,
         )
 
     # ------------------------------------------------------------------ #

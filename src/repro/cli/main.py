@@ -18,11 +18,16 @@ writing Python:
 * ``repro-mule serve`` — host a catalog of graphs over HTTP (the wire API
   of ``docs/service.md``): repeat ``--dataset name[:scale]`` and
   ``--graph file`` to serve many graphs from one process; pair it with
-  :class:`repro.RemoteStore` / :class:`repro.RemoteSession`.
+  :class:`repro.RemoteStore` / :class:`repro.RemoteSession`;
+* ``repro-mule jobs`` — list, inspect, follow or cancel the asynchronous
+  jobs of a running server.
 
 ``enumerate`` and ``compare`` also run against a remote server instead of
 a local file: ``--remote URL`` targets its default graph and ``--remote
-URL --graph NAME`` any graph it hosts by name or fingerprint.
+URL --graph NAME`` any graph it hosts by name or fingerprint.  With
+``--remote``, ``enumerate --async`` submits without waiting (returning a
+job id for ``repro-mule jobs``) and ``enumerate --follow`` streams the
+cliques live as the server finds them.
 """
 
 from __future__ import annotations
@@ -88,6 +93,24 @@ def build_parser() -> argparse.ArgumentParser:
     enumerate_parser.add_argument(
         "--quiet", action="store_true", help="suppress the per-clique listing"
     )
+    async_group = enumerate_parser.add_mutually_exclusive_group()
+    async_group.add_argument(
+        "--async",
+        dest="async_submit",
+        action="store_true",
+        help=(
+            "with --remote: submit as an asynchronous job and exit "
+            "immediately, printing the job id"
+        ),
+    )
+    async_group.add_argument(
+        "--follow",
+        action="store_true",
+        help=(
+            "with --remote: submit as an asynchronous job and stream the "
+            "cliques live as the server finds them"
+        ),
+    )
     enumerate_parser.add_argument(
         "--workers",
         type=int,
@@ -126,6 +149,26 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--alpha", type=float, required=True)
     _add_kernel_argument(compare_parser)
     _add_run_control_arguments(compare_parser)
+
+    jobs_parser = subparsers.add_parser(
+        "jobs", help="list, inspect, follow or cancel async jobs on a server"
+    )
+    jobs_parser.add_argument(
+        "--remote",
+        metavar="URL",
+        required=True,
+        help="base URL of the repro-mule serve process to talk to",
+    )
+    jobs_action = jobs_parser.add_mutually_exclusive_group()
+    jobs_action.add_argument(
+        "--job", metavar="ID", help="show one job's status instead of the listing"
+    )
+    jobs_action.add_argument(
+        "--follow", metavar="ID", help="stream one job's results to completion"
+    )
+    jobs_action.add_argument(
+        "--cancel", metavar="ID", help="cancel a job and print its final status"
+    )
 
     core_parser = subparsers.add_parser(
         "core", help="compute the (k, eta)-core decomposition of an uncertain graph"
@@ -338,6 +381,9 @@ def _command_enumerate(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if (args.async_submit or args.follow) and args.remote is None:
+        print("error: --async/--follow require --remote URL", file=sys.stderr)
+        return 2
     resolved = _resolve_session(args)
     if resolved is None:
         return 2
@@ -355,6 +401,16 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         workers=args.workers,
         kernel=args.kernel,
     )
+    if args.async_submit or args.follow:
+        job = session.submit(request)
+        if args.async_submit:
+            print(f"submitted {job.id}")
+            print(
+                f"follow with: repro-mule jobs --remote {args.remote} "
+                f"--follow {job.id}"
+            )
+            return 0
+        return _follow_job(job, quiet=args.quiet)
     result = session.enumerate(request).to_result()
 
     stats = clique_statistics(result)
@@ -472,6 +528,50 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0 if agree else 1
 
 
+def _follow_job(job, *, quiet: bool) -> int:
+    """Stream a job's records live and print the terminal summary."""
+    for record in job.iter_results():
+        if not quiet:
+            members = ",".join(str(v) for v in record.as_tuple())
+            print(f"  [{members}]  p={record.probability:.6g}", flush=True)
+    result = job.outcome().to_result()
+    print(
+        f"{result.algorithm}: {result.num_cliques} alpha-maximal cliques "
+        f"({result.stop_reason}) in {result.elapsed_seconds:.3f}s "
+        f"[job {job.id}]"
+    )
+    return 0
+
+
+def _print_job_status(status) -> None:
+    line = (
+        f"{status.id}  {status.state:9s}  {status.records:>8d} records  "
+        f"{status.elapsed_seconds:8.3f}s"
+    )
+    if status.error is not None:
+        line += f"  error: {status.error}"
+    print(line)
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    store = connect(args.remote)
+    if args.cancel is not None:
+        _print_job_status(store.job(args.cancel).cancel())
+        return 0
+    if args.follow is not None:
+        return _follow_job(store.job(args.follow), quiet=False)
+    if args.job is not None:
+        _print_job_status(store.job(args.job).status())
+        return 0
+    statuses = store.jobs()
+    if not statuses:
+        print("no jobs registered")
+        return 0
+    for status in statuses:
+        _print_job_status(status)
+    return 0
+
+
 def _command_core(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     cores = uncertain_core_decomposition(graph, args.eta)
@@ -563,7 +663,9 @@ def _command_serve(args: argparse.Namespace) -> int:
     print(
         "endpoints: POST /v1/enumerate|sweep  GET /v1/health|stats  "
         "POST|GET /v2/graphs  GET|DELETE /v2/graphs/{ref}  "
-        "POST /v2/graphs/{ref}/enumerate|sweep  (Ctrl-C to stop)"
+        "POST /v2/graphs/{ref}/enumerate|sweep  POST|GET /v2/jobs  "
+        "GET|DELETE /v2/jobs/{id}  GET /v2/jobs/{id}/results  "
+        "(Ctrl-C to stop)"
     )
     try:
         server.serve_forever()
@@ -593,6 +695,7 @@ _COMMANDS = {
     "core": _command_core,
     "datasets": _command_datasets,
     "serve": _command_serve,
+    "jobs": _command_jobs,
 }
 
 

@@ -37,7 +37,13 @@ from .backends import (
     run_vector_search,
 )
 from .compiled import CompiledGraph, compile_graph
-from .controls import RunControls, RunReport, StopReason
+from .controls import (
+    CancellationToken,
+    ProgressSnapshot,
+    RunControls,
+    RunReport,
+    StopReason,
+)
 from .kernel import run_search
 from .strategies import (
     EnumerationStrategy,
@@ -50,6 +56,8 @@ from .strategies import (
 __all__ = [
     "CompiledGraph",
     "compile_graph",
+    "CancellationToken",
+    "ProgressSnapshot",
     "RunControls",
     "RunReport",
     "StopReason",

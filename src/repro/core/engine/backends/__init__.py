@@ -39,7 +39,7 @@ from typing import NamedTuple
 from ....errors import ParameterError
 from ...result import SearchStatistics
 from ..compiled import CompiledGraph
-from ..controls import RunControls, RunReport
+from ..controls import CancellationToken, RunControls, RunReport
 from ..kernel import run_search
 from ..strategies import (
     EnumerationStrategy,
@@ -155,6 +155,7 @@ def run_kernel_search(
     statistics: SearchStatistics | None = None,
     controls: RunControls | None = None,
     report: RunReport | None = None,
+    cancel: CancellationToken | None = None,
 ) -> Iterator[tuple[frozenset, float]]:
     """Run one enumeration on the resolved kernel backend.
 
@@ -171,6 +172,7 @@ def run_kernel_search(
             statistics=statistics,
             controls=controls,
             report=report,
+            cancel=cancel,
         )
     return run_search(
         compiled,
@@ -179,4 +181,5 @@ def run_kernel_search(
         statistics=statistics,
         controls=controls,
         report=report,
+        cancel=cancel,
     )

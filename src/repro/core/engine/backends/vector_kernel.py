@@ -48,7 +48,7 @@ from time import perf_counter
 from ....errors import ParameterError
 from ...result import SearchStatistics
 from ..compiled import CompiledGraph
-from ..controls import RunControls, RunReport, StopReason
+from ..controls import CancellationToken, RunControls, RunReport, StopReason
 from ..strategies import (
     EnumerationStrategy,
     LargeCliqueStrategy,
@@ -75,6 +75,7 @@ def run_vector_search(
     statistics: SearchStatistics | None = None,
     controls: RunControls | None = None,
     report: RunReport | None = None,
+    cancel: CancellationToken | None = None,
 ) -> Iterator[tuple[frozenset, float]]:
     """Run one enumeration on the vector backend; same contract as ``run_search``.
 
@@ -92,14 +93,20 @@ def run_vector_search(
     strategy.bind(compiled, alpha, statistics)
     kind = type(strategy)
     if kind is MuleStrategy:
-        return _drive_mule(compiled, alpha, 0, statistics, controls, report)
+        return _drive_mule(compiled, alpha, 0, statistics, controls, report, cancel)
     if kind is TopKStrategy:
         return _drive_mule(
-            compiled, alpha, strategy.min_size, statistics, controls, report
+            compiled, alpha, strategy.min_size, statistics, controls, report, cancel
         )
     if kind is LargeCliqueStrategy:
         return _drive_large(
-            compiled, alpha, strategy.size_threshold, statistics, controls, report
+            compiled,
+            alpha,
+            strategy.size_threshold,
+            statistics,
+            controls,
+            report,
+            cancel,
         )
     raise ParameterError(
         f"the vector kernel does not support strategy "
@@ -115,6 +122,7 @@ def _drive_mule(
     statistics: SearchStatistics,
     controls: RunControls,
     report: RunReport,
+    cancel: CancellationToken | None = None,
 ) -> Iterator[tuple[frozenset, float]]:
     """The fused MULE walk; ``emit_min`` is the TopK size floor (0 = MULE)."""
     report.stop_reason = StopReason.COMPLETED
@@ -147,6 +155,7 @@ def _drive_mule(
         else None
     )
     check_every = controls.check_every_frames
+    check_limits = deadline is not None or cancel is not None
 
     # Counter deltas live in locals and are flushed immediately before
     # every yield (and on any exit), so callers observing ``statistics``
@@ -182,11 +191,14 @@ def _drive_mule(
             # time-budget window; their retirement is already encoded in
             # the plan's exclusion sets.
             if root_restricted and not (root_mask >> root) & 1:
-                if deadline is not None:
+                if check_limits:
                     frames_since_check += 1
                     if frames_since_check >= check_every:
                         frames_since_check = 0
-                        if perf_counter() >= deadline:
+                        if cancel is not None and cancel.cancelled:
+                            report.stop_reason = StopReason.CANCELLED
+                            return
+                        if deadline is not None and perf_counter() >= deadline:
                             report.stop_reason = StopReason.TIME_BUDGET
                             return
                 continue
@@ -197,11 +209,14 @@ def _drive_mule(
             # without touching a mask.
             ce += 1
             pm += 1 + n + root
-            if deadline is not None:
+            if check_limits:
                 frames_since_check += 1
                 if frames_since_check >= check_every:
                     frames_since_check = 0
-                    if perf_counter() >= deadline:
+                    if cancel is not None and cancel.cancelled:
+                        report.stop_reason = StopReason.CANCELLED
+                        return
+                    if deadline is not None and perf_counter() >= deadline:
                         report.stop_reason = StopReason.TIME_BUDGET
                         return
 
@@ -311,11 +326,14 @@ def _drive_mule(
                                 if q * factor >= alpha:
                                     cc_append(w)
                                     nf_append(factor)
-                    if deadline is not None:
+                    if check_limits:
                         frames_since_check += 1
                         if frames_since_check >= check_every:
                             frames_since_check = 0
-                            if perf_counter() >= deadline:
+                            if cancel is not None and cancel.cancelled:
+                                report.stop_reason = StopReason.CANCELLED
+                                return
+                            if deadline is not None and perf_counter() >= deadline:
                                 report.stop_reason = StopReason.TIME_BUDGET
                                 return
                     xmask = excl_mask & adj_mask[u]
@@ -425,6 +443,7 @@ def _drive_large(
     statistics: SearchStatistics,
     controls: RunControls,
     report: RunReport,
+    cancel: CancellationToken | None = None,
 ) -> Iterator[tuple[frozenset, float]]:
     """The fused LARGE-MULE walk (Algorithms 5–6 size bound and pruning)."""
     report.stop_reason = StopReason.COMPLETED
@@ -457,6 +476,7 @@ def _drive_large(
         else None
     )
     check_every = controls.check_every_frames
+    check_limits = deadline is not None or cancel is not None
 
     rc = 1
     ce = 0
@@ -486,11 +506,14 @@ def _drive_large(
 
         for root in range(n):
             if root_restricted and not (root_mask >> root) & 1:
-                if deadline is not None:
+                if check_limits:
                     frames_since_check += 1
                     if frames_since_check >= check_every:
                         frames_since_check = 0
-                        if perf_counter() >= deadline:
+                        if cancel is not None and cancel.cancelled:
+                            report.stop_reason = StopReason.CANCELLED
+                            return
+                        if deadline is not None and perf_counter() >= deadline:
                             report.stop_reason = StopReason.TIME_BUDGET
                             return
                 continue
@@ -506,20 +529,26 @@ def _drive_large(
                 # Algorithm 6, line 8 at the root: even taking every
                 # surviving candidate cannot reach size_threshold.
                 pb += 1
-                if deadline is not None:
+                if check_limits:
                     frames_since_check += 1
                     if frames_since_check >= check_every:
                         frames_since_check = 0
-                        if perf_counter() >= deadline:
+                        if cancel is not None and cancel.cancelled:
+                            report.stop_reason = StopReason.CANCELLED
+                            return
+                        if deadline is not None and perf_counter() >= deadline:
                             report.stop_reason = StopReason.TIME_BUDGET
                             return
                 continue
             pm += root
-            if deadline is not None:
+            if check_limits:
                 frames_since_check += 1
                 if frames_since_check >= check_every:
                     frames_since_check = 0
-                    if perf_counter() >= deadline:
+                    if cancel is not None and cancel.cancelled:
+                        report.stop_reason = StopReason.CANCELLED
+                        return
+                    if deadline is not None and perf_counter() >= deadline:
                         report.stop_reason = StopReason.TIME_BUDGET
                         return
 
@@ -607,11 +636,14 @@ def _drive_large(
                         # Algorithm 6, line 8: the branch is cut before
                         # the exclusion side is charged or built.
                         pb += 1
-                        if deadline is not None:
+                        if check_limits:
                             frames_since_check += 1
                             if frames_since_check >= check_every:
                                 frames_since_check = 0
-                                if perf_counter() >= deadline:
+                                if cancel is not None and cancel.cancelled:
+                                    report.stop_reason = StopReason.CANCELLED
+                                    return
+                                if deadline is not None and perf_counter() >= deadline:
                                     report.stop_reason = StopReason.TIME_BUDGET
                                     return
                         excl_factor[u] = factors[index]
@@ -619,11 +651,14 @@ def _drive_large(
                         index += 1
                         continue
                     pm += len(excl_factor)
-                    if deadline is not None:
+                    if check_limits:
                         frames_since_check += 1
                         if frames_since_check >= check_every:
                             frames_since_check = 0
-                            if perf_counter() >= deadline:
+                            if cancel is not None and cancel.cancelled:
+                                report.stop_reason = StopReason.CANCELLED
+                                return
+                            if deadline is not None and perf_counter() >= deadline:
                                 report.stop_reason = StopReason.TIME_BUDGET
                                 return
                     xmask = excl_mask & adj_mask[u]

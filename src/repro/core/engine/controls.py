@@ -10,11 +10,18 @@ always distinguishable from complete output.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ...errors import ParameterError
 
-__all__ = ["RunControls", "RunReport", "StopReason"]
+__all__ = [
+    "CancellationToken",
+    "ProgressSnapshot",
+    "RunControls",
+    "RunReport",
+    "StopReason",
+]
 
 
 class StopReason:
@@ -24,6 +31,51 @@ class StopReason:
     COMPLETED = "completed"
     MAX_CLIQUES = "max-cliques"
     TIME_BUDGET = "time-budget"
+    CANCELLED = "cancelled"
+
+
+class CancellationToken:
+    """Cooperative cancellation signal for a streaming kernel run.
+
+    A token is handed to the kernel alongside :class:`RunControls`; the
+    kernel polls it on the same ``check_every_frames`` cadence as the time
+    budget, so cancellation latency is bounded by the cost of one check
+    window.  When a check observes a cancelled token the run stops with
+    :attr:`StopReason.CANCELLED` and the counters flushed to that point —
+    the emitted records remain a depth-first prefix of the full
+    enumeration, exactly like a ``max_cliques`` truncation.
+
+    ``cancel()`` may be called from any thread and is idempotent.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (thread-safe, idempotent)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._event.is_set()
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """A point-in-time view of a running enumeration.
+
+    Built by observers (job status polls, progress bars) from the live
+    :class:`RunReport` the kernel mutates in place; the kernel only ever
+    increments the counters, so successive snapshots of the same run are
+    monotonically non-decreasing.
+    """
+
+    cliques_emitted: int = 0
+    frames_expanded: int = 0
+    elapsed_seconds: float = 0.0
 
 
 @dataclass(frozen=True)

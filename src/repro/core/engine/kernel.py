@@ -34,7 +34,7 @@ from time import perf_counter
 
 from ..result import SearchStatistics
 from .compiled import CompiledGraph
-from .controls import RunControls, RunReport, StopReason
+from .controls import CancellationToken, RunControls, RunReport, StopReason
 from .strategies import EnumerationStrategy
 
 __all__ = ["run_search"]
@@ -50,6 +50,7 @@ def run_search(
     statistics: SearchStatistics | None = None,
     controls: RunControls | None = None,
     report: RunReport | None = None,
+    cancel: CancellationToken | None = None,
 ) -> Iterator[tuple[frozenset, float]]:
     """Run one iterative depth-first enumeration and yield its emissions.
 
@@ -69,6 +70,10 @@ def run_search(
     report:
         Optional :class:`~repro.core.engine.controls.RunReport` filled in
         place with the stop reason and progress counters.
+    cancel:
+        Optional :class:`~repro.core.engine.controls.CancellationToken`
+        polled on the ``check_every_frames`` cadence (same window as the
+        time budget; cancellation wins when both fire in one window).
 
     Yields
     ------
@@ -104,6 +109,7 @@ def run_search(
         else None
     )
     check_every = controls.check_every_frames
+    check_limits = deadline is not None or cancel is not None
 
     expand = strategy.expand
     descend = strategy.descend
@@ -155,11 +161,17 @@ def run_search(
         # behaviour) made the deadline unreachable on prune-dominated
         # stretches: a strategy refusing millions of branches in a row
         # never surfaced at the check below and blew past the budget.
-        if deadline is not None:
+        if check_limits:
             frames_since_check += 1
             if frames_since_check >= check_every:
                 frames_since_check = 0
-                if perf_counter() >= deadline:
+                # Cancellation is checked first so that a token cancelled
+                # before an already-expired deadline is observed still wins
+                # deterministically within the shared check window.
+                if cancel is not None and cancel.cancelled:
+                    report.stop_reason = StopReason.CANCELLED
+                    return
+                if deadline is not None and perf_counter() >= deadline:
                     report.stop_reason = StopReason.TIME_BUDGET
                     return
         if child is None:

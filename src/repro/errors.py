@@ -19,6 +19,8 @@ __all__ = [
     "ServiceError",
     "StoreError",
     "GraphNotFoundError",
+    "JobError",
+    "JobNotFoundError",
 ]
 
 
@@ -87,4 +89,22 @@ class ServiceError(ReproError):
     connection drops, or a response is not a well-formed wire payload.
     Application-level failures (bad parameters, malformed requests) are
     re-raised client-side as their original exception types instead.
+    """
+
+
+class JobError(ReproError):
+    """An asynchronous job operation failed.
+
+    Raised for invalid job interactions: waiting on a job whose streamed
+    pages were already released, resuming a result stream below the
+    released cursor floor, or timing out while awaiting a terminal state.
+    """
+
+
+class JobNotFoundError(JobError):
+    """A job id resolved to no registered job.
+
+    Like :class:`GraphNotFoundError`, the service layer maps this to HTTP
+    404 (jobs are evicted from the registry after a retention window, so
+    an unknown id is an expected condition, not a protocol violation).
     """

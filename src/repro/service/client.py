@@ -25,6 +25,13 @@ objects: clique sets, probabilities, counters and stop provenance are
 identical to a local run of the same request (the remote-parity suites and
 the throughput benchmark assert this bit-for-bit).
 
+:class:`RemoteJob` is the client face of the async job pipeline: submit
+with :meth:`RemoteSession.submit`, poll :meth:`RemoteJob.status`, stream
+records as the server produces them with :meth:`RemoteJob.iter_results`
+(NDJSON over ``GET /v2/jobs/{id}/results``, with transparent cursor-based
+reconnection), or block with :meth:`RemoteJob.wait` — whose reassembled
+outcome is bit-identical to a local run of the same request.
+
 Error behaviour: application-level failures re-raise the server-side
 exception type (``except ParameterError`` works unchanged, as does
 ``except GraphNotFoundError`` for dangling references); transport and
@@ -33,28 +40,44 @@ protocol failures raise :class:`~repro.errors.ServiceError`.
 
 from __future__ import annotations
 
+import http.client
 import urllib.error
 import urllib.request
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 from ..api.cache import CacheInfo
 from ..api.outcome import EnumerationOutcome
 from ..api.request import EnumerationRequest
 from ..api.store import GraphInfo
-from ..errors import FormatError, ServiceError, StoreError
+from ..core.result import CliqueRecord
+from ..errors import FormatError, JobError, ServiceError, StoreError
 from ..uncertain.graph import UncertainGraph
 from . import codec
 
-__all__ = ["RemoteSession", "RemoteStore", "connect"]
+__all__ = ["RemoteJob", "RemoteSession", "RemoteStore", "connect"]
 
 #: Default per-request timeout.  Generous — enumeration requests can
 #: legitimately run for a while; bound them server-side with
 #: ``RunControls.time_budget_seconds`` rather than client socket timeouts.
 DEFAULT_TIMEOUT_SECONDS = 300.0
 
+#: Default timeout for cheap control-plane calls (health, stats, job
+#: status polls, cancellation).  These answer from memory without running
+#: an enumeration, so they must *not* inherit the generous data-plane
+#: default — a dead server should fail a liveness probe in seconds.
+DEFAULT_CONTROL_TIMEOUT_SECONDS = 10.0
+
+#: Consecutive result-stream reconnects tolerated without the cursor
+#: advancing before the client gives up.
+_MAX_STALLED_RECONNECTS = 5
+
 
 class _HttpClient:
-    """Shared urllib transport: request building, error mapping, decoding."""
+    """Shared urllib transport: request building, error mapping, decoding.
+
+    Every verb accepts a per-call ``timeout`` override; ``None`` (the
+    default) falls back to the client-wide timeout the constructor set.
+    """
 
     def __init__(self, base_url: str, timeout: float) -> None:
         self._base_url = base_url.rstrip("/")
@@ -65,28 +88,36 @@ class _HttpClient:
         """The server's base URL (no trailing slash)."""
         return self._base_url
 
-    def _get(self, path: str) -> dict:
+    def _get(self, path: str, *, timeout: float | None = None) -> dict:
         return self._call(
-            urllib.request.Request(self._base_url + path, method="GET")
+            urllib.request.Request(self._base_url + path, method="GET"),
+            timeout=timeout,
         )
 
-    def _post(self, path: str, envelope: dict) -> dict:
+    def _post(
+        self, path: str, envelope: dict, *, timeout: float | None = None
+    ) -> dict:
         request = urllib.request.Request(
             self._base_url + path,
             data=codec.encode(envelope),
             headers={"Content-Type": "application/json"},
             method="POST",
         )
-        return self._call(request)
+        return self._call(request, timeout=timeout)
 
-    def _delete(self, path: str) -> dict:
+    def _delete(self, path: str, *, timeout: float | None = None) -> dict:
         return self._call(
-            urllib.request.Request(self._base_url + path, method="DELETE")
+            urllib.request.Request(self._base_url + path, method="DELETE"),
+            timeout=timeout,
         )
 
-    def _call(self, request: urllib.request.Request) -> dict:
+    def _call(
+        self, request: urllib.request.Request, *, timeout: float | None = None
+    ) -> dict:
+        if timeout is None:
+            timeout = self._timeout
         try:
-            with urllib.request.urlopen(request, timeout=self._timeout) as response:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
                 body = response.read()
         except urllib.error.HTTPError as exc:
             raise self._error_from_response(exc) from exc
@@ -101,6 +132,27 @@ class _HttpClient:
         except FormatError as exc:
             raise ServiceError(f"malformed server response: {exc}") from exc
 
+    def _open_stream(self, path: str, *, timeout: float | None = None):
+        """Open a streaming GET and return the live response object.
+
+        The caller owns the response (and must close it); urllib decodes
+        the chunked transfer encoding transparently, so iterating the
+        response yields NDJSON lines as the server flushes them.
+        """
+        if timeout is None:
+            timeout = self._timeout
+        request = urllib.request.Request(self._base_url + path, method="GET")
+        try:
+            return urllib.request.urlopen(request, timeout=timeout)
+        except urllib.error.HTTPError as exc:
+            raise self._error_from_response(exc) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self._base_url}: {exc.reason}"
+            ) from exc
+        except OSError as exc:
+            raise ServiceError(f"transport failure: {exc}") from exc
+
     @staticmethod
     def _error_from_response(exc: urllib.error.HTTPError) -> Exception:
         """Map an HTTP error to the exception the server meant to raise."""
@@ -109,6 +161,136 @@ class _HttpClient:
             return codec.error_from_wire(payload)
         except FormatError:
             return ServiceError(f"server returned HTTP {exc.code}: {exc.reason}")
+
+
+class RemoteJob:
+    """A handle on one server-side asynchronous job.
+
+    Obtained from :meth:`RemoteSession.submit` (fresh submission) or
+    :meth:`RemoteStore.job` / :meth:`RemoteSession.job` (re-attach by id).
+    The handle accumulates every record it streams, so after the stream is
+    drained :meth:`outcome` reassembles the full
+    :class:`~repro.api.outcome.EnumerationOutcome` — bit-identical to a
+    local run, including the ``stop_reason`` provenance of a cancelled or
+    budget-stopped run.
+    """
+
+    def __init__(self, client: _HttpClient, job_id: str) -> None:
+        self._client = client
+        self.id = job_id
+        self._cursor = 0
+        self._records: list[CliqueRecord] = []
+        self._summary: EnumerationOutcome | None = None
+        self._error: BaseException | None = None
+
+    # ------------------------------------------------------------------ #
+    # Control plane
+    # ------------------------------------------------------------------ #
+    def status(self, *, timeout: float | None = None) -> codec.JobStatus:
+        """Poll the job's live status (state, progress counters, records)."""
+        if timeout is None:
+            timeout = DEFAULT_CONTROL_TIMEOUT_SECONDS
+        return codec.job_status_from_wire(
+            self._client._get(f"/v2/jobs/{self.id}", timeout=timeout)
+        )
+
+    def cancel(self, *, timeout: float | None = None) -> codec.JobStatus:
+        """Request cancellation; returns the post-cancel status snapshot."""
+        if timeout is None:
+            timeout = DEFAULT_CONTROL_TIMEOUT_SECONDS
+        return codec.job_status_from_wire(
+            self._client._delete(f"/v2/jobs/{self.id}", timeout=timeout)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Result streaming
+    # ------------------------------------------------------------------ #
+    def iter_results(self) -> Iterator[CliqueRecord]:
+        """Yield clique records live, as the server's producer emits them.
+
+        Reconnects transparently on dropped connections: the resume
+        cursor only advances past a chunk once it was fully received, so
+        no record is lost or duplicated.  When the stream ends, a failed
+        job's error is re-raised; a ``done``/``cancelled`` job returns
+        normally (check :meth:`outcome` for the ``stop_reason``).
+        """
+        stalled = 0
+        while self._summary is None and self._error is None:
+            before = self._cursor
+            stream = self._client._open_stream(
+                f"/v2/jobs/{self.id}/results?cursor={self._cursor}"
+            )
+            try:
+                yield from self._consume(stream)
+            except (OSError, http.client.HTTPException):
+                pass  # dropped mid-chunk: reconnect at the same cursor
+            finally:
+                stream.close()
+            if self._cursor == before and self._summary is None and self._error is None:
+                stalled += 1
+                if stalled >= _MAX_STALLED_RECONNECTS:
+                    raise ServiceError(
+                        f"result stream of job {self.id} stalled at cursor "
+                        f"{self._cursor} after {stalled} reconnects"
+                    )
+            else:
+                stalled = 0
+        if self._error is not None:
+            raise self._error
+
+    def _consume(self, stream) -> Iterator[CliqueRecord]:
+        """Process one connection's NDJSON lines until final chunk or drop."""
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                chunk = codec.job_chunk_from_wire(codec.decode(line))
+            except FormatError as exc:
+                raise ServiceError(f"malformed result chunk: {exc}") from exc
+            if chunk.job != self.id:
+                raise ServiceError(
+                    f"result stream for job {self.id} delivered a chunk of "
+                    f"job {chunk.job}"
+                )
+            if chunk.final:
+                self._summary = chunk.summary
+                self._error = chunk.error
+                return
+            self._records.extend(chunk.records)
+            self._cursor = chunk.seq + 1
+            yield from chunk.records
+
+    def wait(self) -> EnumerationOutcome:
+        """Drain the result stream and return the reassembled outcome.
+
+        Blocks until the job is terminal; raises the job's error if it
+        failed.  The remote blocking analog of ``Future.result()``.
+        """
+        for _ in self.iter_results():
+            pass
+        return self.outcome()
+
+    def outcome(self) -> EnumerationOutcome:
+        """The reassembled outcome of a fully streamed job.
+
+        Only available once :meth:`iter_results` / :meth:`wait` consumed
+        the final chunk; raises :class:`~repro.errors.JobError` before
+        that, and the job's own error if it failed.
+        """
+        if self._error is not None:
+            raise self._error
+        if self._summary is None:
+            raise JobError(
+                f"job {self.id} has not been streamed to completion; call "
+                f"wait() or drain iter_results() first"
+            )
+        outcome = self._summary
+        outcome.records = list(self._records)
+        return outcome
+
+    def __repr__(self) -> str:
+        return f"RemoteJob(id={self.id!r}, base_url={self._client.base_url!r})"
 
 
 class RemoteSession(_HttpClient):
@@ -182,6 +364,42 @@ class RemoteSession(_HttpClient):
             )
         return codec.outcomes_from_wire(payload)
 
+    def submit(
+        self,
+        request: EnumerationRequest,
+        *,
+        page_size: int | None = None,
+        timeout: float | None = None,
+    ) -> RemoteJob:
+        """Submit one request asynchronously; returns immediately.
+
+        The async sibling of :meth:`enumerate`: the server queues the
+        enumeration as a job and answers with its id without running
+        anything first.  ``page_size`` overrides the server's result-page
+        granularity (records per streamed chunk).
+        """
+        if timeout is None:
+            timeout = DEFAULT_CONTROL_TIMEOUT_SECONDS
+        payload = self._post(
+            "/v2/jobs",
+            codec.job_request_to_wire(
+                request, graph=self._graph_ref, page_size=page_size
+            ),
+            timeout=timeout,
+        )
+        status = codec.job_status_from_wire(payload)
+        return RemoteJob(self, status.id)
+
+    def job(self, job_id: str) -> RemoteJob:
+        """Re-attach to a previously submitted job by id."""
+        return RemoteJob(self, job_id)
+
+    def jobs(self, *, timeout: float | None = None) -> list[codec.JobStatus]:
+        """List every job registered on the server."""
+        if timeout is None:
+            timeout = DEFAULT_CONTROL_TIMEOUT_SECONDS
+        return codec.job_list_from_wire(self._get("/v2/jobs", timeout=timeout))
+
     def cache_info(self) -> CacheInfo:
         """The server-side compiled-graph cache counters.
 
@@ -215,13 +433,22 @@ class RemoteSession(_HttpClient):
     # ------------------------------------------------------------------ #
     # Service introspection
     # ------------------------------------------------------------------ #
-    def health(self) -> dict:
-        """The server's ``/v1/health`` payload (raises if unreachable)."""
-        return self._get("/v1/health")
+    def health(self, *, timeout: float | None = None) -> dict:
+        """The server's ``/v1/health`` payload (raises if unreachable).
 
-    def stats(self) -> dict:
-        """The server's ``/v1/stats`` payload."""
-        return self._get("/v1/stats")
+        Control-plane call: defaults to the snappy
+        :data:`DEFAULT_CONTROL_TIMEOUT_SECONDS`, not the session-wide
+        data-plane timeout — a liveness probe must fail fast.
+        """
+        if timeout is None:
+            timeout = DEFAULT_CONTROL_TIMEOUT_SECONDS
+        return self._get("/v1/health", timeout=timeout)
+
+    def stats(self, *, timeout: float | None = None) -> dict:
+        """The server's ``/v1/stats`` payload (control-plane timeout)."""
+        if timeout is None:
+            timeout = DEFAULT_CONTROL_TIMEOUT_SECONDS
+        return self._get("/v1/stats", timeout=timeout)
 
     def graph_info(self) -> GraphInfo:
         """The served graph's :class:`GraphInfo` (v2; any session may ask)."""
@@ -304,6 +531,16 @@ class RemoteStore(_HttpClient):
         """
         return RemoteSession(self._base_url, graph=ref, timeout=self._timeout)
 
+    def job(self, job_id: str) -> RemoteJob:
+        """Attach to a server-side job by id (``RemoteJob`` handle)."""
+        return RemoteJob(self, job_id)
+
+    def jobs(self, *, timeout: float | None = None) -> list[codec.JobStatus]:
+        """List every job registered on the server."""
+        if timeout is None:
+            timeout = DEFAULT_CONTROL_TIMEOUT_SECONDS
+        return codec.job_list_from_wire(self._get("/v2/jobs", timeout=timeout))
+
     def __contains__(self, ref: object) -> bool:
         # StoreError (not just GraphNotFoundError): an ambiguous prefix
         # answers False here exactly as GraphStore.__contains__ does —
@@ -319,13 +556,17 @@ class RemoteStore(_HttpClient):
     # ------------------------------------------------------------------ #
     # Service introspection
     # ------------------------------------------------------------------ #
-    def health(self) -> dict:
-        """The server's ``/v1/health`` payload."""
-        return self._get("/v1/health")
+    def health(self, *, timeout: float | None = None) -> dict:
+        """The server's ``/v1/health`` payload (control-plane timeout)."""
+        if timeout is None:
+            timeout = DEFAULT_CONTROL_TIMEOUT_SECONDS
+        return self._get("/v1/health", timeout=timeout)
 
-    def stats(self) -> dict:
-        """The server's ``/v1/stats`` payload."""
-        return self._get("/v1/stats")
+    def stats(self, *, timeout: float | None = None) -> dict:
+        """The server's ``/v1/stats`` payload (control-plane timeout)."""
+        if timeout is None:
+            timeout = DEFAULT_CONTROL_TIMEOUT_SECONDS
+        return self._get("/v1/stats", timeout=timeout)
 
     def __repr__(self) -> str:
         return f"RemoteStore(base_url={self._base_url!r})"

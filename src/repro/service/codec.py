@@ -90,6 +90,19 @@ __all__ = [
     "ref_request_from_wire",
     "ref_sweep_to_wire",
     "ref_sweep_from_wire",
+    "JOB_STATES",
+    "JobStatus",
+    "JobChunk",
+    "job_request_to_wire",
+    "job_request_from_wire",
+    "job_status_to_wire",
+    "job_status_from_wire",
+    "job_summary_to_wire",
+    "job_summary_from_wire",
+    "job_chunk_to_wire",
+    "job_chunk_from_wire",
+    "job_list_to_wire",
+    "job_list_from_wire",
 ]
 
 #: Version of the original (v1) envelope generation.  Kinds introduced in
@@ -110,7 +123,14 @@ _STOP_REASONS = (
     StopReason.COMPLETED,
     StopReason.MAX_CLIQUES,
     StopReason.TIME_BUDGET,
+    StopReason.CANCELLED,
 )
+
+#: Wire vocabulary for job lifecycle states.  This is the codec's own
+#: literal so the wire contract cannot drift silently when the scheduler
+#: vocabulary changes — ``tests/service/test_jobs.py`` asserts it matches
+#: :class:`repro.service.jobs.JobState` exactly.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 
 
 # ---------------------------------------------------------------------- #
@@ -863,6 +883,277 @@ def ref_sweep_from_wire(
 
 
 # ---------------------------------------------------------------------- #
+# Schema v2: asynchronous jobs
+# ---------------------------------------------------------------------- #
+class JobStatus(NamedTuple):
+    """A decoded ``job-status`` envelope: one job's observable state.
+
+    ``records`` is the number of clique records the job has produced so
+    far (monotonically non-decreasing); ``error`` is set exactly when
+    ``state == "failed"``.
+    """
+
+    id: str
+    state: str
+    cliques_emitted: int
+    frames_expanded: int
+    elapsed_seconds: float
+    records: int
+    error: "BaseException | None" = None
+
+
+class JobChunk(NamedTuple):
+    """A decoded ``job-result-chunk`` envelope: one NDJSON stream line.
+
+    Non-final chunks carry only records.  The final chunk carries exactly
+    one of ``summary`` (an :class:`EnumerationOutcome` without records —
+    the job reached ``done`` or ``cancelled``) or ``error`` (the job
+    failed).  ``seq`` is the chunk's cursor position: re-requesting the
+    stream with ``cursor=seq`` re-reads from this chunk.
+    """
+
+    job: str
+    seq: int
+    records: "tuple[CliqueRecord, ...]"
+    final: bool
+    summary: "EnumerationOutcome | None" = None
+    error: "BaseException | None" = None
+
+
+_JOB_REQUEST_KEYS = frozenset({"graph", "request", "page_size"})
+
+
+def job_request_to_wire(
+    request: EnumerationRequest,
+    *,
+    graph: str | None = None,
+    page_size: int | None = None,
+) -> dict:
+    """Encode a job submission (``POST /v2/jobs``).
+
+    ``graph`` is a store reference (name or fingerprint, ``None`` for the
+    server default) and ``page_size`` overrides the server's result-page
+    granularity (``None`` accepts the default).
+    """
+    return _envelope(
+        "job-request",
+        {
+            "graph": graph,
+            "request": request_to_wire(request),
+            "page_size": page_size,
+        },
+        version=SCHEMA_VERSION_V2,
+    )
+
+
+def job_request_from_wire(
+    payload: object,
+) -> "tuple[str | None, EnumerationRequest, int | None]":
+    payload = _open_envelope(
+        payload, "job-request", _JOB_REQUEST_KEYS, min_version=SCHEMA_VERSION_V2
+    )
+    kind = "job-request"
+    ref = _field(payload, kind, "graph", str, optional=True)
+    page_size = _field(payload, kind, "page_size", int, optional=True)
+    if page_size is not None and page_size < 1:
+        raise FormatError(f"{kind}.page_size must be >= 1, got {page_size}")
+    return ref, request_from_wire(payload["request"]), page_size
+
+
+_JOB_STATUS_KEYS = frozenset(
+    {"id", "state", "cliques_emitted", "frames_expanded",
+     "elapsed_seconds", "records", "error"}
+)
+
+
+def job_status_to_wire(status: JobStatus) -> dict:
+    """Encode one job's status snapshot (``GET /v2/jobs/{id}``)."""
+    if status.state not in JOB_STATES:
+        raise FormatError(
+            f"job-status.state must be one of {JOB_STATES}, got {status.state!r}"
+        )
+    if (status.error is not None) != (status.state == "failed"):
+        raise FormatError("job-status.error must be set exactly when failed")
+    return _envelope(
+        "job-status",
+        {
+            "id": status.id,
+            "state": status.state,
+            "cliques_emitted": status.cliques_emitted,
+            "frames_expanded": status.frames_expanded,
+            "elapsed_seconds": status.elapsed_seconds,
+            "records": status.records,
+            "error": None if status.error is None else error_to_wire(status.error),
+        },
+        version=SCHEMA_VERSION_V2,
+    )
+
+
+def job_status_from_wire(payload: object) -> JobStatus:
+    payload = _open_envelope(
+        payload, "job-status", _JOB_STATUS_KEYS, min_version=SCHEMA_VERSION_V2
+    )
+    kind = "job-status"
+    state = _field(payload, kind, "state", str)
+    if state not in JOB_STATES:
+        raise FormatError(
+            f"{kind}.state must be one of {JOB_STATES}, got {state!r}"
+        )
+    counters = {}
+    for key in ("cliques_emitted", "frames_expanded", "records"):
+        value = _field(payload, kind, key, int)
+        if value < 0:
+            raise FormatError(f"{kind}.{key} must be >= 0, got {value}")
+        counters[key] = value
+    elapsed = _number(payload, kind, "elapsed_seconds")
+    if elapsed < 0:
+        raise FormatError(f"{kind}.elapsed_seconds must be >= 0, got {elapsed}")
+    raw_error = payload["error"]
+    if (raw_error is not None) != (state == "failed"):
+        raise FormatError(f"{kind}.error must be set exactly when failed")
+    return JobStatus(
+        id=_field(payload, kind, "id", str),
+        state=state,
+        elapsed_seconds=elapsed,
+        error=None if raw_error is None else error_from_wire(raw_error),
+        **counters,
+    )
+
+
+_JOB_SUMMARY_KEYS = frozenset(
+    {"algorithm", "alpha", "statistics", "report", "elapsed_seconds", "request"}
+)
+
+
+def job_summary_to_wire(outcome: EnumerationOutcome) -> dict:
+    """Encode a job's terminal summary: an outcome *minus* its records.
+
+    The records already travelled in the stream's earlier chunks; the
+    summary carries everything :meth:`EnumerationOutcome.assert_matches`
+    needs beyond them, so client-side reassembly is bit-exact.
+    """
+    return _envelope(
+        "job-summary",
+        {
+            "algorithm": outcome.algorithm,
+            "alpha": outcome.alpha,
+            "statistics": statistics_to_wire(outcome.statistics),
+            "report": report_to_wire(outcome.report),
+            "elapsed_seconds": outcome.elapsed_seconds,
+            "request": (
+                None if outcome.request is None else request_to_wire(outcome.request)
+            ),
+        },
+        version=SCHEMA_VERSION_V2,
+    )
+
+
+def job_summary_from_wire(payload: object) -> EnumerationOutcome:
+    payload = _open_envelope(
+        payload, "job-summary", _JOB_SUMMARY_KEYS, min_version=SCHEMA_VERSION_V2
+    )
+    kind = "job-summary"
+    elapsed = _number(payload, kind, "elapsed_seconds")
+    if elapsed < 0:
+        raise FormatError(f"{kind}.elapsed_seconds must be >= 0, got {elapsed}")
+    request = payload["request"]
+    return EnumerationOutcome(
+        algorithm=_field(payload, kind, "algorithm", str),
+        alpha=_number(payload, kind, "alpha", optional=True),
+        records=[],
+        statistics=statistics_from_wire(payload["statistics"]),
+        report=report_from_wire(payload["report"]),
+        elapsed_seconds=elapsed,
+        request=None if request is None else request_from_wire(request),
+    )
+
+
+_JOB_CHUNK_KEYS = frozenset(
+    {"job", "seq", "records", "final", "summary", "error"}
+)
+
+
+def job_chunk_to_wire(chunk: JobChunk) -> dict:
+    """Encode one result-stream chunk (a line of ``GET .../results``)."""
+    if chunk.final:
+        if (chunk.summary is None) == (chunk.error is None):
+            raise FormatError(
+                "job-result-chunk: a final chunk carries exactly one of "
+                "summary / error"
+            )
+    elif chunk.summary is not None or chunk.error is not None:
+        raise FormatError(
+            "job-result-chunk: summary/error are only valid on the final chunk"
+        )
+    return _envelope(
+        "job-result-chunk",
+        {
+            "job": chunk.job,
+            "seq": chunk.seq,
+            "records": [record_to_wire(r) for r in chunk.records],
+            "final": chunk.final,
+            "summary": (
+                None if chunk.summary is None else job_summary_to_wire(chunk.summary)
+            ),
+            "error": None if chunk.error is None else error_to_wire(chunk.error),
+        },
+        version=SCHEMA_VERSION_V2,
+    )
+
+
+def job_chunk_from_wire(payload: object) -> JobChunk:
+    payload = _open_envelope(
+        payload, "job-result-chunk", _JOB_CHUNK_KEYS,
+        min_version=SCHEMA_VERSION_V2,
+    )
+    kind = "job-result-chunk"
+    seq = _field(payload, kind, "seq", int)
+    if seq < 0:
+        raise FormatError(f"{kind}.seq must be >= 0, got {seq}")
+    final = _field(payload, kind, "final", bool)
+    raw_records = _field(payload, kind, "records", list)
+    raw_summary = payload["summary"]
+    raw_error = payload["error"]
+    if final:
+        if (raw_summary is None) == (raw_error is None):
+            raise FormatError(
+                f"{kind}: a final chunk carries exactly one of summary / error"
+            )
+    elif raw_summary is not None or raw_error is not None:
+        raise FormatError(
+            f"{kind}: summary/error are only valid on the final chunk"
+        )
+    return JobChunk(
+        job=_field(payload, kind, "job", str),
+        seq=seq,
+        records=tuple(record_from_wire(item) for item in raw_records),
+        final=final,
+        summary=None if raw_summary is None else job_summary_from_wire(raw_summary),
+        error=None if raw_error is None else error_from_wire(raw_error),
+    )
+
+
+_JOB_LIST_KEYS = frozenset({"jobs"})
+
+
+def job_list_to_wire(statuses: Iterable[JobStatus]) -> dict:
+    """Encode the registry listing (``GET /v2/jobs``)."""
+    return _envelope(
+        "job-list",
+        {"jobs": [job_status_to_wire(status) for status in statuses]},
+        version=SCHEMA_VERSION_V2,
+    )
+
+
+def job_list_from_wire(payload: object) -> list[JobStatus]:
+    payload = _open_envelope(
+        payload, "job-list", _JOB_LIST_KEYS, min_version=SCHEMA_VERSION_V2
+    )
+    raw = _field(payload, "job-list", "jobs", list)
+    return [job_status_from_wire(item) for item in raw]
+
+
+# ---------------------------------------------------------------------- #
 # Generic dispatch
 # ---------------------------------------------------------------------- #
 def to_wire(obj: object) -> dict:
@@ -889,6 +1180,14 @@ def to_wire(obj: object) -> dict:
         return graph_info_to_wire(obj)
     if isinstance(obj, GraphUpload):
         return upload_to_wire(obj)
+    if isinstance(obj, JobStatus):
+        return job_status_to_wire(obj)
+    if isinstance(obj, JobChunk):
+        return job_chunk_to_wire(obj)
+    if isinstance(obj, (list, tuple)) and obj and all(
+        isinstance(item, JobStatus) for item in obj
+    ):
+        return job_list_to_wire(obj)
     if isinstance(obj, (list, tuple)) and obj and all(
         isinstance(item, GraphInfo) for item in obj
     ):
@@ -916,16 +1215,20 @@ _DECODERS = {
     "graph-info": graph_info_from_wire,
     "graph-list": graph_list_from_wire,
     "graph-upload": upload_from_wire,
+    "job-status": job_status_from_wire,
+    "job-summary": job_summary_from_wire,
+    "job-result-chunk": job_chunk_from_wire,
+    "job-list": job_list_from_wire,
 }
 
 
 def from_wire(payload: object):
     """Decode any envelope by its ``kind`` tag (the inverse of :func:`to_wire`).
 
-    ``sweep-request`` / ``graph-ref-request`` / ``graph-ref-sweep``
-    payloads are intentionally not dispatched here — they decode to
-    *tuples*, not single objects; use their dedicated ``*_from_wire``
-    functions.
+    ``sweep-request`` / ``graph-ref-request`` / ``graph-ref-sweep`` /
+    ``job-request`` payloads are intentionally not dispatched here — they
+    decode to *tuples*, not single objects; use their dedicated
+    ``*_from_wire`` functions.
     """
     if not isinstance(payload, dict):
         raise FormatError(

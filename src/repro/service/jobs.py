@@ -1,0 +1,560 @@
+"""The asynchronous job pipeline: per-job state machines and paged results.
+
+Every enumeration the service executes — including the synchronous
+``/v1/enumerate`` path, which is now ``submit + await`` over this module —
+runs as a :class:`Job`:
+
+* a **persistent state machine** ``queued → running → done | failed |
+  cancelled`` (terminal states stick; ``cancel()`` returning ``True``
+  guarantees the job ends ``cancelled``, returning ``False`` guarantees the
+  already-reached terminal state is untouched, so a cancel racing
+  completion always settles deterministically);
+* a **bounded page buffer with backpressure** — the producer thread flushes
+  records into fixed-size pages and blocks once ``max_pending_pages`` pages
+  are waiting, so a slow streaming consumer pauses the kernel instead of
+  letting the server buffer an unbounded outcome.  Synchronous jobs use an
+  unbounded buffer (their consumer is ``wait()``, which needs every page);
+* a **live progress view** — the kernel mutates the job's
+  :class:`~repro.core.engine.controls.RunReport` in place and only ever
+  increments it, so :meth:`Job.progress` snapshots are monotonically
+  non-decreasing without any extra synchronisation in the hot loop;
+* **cooperative cancellation** — the job owns a
+  :class:`~repro.core.engine.controls.CancellationToken` checked by the
+  kernel on the run-controls cadence and by the buffer on every append, so
+  cancelling a backpressure-blocked producer takes effect immediately and
+  truncates at a deterministic record count (``acked + max_pending_pages``
+  pages, for page_size-1 buffers).
+
+:class:`JobRegistry` owns the id space and the retention policy: terminal
+jobs stay fetchable (status and un-streamed results) until the finished
+backlog exceeds ``max_finished``, then the oldest are evicted — which is
+why an unknown id maps to :class:`~repro.errors.JobNotFoundError` (HTTP
+404), not a protocol error.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Iterator
+from time import perf_counter
+from typing import Callable, NamedTuple
+
+from ..api.outcome import EnumerationOutcome
+from ..api.request import EnumerationRequest
+from ..core.engine.controls import (
+    CancellationToken,
+    ProgressSnapshot,
+    RunReport,
+    StopReason,
+)
+from ..core.result import CliqueRecord, SearchStatistics
+from ..errors import JobError, JobNotFoundError, ParameterError, ServiceError
+
+__all__ = [
+    "DEFAULT_MAX_PENDING_PAGES",
+    "DEFAULT_PAGE_SIZE",
+    "Job",
+    "JobCancelled",
+    "JobChunk",
+    "JobRegistry",
+    "JobState",
+]
+
+#: Records per result page (and therefore per NDJSON chunk).
+DEFAULT_PAGE_SIZE = 256
+
+#: Pages a producer may have pending before it blocks (streaming jobs).
+DEFAULT_MAX_PENDING_PAGES = 64
+
+#: Terminal jobs retained by a registry before the oldest are evicted.
+DEFAULT_MAX_FINISHED = 256
+
+
+class JobState:
+    """Job lifecycle states (string constants, mirroring ``StopReason``)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+class JobCancelled(Exception):
+    """Internal signal: the producer observed a cancelled token mid-append.
+
+    Never escapes the scheduler's job runner — it only unwinds the
+    enumeration loop so the job can settle into its ``cancelled`` state.
+    """
+
+
+class JobChunk(NamedTuple):
+    """One element of a job's result stream.
+
+    Non-final chunks carry a page of records; the single final chunk
+    carries either the outcome summary (records stripped) or the error
+    that failed the job — never both.
+    """
+
+    seq: int
+    records: tuple[CliqueRecord, ...]
+    final: bool
+    summary: EnumerationOutcome | None
+    error: BaseException | None
+
+
+class Job:
+    """One enumeration's state machine, result buffer and progress view.
+
+    Built by :meth:`JobRegistry.create`; driven by the scheduler's worker
+    thread through the underscore-prefixed producer hooks; consumed by
+    :meth:`wait` (synchronous await) or :meth:`stream_chunks` (paged
+    streaming with cursor resume).
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        request: EnumerationRequest,
+        *,
+        page_size: int | None = None,
+        max_pending_pages: int | None = None,
+        on_terminal: Callable[[str], None] | None = None,
+    ) -> None:
+        page_size = DEFAULT_PAGE_SIZE if page_size is None else page_size
+        if page_size < 1:
+            raise ParameterError(f"page_size must be positive, got {page_size}")
+        if max_pending_pages is not None and max_pending_pages < 1:
+            raise ParameterError(
+                f"max_pending_pages must be positive, got {max_pending_pages}"
+            )
+        self.id = job_id
+        self.request = request
+        self.statistics = SearchStatistics()
+        self.report = RunReport()
+        self._token = CancellationToken()
+        self._cond = threading.Condition()
+        self._state = JobState.QUEUED
+        self._error: BaseException | None = None
+        self._page_size = page_size
+        self._max_pending = max_pending_pages
+        self._pages: "OrderedDict[int, list[CliqueRecord]]" = OrderedDict()
+        self._current: list[CliqueRecord] = []
+        self._next_seq = 0
+        self._released = 0  # all pages below this seq have been streamed out
+        self._records_total = 0
+        self._draining = False
+        self._started_at: float | None = None
+        self._elapsed = 0.0
+        self._algorithm = request.label
+        self._alpha = request.alpha
+        self._on_terminal = on_terminal
+        #: The executor future driving this job; set by the scheduler at
+        #: dispatch (synchronous callers await it for legacy semantics).
+        self.future = None
+
+    # ------------------------------------------------------------------ #
+    # Observer surface
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        with self._cond:
+            return self._state
+
+    @property
+    def error(self) -> BaseException | None:
+        with self._cond:
+            return self._error
+
+    @property
+    def records_total(self) -> int:
+        """Records produced so far (buffer-side truth, ahead of the report)."""
+        with self._cond:
+            return self._records_total
+
+    @property
+    def token(self) -> CancellationToken:
+        """The cancellation token the kernel polls for this job."""
+        return self._token
+
+    def progress(self) -> ProgressSnapshot:
+        """A monotonic snapshot of the live run counters."""
+        with self._cond:
+            if self._state in JobState.TERMINAL:
+                elapsed = self._elapsed
+            elif self._started_at is not None:
+                elapsed = perf_counter() - self._started_at
+            else:
+                elapsed = 0.0
+            return ProgressSnapshot(
+                cliques_emitted=self.report.cliques_emitted,
+                frames_expanded=self.report.frames_expanded,
+                elapsed_seconds=elapsed,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Consumer surface
+    # ------------------------------------------------------------------ #
+    def cancel(self) -> bool:
+        """Request cancellation; ``True`` iff the job will end ``cancelled``.
+
+        A ``True`` return is a guarantee: the job's terminal state will be
+        ``cancelled`` (with ``stop_reason`` provenance), even if the
+        enumeration finishes its last record while the token propagates.
+        ``False`` means a terminal state was already reached and stands.
+        """
+        notify = None
+        with self._cond:
+            if self._state in JobState.TERMINAL:
+                return False
+            self._token.cancel()
+            if self._state == JobState.QUEUED:
+                # Never ran: settle immediately as an empty cancelled
+                # outcome (the worker observes ``_begin() == False``).
+                self.report.stop_reason = StopReason.CANCELLED
+                self._state = JobState.CANCELLED
+                notify = self._on_terminal
+            self._cond.notify_all()
+        if notify is not None:
+            notify(JobState.CANCELLED)
+        return True
+
+    def wait(self, timeout: float | None = None) -> EnumerationOutcome:
+        """Block until terminal; return the assembled outcome or raise.
+
+        Raises the job's error for ``failed`` jobs, and
+        :class:`~repro.errors.JobError` if the timeout expires or the
+        result pages were already streamed out and released.
+        """
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: self._state in JobState.TERMINAL, timeout
+            ):
+                raise JobError(
+                    f"job {self.id} still {self._state} after {timeout}s"
+                )
+            if self._state == JobState.FAILED:
+                assert self._error is not None
+                raise self._error
+            return self._assemble_locked()
+
+    def stream_chunks(self, cursor: int = 0) -> Iterator[JobChunk]:
+        """Stream result pages from ``cursor``, ending with a final chunk.
+
+        Pages are **released** one step behind delivery: when the consumer
+        asks for chunk ``seq + 1``, chunk ``seq`` is known to have been
+        fully handed over, its page is dropped and a backpressure-blocked
+        producer is woken.  A consumer that dies mid-chunk can therefore
+        resume at its last unacknowledged cursor.  Requesting a cursor
+        below the released floor raises :class:`~repro.errors.JobError`
+        eagerly (before any chunk is produced).
+        """
+        with self._cond:
+            self._check_cursor_locked(cursor)
+        return self._stream_chunks(cursor)
+
+    def _stream_chunks(self, cursor: int) -> Iterator[JobChunk]:
+        seq = cursor
+        while True:
+            with self._cond:
+                while True:
+                    page = self._pages.get(seq)
+                    if page is not None:
+                        break
+                    self._check_cursor_locked(seq)
+                    if self._state in JobState.TERMINAL and seq >= self._next_seq:
+                        break
+                    self._cond.wait()
+                if page is None:
+                    if self._state == JobState.FAILED:
+                        summary, error = None, self._error
+                    else:
+                        summary, error = self._summary_locked(), None
+            if page is None:
+                yield JobChunk(
+                    seq=seq, records=(), final=True, summary=summary, error=error
+                )
+                return
+            yield JobChunk(
+                seq=seq,
+                records=tuple(page),
+                final=False,
+                summary=None,
+                error=None,
+            )
+            # Resumed: the previous chunk was fully delivered — ack it.
+            self._release(seq)
+            seq += 1
+
+    # ------------------------------------------------------------------ #
+    # Producer surface (scheduler worker thread)
+    # ------------------------------------------------------------------ #
+    def _begin(self) -> bool:
+        """queued → running; ``False`` when the job was settled while queued."""
+        with self._cond:
+            if self._state != JobState.QUEUED:
+                return False
+            self._state = JobState.RUNNING
+            self._started_at = perf_counter()
+            self._cond.notify_all()
+        return True
+
+    def _append(self, record: CliqueRecord) -> None:
+        """Buffer one record, flushing pages and honouring backpressure.
+
+        Raises :class:`JobCancelled` the moment the token is cancelled —
+        including while blocked on a full buffer — and
+        :class:`~repro.errors.ServiceError` when the server drains under a
+        blocked producer (the job then settles as ``failed``).
+        """
+        with self._cond:
+            if self._token.cancelled:
+                raise JobCancelled
+            self._current.append(record)
+            self._records_total += 1
+            if len(self._current) >= self._page_size:
+                self._flush_locked()
+                while (
+                    self._max_pending is not None
+                    and len(self._pages) >= self._max_pending
+                ):
+                    if self._token.cancelled:
+                        raise JobCancelled
+                    if self._draining:
+                        raise ServiceError("server shutdown")
+                    self._cond.wait()
+
+    def _finish(self) -> None:
+        """running → done (or cancelled, when the token was accepted)."""
+        with self._cond:
+            self._flush_locked()
+            if self._started_at is not None:
+                self._elapsed = perf_counter() - self._started_at
+            # Reconcile the counter lag of an abandoned generator: kernels
+            # increment ``cliques_emitted`` when resumed *after* a yield,
+            # so abandoning at a yield leaves the report one short.
+            self.report.cliques_emitted = self._records_total
+            if self._token.cancelled:
+                self.report.stop_reason = StopReason.CANCELLED
+                state = JobState.CANCELLED
+            else:
+                state = JobState.DONE
+            self._state = state
+            self._cond.notify_all()
+            notify = self._on_terminal
+        if notify is not None:
+            notify(state)
+
+    def _adopt(self, outcome: EnumerationOutcome) -> None:
+        """Finish a buffered (non-streamable) run from its whole outcome.
+
+        Used for ``top_k`` (ranked output ≠ stream order) and parallel
+        requests: the materialised records are paged for streaming
+        consumers and the outcome's own counters/labels become the job's.
+        """
+        with self._cond:
+            for record in outcome.records:
+                self._current.append(record)
+                self._records_total += 1
+                if len(self._current) >= self._page_size:
+                    self._flush_locked()
+            self._flush_locked()
+            self.statistics = outcome.statistics
+            self.report = outcome.report
+            self._algorithm = outcome.algorithm
+            self._alpha = outcome.alpha
+            self._elapsed = outcome.elapsed_seconds
+            if self._token.cancelled:
+                self.report.stop_reason = StopReason.CANCELLED
+                state = JobState.CANCELLED
+            else:
+                state = JobState.DONE
+            self._state = state
+            self._cond.notify_all()
+            notify = self._on_terminal
+        if notify is not None:
+            notify(state)
+
+    def _fail(self, error: BaseException) -> bool:
+        """Transition to failed unless already terminal; ``True`` on change."""
+        with self._cond:
+            if self._state in JobState.TERMINAL:
+                return False
+            self._flush_locked()
+            if self._started_at is not None:
+                self._elapsed = perf_counter() - self._started_at
+            self._error = error
+            self._state = JobState.FAILED
+            self._cond.notify_all()
+            notify = self._on_terminal
+        if notify is not None:
+            notify(JobState.FAILED)
+        return True
+
+    def _shutdown(self) -> None:
+        """Drain-mode nudge: fail queued jobs, unblock stalled producers.
+
+        Running jobs whose producer is not blocked are left alone to
+        finish; a producer blocked on a full buffer (its consumer is gone)
+        wakes up and fails with ``ServiceError("server shutdown")``.
+        """
+        notify = None
+        with self._cond:
+            if self._state == JobState.QUEUED:
+                self._error = ServiceError("server shutdown")
+                self._state = JobState.FAILED
+                notify = self._on_terminal
+            elif self._state == JobState.RUNNING:
+                self._draining = True
+            self._cond.notify_all()
+        if notify is not None:
+            notify(JobState.FAILED)
+
+    # ------------------------------------------------------------------ #
+    # Internals (all called with the condition held)
+    # ------------------------------------------------------------------ #
+    def _flush_locked(self) -> None:
+        if self._current:
+            self._pages[self._next_seq] = self._current
+            self._next_seq += 1
+            self._current = []
+            self._cond.notify_all()
+
+    def _release(self, seq: int) -> None:
+        with self._cond:
+            if self._pages.pop(seq, None) is not None:
+                self._released = max(self._released, seq + 1)
+                self._cond.notify_all()
+
+    def _check_cursor_locked(self, cursor: int) -> None:
+        if cursor < 0:
+            raise JobError(f"cursor must be non-negative, got {cursor}")
+        if cursor < self._released:
+            raise JobError(
+                f"cursor {cursor} precedes the released floor "
+                f"{self._released} of job {self.id}; streamed pages are "
+                f"discarded once acknowledged"
+            )
+
+    def _summary_locked(self) -> EnumerationOutcome:
+        return EnumerationOutcome(
+            algorithm=self._algorithm,
+            alpha=self._alpha,
+            records=[],
+            statistics=self.statistics,
+            report=self.report,
+            elapsed_seconds=self._elapsed,
+            request=self.request,
+        )
+
+    def _assemble_locked(self) -> EnumerationOutcome:
+        if self._released:
+            raise JobError(
+                f"job {self.id} streamed and released its first "
+                f"{self._released} page(s); reassemble from the stream "
+                f"instead of wait()"
+            )
+        records: list[CliqueRecord] = []
+        for page in self._pages.values():
+            records.extend(page)
+        outcome = self._summary_locked()
+        outcome.records = records
+        return outcome
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Job(id={self.id!r}, state={self.state!r}, "
+            f"records={self.records_total})"
+        )
+
+
+class JobRegistry:
+    """Id space, lookup and retention policy for :class:`Job` instances.
+
+    Thread-safe.  Terminal-state counters are cumulative (eviction never
+    decrements them), so ``counts()`` doubles as the completion-mix view
+    ``/v1/stats`` exposes.
+    """
+
+    def __init__(self, *, max_finished: int = DEFAULT_MAX_FINISHED) -> None:
+        if max_finished < 1:
+            raise ParameterError(
+                f"max_finished must be positive, got {max_finished}"
+            )
+        self._lock = threading.Lock()
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._counter = 0
+        self._max_finished = max_finished
+        self._terminal = {
+            JobState.DONE: 0,
+            JobState.FAILED: 0,
+            JobState.CANCELLED: 0,
+        }
+
+    def create(
+        self,
+        request: EnumerationRequest,
+        *,
+        page_size: int | None = None,
+        max_pending_pages: int | None = None,
+    ) -> Job:
+        with self._lock:
+            self._counter += 1
+            job_id = f"job-{self._counter:06d}"
+            job = Job(
+                job_id,
+                request,
+                page_size=page_size,
+                max_pending_pages=max_pending_pages,
+                on_terminal=self._note_terminal,
+            )
+            self._jobs[job_id] = job
+        return job
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no such job: {job_id!r}")
+        return job
+
+    def list(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def drain(self) -> None:
+        """Shutdown sweep: fail queued jobs, unblock stalled producers."""
+        for job in self.list():
+            job._shutdown()
+
+    def counts(self) -> dict[str, int]:
+        """Per-state job counts (live states exact, terminal cumulative)."""
+        jobs = self.list()
+        queued = sum(1 for job in jobs if job.state == JobState.QUEUED)
+        running = sum(1 for job in jobs if job.state == JobState.RUNNING)
+        with self._lock:
+            return {
+                JobState.QUEUED: queued,
+                JobState.RUNNING: running,
+                **self._terminal,
+            }
+
+    def _note_terminal(self, state: str) -> None:
+        with self._lock:
+            self._terminal[state] += 1
+            finished = [
+                job_id
+                for job_id, job in self._jobs.items()
+                if job._state in JobState.TERMINAL
+            ]
+            excess = len(finished) - self._max_finished
+            for job_id in finished[: max(excess, 0)]:
+                del self._jobs[job_id]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)

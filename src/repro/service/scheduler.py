@@ -23,8 +23,16 @@ for occasional in-process sharing, and exactly the wrong one for a service
 where a popular (graph, α) arriving N times at once would compile N times.
 The scheduler closes that hole without touching the cache's locking: every
 job first funnels its compile target through :meth:`_ensure_compiled`,
-so by the time :meth:`MiningSession.enumerate` asks the cache, the
-artifact is already resident.
+so by the time the enumeration asks the cache, the artifact is already
+resident.
+
+Execution is job-shaped all the way down (see :mod:`repro.service.jobs`):
+:meth:`submit_job` registers a :class:`~repro.service.jobs.Job` — state
+machine, paged result buffer, cancellation token — and the synchronous
+:meth:`submit`/:meth:`run`/:meth:`batch`/:meth:`sweep` surface is
+``submit + await`` over that same pipeline with an unbounded buffer, so
+sync and async callers exercise one execution path (and one single-flight
+compile funnel).
 """
 
 from __future__ import annotations
@@ -40,8 +48,10 @@ from ..api.outcome import EnumerationOutcome
 from ..api.request import EnumerationRequest
 from ..api.session import MiningSession, plan_base_compile
 from ..api.store import GraphStore
-from ..errors import ParameterError
+from ..core.result import CliqueRecord
+from ..errors import JobError, ParameterError
 from ..uncertain.graph import UncertainGraph
+from .jobs import DEFAULT_MAX_PENDING_PAGES, Job, JobCancelled, JobRegistry, JobState
 
 __all__ = ["EnumerationScheduler", "SchedulerStats"]
 
@@ -57,15 +67,20 @@ class SchedulerStats(NamedTuple):
 
     ``queued`` is the queue depth — submitted jobs no worker has picked up
     yet; ``inflight`` are currently executing; ``completed``/``failed``
-    partition finished jobs.  ``single_flight_waits`` counts jobs that
-    piggybacked on another thread's in-progress compilation instead of
-    duplicating it.  ``sessions`` is the number of graphs resident in the
-    backing store.
+    partition finished runner executions.  ``done``/``cancelled`` are the
+    registry's cumulative terminal *job* counts (with ``failed`` they give
+    the completion mix; ``completed`` counts cancelled jobs too, since
+    their runner finished normally).  ``single_flight_waits`` counts jobs
+    that piggybacked on another thread's in-progress compilation instead
+    of duplicating it.  ``sessions`` is the number of graphs resident in
+    the backing store.
     """
 
     submitted: int
     completed: int
     failed: int
+    done: int
+    cancelled: int
     inflight: int
     queued: int
     single_flight_waits: int
@@ -127,6 +142,7 @@ class EnumerationScheduler:
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-enumerate"
         )
+        self._registry = JobRegistry()
         self._lock = threading.Lock()
         self._inflight_compiles: dict[tuple, threading.Event] = {}
         self._submitted = 0
@@ -182,14 +198,45 @@ class EnumerationScheduler:
         graph: UncertainGraph | None = None,
         ref: str | None = None,
     ) -> "Future[EnumerationOutcome]":
-        """Queue one request; returns a future resolving to its outcome."""
+        """Queue one request; returns a future resolving to its outcome.
+
+        Since the job refactor this is ``submit_job`` with an *unbounded*
+        result buffer (the synchronous consumer is ``Future.result()``,
+        which needs every page retained) — the sync surface is a thin
+        await over the exact pipeline the async endpoints use.
+        """
+        return self.submit_job(
+            request, graph=graph, ref=ref, max_pending_pages=None
+        ).future
+
+    def submit_job(
+        self,
+        request: EnumerationRequest,
+        *,
+        graph: UncertainGraph | None = None,
+        ref: str | None = None,
+        page_size: int | None = None,
+        max_pending_pages: int | None = DEFAULT_MAX_PENDING_PAGES,
+    ) -> Job:
+        """Register and queue one request as a :class:`Job`.
+
+        ``max_pending_pages`` bounds the result buffer (``None`` retains
+        every page, which synchronous awaiting requires); streaming
+        consumers keep the default bound so a slow reader pauses the
+        producer instead of growing the server heap.  The returned job
+        carries its executor future as ``job.future``.
+        """
         request = self._apply_default_kernel(request)
         session = self.session_for(graph, ref)
         with self._lock:
             if self._closed:
                 raise RuntimeError("scheduler is shut down")
             self._submitted += 1
-        return self._executor.submit(self._run_job, session, request)
+        job = self._registry.create(
+            request, page_size=page_size, max_pending_pages=max_pending_pages
+        )
+        job.future = self._executor.submit(self._run_job, session, job)
+        return job
 
     def _apply_default_kernel(self, request: EnumerationRequest) -> EnumerationRequest:
         """Resolve ``kernel="auto"`` to this deployment's default kernel.
@@ -257,24 +304,81 @@ class EnumerationScheduler:
     # Execution
     # ------------------------------------------------------------------ #
     def _run_job(
-        self, session: MiningSession, request: EnumerationRequest
-    ) -> EnumerationOutcome:
+        self, session: MiningSession, job: Job
+    ) -> "EnumerationOutcome | None":
         with self._lock:
             self._started += 1
         try:
-            self._ensure_compiled(
-                session,
-                alpha=request.compile_alpha(),
-                size_threshold=request.compile_size_threshold(),
-            )
-            outcome = session.enumerate(request)
-        except BaseException:
+            if job._begin():
+                request = job.request
+                self._ensure_compiled(
+                    session,
+                    alpha=request.compile_alpha(),
+                    size_threshold=request.compile_size_threshold(),
+                )
+                self._execute(session, job)
+        except BaseException as exc:
+            job._fail(exc)
             with self._lock:
                 self._failed += 1
             raise
+        if job.state == JobState.FAILED:
+            # Settled as failed without this runner raising (e.g. drained
+            # while queued): surface the stored error on the future too.
+            with self._lock:
+                self._failed += 1
+            raise job.error
         with self._lock:
             self._completed += 1
-        return outcome
+        try:
+            return job.wait(timeout=0)
+        except JobError:
+            # Pages were streamed out and released; the future's value is
+            # unused for such jobs (their consumer is the stream).
+            return None
+
+    def _execute(self, session: MiningSession, job: Job) -> None:
+        """Drive one running job to a terminal state.
+
+        Streamable requests (serial, unranked) feed the kernel's lazy
+        stream straight into the job's page buffer, with the job's token
+        checked both in the kernel (run-controls cadence) and on every
+        append — so cancellation also reaches a producer blocked on a full
+        buffer.  Ranked/parallel requests materialise through
+        :meth:`MiningSession.enumerate` and adopt the outcome whole.
+        """
+        request = job.request
+        if self._streamable(request):
+            stream = session.stream(
+                request,
+                statistics=job.statistics,
+                report=job.report,
+                cancel=job.token,
+            )
+            try:
+                for members, probability in stream:
+                    job._append(
+                        CliqueRecord(vertices=members, probability=probability)
+                    )
+            except JobCancelled:
+                pass
+            finally:
+                stream.close()
+            job._finish()
+        elif job.token.cancelled:
+            job._finish()  # cancelled before the buffered run started
+        else:
+            job._adopt(session.enumerate(request))
+
+    @staticmethod
+    def _streamable(request: EnumerationRequest) -> bool:
+        """Serial single-process requests stream; ranked/parallel buffer.
+
+        ``top_k`` output is ranked (stream order would not match the
+        outcome), and parallel requests merge shards — both run through
+        the materialising path and page their records at completion.
+        """
+        return not request.parallel and request.algorithm != "top_k"
 
     def _prepare(
         self, session: MiningSession, requests: Sequence[EnumerationRequest]
@@ -334,14 +438,22 @@ class EnumerationScheduler:
     # ------------------------------------------------------------------ #
     # Introspection and lifecycle
     # ------------------------------------------------------------------ #
+    @property
+    def jobs(self) -> JobRegistry:
+        """The job registry (lookup, listing, per-state counts)."""
+        return self._registry
+
     def stats(self) -> SchedulerStats:
         """Return the current :class:`SchedulerStats` snapshot."""
+        job_counts = self._registry.counts()
         with self._lock:
             finished = self._completed + self._failed
             return SchedulerStats(
                 submitted=self._submitted,
                 completed=self._completed,
                 failed=self._failed,
+                done=job_counts[JobState.DONE],
+                cancelled=job_counts[JobState.CANCELLED],
                 inflight=self._started - finished,
                 queued=self._submitted - self._started,
                 single_flight_waits=self._single_flight_waits,
@@ -353,11 +465,20 @@ class EnumerationScheduler:
         """Hit/miss/compilation/derivation counters of the shared cache."""
         return self._store.cache_info()
 
-    def shutdown(self, *, wait: bool = True) -> None:
-        """Stop accepting work and (optionally) wait for running jobs."""
+    def shutdown(self, *, wait: bool = True, drain: bool = False) -> None:
+        """Stop accepting work and (optionally) wait for running jobs.
+
+        ``drain=True`` is the server-shutdown mode: queued jobs settle as
+        ``failed("server shutdown")`` without running, producers blocked
+        on a full result buffer (their consumer is gone) are woken to fail
+        the same way, and unstarted executor callables are cancelled.
+        Running jobs that are not blocked finish normally.
+        """
         with self._lock:
             self._closed = True
-        self._executor.shutdown(wait=wait)
+        if drain:
+            self._registry.drain()
+        self._executor.shutdown(wait=wait, cancel_futures=drain)
 
     def __enter__(self) -> "EnumerationScheduler":
         return self

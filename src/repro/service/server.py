@@ -19,13 +19,21 @@ endpoint                            semantics
 ``DELETE /v2/graphs/{ref}``         unregister a graph (and its cached artifacts)
 ``POST /v2/graphs/{ref}/enumerate`` run against the referenced graph
 ``POST /v2/graphs/{ref}/sweep``     sweep the referenced graph
+``POST /v2/jobs``                   submit an enumeration asynchronously; returns
+                                    its ``job-status`` immediately
+``GET /v2/jobs``                    list registered jobs (``job-list`` envelope)
+``GET /v2/jobs/{id}``               one job's live ``job-status``
+``GET /v2/jobs/{id}/results``       stream result pages as NDJSON chunks
+                                    (``?cursor=N`` resumes mid-stream)
+``DELETE /v2/jobs/{id}``            cancel a job; returns its post-cancel status
 ================================--  ================================================
 
 ``{ref}`` is a registered name or a fingerprint (unambiguous prefixes of
 8+ characters accepted).  Library errors map to ``400`` with an ``error``
 envelope (the client re-raises the original exception type); unknown
-routes *and* unknown graph references to ``404``; anything unexpected to
-``500``.  See ``docs/service.md`` for the wire schema and curl-able
+routes, unknown graph references *and* unknown job ids to ``404``; a
+draining server answers every POST with ``503``; anything unexpected maps
+to ``500``.  See ``docs/service.md`` for the wire schema and curl-able
 examples.
 
 The server is concurrency-correct by construction: each connection gets a
@@ -38,11 +46,20 @@ from __future__ import annotations
 
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from ..api.store import GraphStore
-from ..errors import FormatError, GraphNotFoundError, ReproError, StoreError
+from ..errors import (
+    FormatError,
+    GraphNotFoundError,
+    JobNotFoundError,
+    ReproError,
+    ServiceError,
+    StoreError,
+)
 from ..uncertain.graph import UncertainGraph
 from . import codec
+from .jobs import Job, JobState
 from .scheduler import EnumerationScheduler
 
 __all__ = ["MiningServer", "DEFAULT_PORT"]
@@ -92,7 +109,11 @@ class _Handler(BaseHTTPRequestHandler):
                 service._count_failure()
             if isinstance(exc, _RouteError):
                 self._respond_error(404, ReproError(str(exc)))
-            elif isinstance(exc, GraphNotFoundError):
+            elif isinstance(exc, _ServerDraining):
+                self._respond_error(
+                    503, ServiceError("server is draining; not accepting new work")
+                )
+            elif isinstance(exc, (GraphNotFoundError, JobNotFoundError)):
                 self._respond_error(404, exc)
             elif isinstance(exc, ReproError):
                 self._respond_error(400, exc)
@@ -109,25 +130,50 @@ class _Handler(BaseHTTPRequestHandler):
         self._handle(self._route_post, counted=True)
 
     def _route_get(self, service: "MiningServer") -> None:
-        if self.path == "/v1/health":
+        split = urlsplit(self.path)
+        path = split.path
+        if path == "/v1/health":
             self._respond(200, service.health_payload())
-        elif self.path == "/v1/stats":
+        elif path == "/v1/stats":
             self._respond(200, service.stats_payload())
-        elif self.path == "/v2/graphs":
+        elif path == "/v2/graphs":
             self._respond(200, codec.graph_list_to_wire(service.store.list()))
+        elif path == "/v2/jobs":
+            statuses = [_job_status(job) for job in service.scheduler.jobs.list()]
+            self._respond(200, codec.job_list_to_wire(statuses))
         else:
-            ref = _graph_ref(self.path)
-            if ref is None:
+            ref = _graph_ref(path)
+            if ref is not None:
+                self._respond(200, codec.graph_info_to_wire(service.store.get(ref)))
+                return
+            target = _job_path(path)
+            if target is None:
                 raise _RouteError(f"unknown endpoint {self.path}")
-            self._respond(200, codec.graph_info_to_wire(service.store.get(ref)))
+            job_id, results = target
+            job = service.scheduler.jobs.get(job_id)
+            if results:
+                cursor = _cursor_param(split.query)
+                # Eager cursor validation happens here, *before* any
+                # response bytes — a bad cursor is still a clean 400.
+                self._stream_ndjson(job, job.stream_chunks(cursor))
+            else:
+                self._respond(200, codec.job_status_to_wire(_job_status(job)))
 
     def _route_delete(self, service: "MiningServer") -> None:
+        target = _job_path(self.path)
+        if target is not None and not target[1]:
+            job = service.scheduler.jobs.get(target[0])
+            job.cancel()
+            self._respond(200, codec.job_status_to_wire(_job_status(job)))
+            return
         ref = _graph_ref(self.path)
         if ref is None:
             raise _RouteError(f"unknown endpoint {self.path}")
         self._respond(200, codec.graph_info_to_wire(service.store.remove(ref)))
 
     def _route_post(self, service: "MiningServer") -> None:
+        if service.draining:
+            raise _ServerDraining
         if self.path == "/v1/enumerate":
             payload = codec.decode(self._read_body())
             request = codec.request_from_wire(payload)
@@ -143,6 +189,11 @@ class _Handler(BaseHTTPRequestHandler):
             payload = codec.decode(self._read_body(limit=MAX_UPLOAD_BYTES))
             upload = codec.upload_from_wire(payload)
             self._respond(200, codec.graph_info_to_wire(service.create_graph(upload)))
+        elif self.path == "/v2/jobs":
+            payload = codec.decode(self._read_body())
+            ref, request, page_size = codec.job_request_from_wire(payload)
+            job = service.scheduler.submit_job(request, ref=ref, page_size=page_size)
+            self._respond(200, codec.job_status_to_wire(_job_status(job)))
         else:
             target = _graph_action(self.path)
             if target is None:
@@ -187,6 +238,42 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _stream_ndjson(self, job: Job, chunks) -> None:
+        """Write a job's result chunks as a chunked NDJSON response.
+
+        One wire envelope per HTTP chunk, flushed immediately, so the
+        client observes records as the producer emits them.  A consumer
+        that disconnects mid-write never acknowledged the chunk it was
+        reading — the generator is closed without releasing that page, so
+        a reconnect at the same cursor resumes exactly there.
+        """
+        self.close_connection = True
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            for chunk in chunks:
+                wire = codec.JobChunk(
+                    job=job.id,
+                    seq=chunk.seq,
+                    records=chunk.records,
+                    final=chunk.final,
+                    summary=chunk.summary,
+                    error=chunk.error,
+                )
+                self._write_http_chunk(codec.encode(codec.job_chunk_to_wire(wire)))
+            self._write_http_chunk(b"")
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        finally:
+            chunks.close()
+
+    def _write_http_chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):X}\r\n".encode("ascii") + data + b"\r\n")
+        self.wfile.flush()
+
     def _respond_error(self, status: int, exc: BaseException) -> None:
         # An error may leave an unread (or unreadable) request body on the
         # socket; under HTTP/1.1 keep-alive those bytes would be parsed as
@@ -204,6 +291,61 @@ class _Handler(BaseHTTPRequestHandler):
 
 class _RouteError(Exception):
     """Request for a path the service does not serve."""
+
+
+class _ServerDraining(Exception):
+    """Submission while the server is draining — mapped to HTTP 503."""
+
+
+def _job_path(path: str) -> "tuple[str, bool] | None":
+    """Parse ``/v2/jobs/{id}`` or ``/v2/jobs/{id}/results``.
+
+    Returns ``(job_id, wants_results)``, or ``None`` for non-job paths.
+    """
+    parts = path.strip("/").split("/")
+    if len(parts) < 3 or parts[0] != "v2" or parts[1] != "jobs" or not parts[2]:
+        return None
+    if len(parts) == 3:
+        return parts[2], False
+    if len(parts) == 4 and parts[3] == "results":
+        return parts[2], True
+    return None
+
+
+def _cursor_param(query: str) -> int:
+    """Parse the ``?cursor=N`` resume position (default 0)."""
+    params = parse_qs(query, keep_blank_values=True)
+    unknown = set(params) - {"cursor"}
+    if unknown:
+        raise FormatError(f"unknown query parameters {sorted(unknown)}")
+    values = params.get("cursor")
+    if not values:
+        return 0
+    try:
+        return int(values[-1])
+    except ValueError as exc:
+        raise FormatError(f"cursor must be an integer, got {values[-1]!r}") from exc
+
+
+def _job_status(job: Job) -> codec.JobStatus:
+    """Snapshot one job as its wire status.
+
+    ``state`` is read before ``error``: a job can only flip to ``failed``
+    with its error already stored (both happen under the job's lock), so
+    this ordering can never observe the half-written pair the wire
+    encoder rejects.
+    """
+    state = job.state
+    snapshot = job.progress()
+    return codec.JobStatus(
+        id=job.id,
+        state=state,
+        cliques_emitted=snapshot.cliques_emitted,
+        frames_expanded=snapshot.frames_expanded,
+        elapsed_seconds=snapshot.elapsed_seconds,
+        records=job.records_total,
+        error=job.error if state == JobState.FAILED else None,
+    )
 
 
 def _graph_ref(path: str) -> str | None:
@@ -293,6 +435,7 @@ class MiningServer:
         self._serve_thread: threading.Thread | None = None
         self._entered_serve = False
         self._closed = False
+        self._draining = False
         self._http_lock = threading.Lock()
         self._http_received = 0
         self._http_failed = 0
@@ -328,6 +471,11 @@ class MiningServer:
     def url(self) -> str:
         """Base URL clients should connect to."""
         return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        """Whether the server is refusing new submissions (HTTP 503)."""
+        return self._draining
 
     def create_graph(self, upload: "codec.GraphUpload"):
         """Materialise a ``graph-upload`` into the store (POST /v2/graphs)."""
@@ -388,6 +536,7 @@ class MiningServer:
             "scheduler": dict(scheduler._asdict()),
             "http": {"received": received, "failed": failed},
             "graphs": graphs,
+            "jobs": self._scheduler.jobs.counts(),
         }
 
     def _count_request(self) -> None:
@@ -421,11 +570,32 @@ class MiningServer:
             self._serve_thread.start()
         return self
 
+    def drain(self) -> None:
+        """Enter drain mode without stopping the HTTP loop.
+
+        New submissions (every POST) are refused with ``503``; queued jobs
+        settle as ``failed("server shutdown")``; producers blocked on a
+        full result buffer are woken to fail the same way.  Running jobs
+        keep executing and status/result GETs keep working, so attached
+        consumers can finish their streams.
+        """
+        self._draining = True
+        self._scheduler.shutdown(wait=False, drain=True)
+
     def close(self) -> None:
-        """Stop serving, release the socket and shut the scheduler down."""
+        """Drain, wait for in-flight jobs, then stop serving.
+
+        Drain-first ordering: submissions arriving during the wait get a
+        clean ``503`` instead of a connection error, and every in-flight
+        job reaches a persistent terminal state (``done``/``cancelled``,
+        or ``failed("server shutdown")`` for work the drain cut off)
+        before the socket goes away.
+        """
         if self._closed:
             return
         self._closed = True
+        self._draining = True
+        self._scheduler.shutdown(wait=True, drain=True)
         if self._entered_serve:
             # shutdown() blocks until the serve_forever loop exits; it is
             # only safe once the loop has actually been entered.
@@ -433,7 +603,6 @@ class MiningServer:
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)
         self._httpd.server_close()
-        self._scheduler.shutdown()
 
     def __enter__(self) -> "MiningServer":
         return self.start()

@@ -1,0 +1,146 @@
+"""Cooperative cancellation of streaming kernel runs.
+
+The :class:`CancellationToken` contract has three load-bearing pieces:
+
+* cancellation stops the run with ``StopReason.CANCELLED`` and the
+  emitted records are a depth-first **prefix** of the full enumeration —
+  exactly the truncation shape ``max_cliques`` produces;
+* a token that is never cancelled is invisible: counters, statistics and
+  emission order are bit-identical to a run without a token;
+* when cancellation and an expired time budget land in the same check
+  window, cancellation wins deterministically (the kernel checks the
+  token *before* the deadline), so a cancelled job can never race into
+  ``time-budget`` provenance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EnumerationRequest, MiningSession
+from repro.core.engine import (
+    CancellationToken,
+    ProgressSnapshot,
+    RunControls,
+    RunReport,
+    StopReason,
+)
+from repro.core.result import SearchStatistics
+
+KERNELS = ["python", "vector"]
+
+
+@pytest.fixture
+def graph(random_graph_factory):
+    return random_graph_factory(18, density=0.5, seed=5)
+
+
+@pytest.fixture
+def session(graph):
+    return MiningSession(graph)
+
+
+def request_for(kernel: str, **overrides) -> EnumerationRequest:
+    params = dict(algorithm="mule", alpha=0.3, kernel=kernel)
+    params.update(overrides)
+    return EnumerationRequest(**params)
+
+
+class TestTokenBasics:
+    def test_starts_uncancelled_and_is_idempotent(self):
+        token = CancellationToken()
+        assert not token.cancelled
+        token.cancel()
+        token.cancel()
+        assert token.cancelled
+
+    def test_progress_snapshot_defaults(self):
+        snap = ProgressSnapshot()
+        assert snap.cliques_emitted == 0
+        assert snap.frames_expanded == 0
+        assert snap.elapsed_seconds == 0.0
+
+
+class TestCancellationStopsTheRun:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_cancel_mid_stream_yields_a_prefix(self, session, kernel):
+        request = request_for(kernel, controls=RunControls(check_every_frames=1))
+        full = session.enumerate(request)
+        assert len(full.records) > 6  # enough slack for truncation to bite
+
+        token = CancellationToken()
+        report = RunReport()
+        emitted = []
+        for members, probability in session.stream(
+            request, report=report, cancel=token
+        ):
+            emitted.append((members, probability))
+            if len(emitted) == 3:
+                token.cancel()
+
+        assert report.stop_reason == StopReason.CANCELLED
+        assert 3 <= len(emitted) < len(full.records)
+        prefix = [(r.vertices, r.probability) for r in full.records[: len(emitted)]]
+        assert emitted == prefix
+        assert report.cliques_emitted == len(emitted)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_pre_cancelled_token_emits_nothing(self, session, kernel):
+        token = CancellationToken()
+        token.cancel()
+        report = RunReport()
+        request = request_for(kernel, controls=RunControls(check_every_frames=1))
+        assert list(session.stream(request, report=report, cancel=token)) == []
+        assert report.stop_reason == StopReason.CANCELLED
+        assert report.cliques_emitted == 0
+
+
+class TestUncancelledTokenIsInvisible:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_counters_and_emissions_unperturbed(self, session, kernel):
+        request = request_for(kernel, controls=RunControls(check_every_frames=4))
+        baseline = session.enumerate(request)
+
+        statistics = SearchStatistics()
+        report = RunReport()
+        token = CancellationToken()
+        emitted = list(
+            session.stream(
+                request, statistics=statistics, report=report, cancel=token
+            )
+        )
+
+        assert emitted == [
+            (r.vertices, r.probability) for r in baseline.records
+        ]
+        assert statistics == baseline.statistics
+        assert report.stop_reason == baseline.report.stop_reason
+        assert report.cliques_emitted == baseline.report.cliques_emitted
+        assert report.frames_expanded == baseline.report.frames_expanded
+        assert not token.cancelled
+
+
+class TestCancelBeatsDeadline:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_same_window_resolves_to_cancelled(self, session, kernel):
+        """An already-expired budget and a cancelled token hit the same
+        check window; provenance must deterministically be ``cancelled``."""
+        token = CancellationToken()
+        token.cancel()
+        report = RunReport()
+        request = request_for(
+            kernel,
+            controls=RunControls(time_budget_seconds=0.0, check_every_frames=1),
+        )
+        list(session.stream(request, report=report, cancel=token))
+        assert report.stop_reason == StopReason.CANCELLED
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_deadline_alone_still_reports_time_budget(self, session, kernel):
+        report = RunReport()
+        request = request_for(
+            kernel,
+            controls=RunControls(time_budget_seconds=0.0, check_every_frames=1),
+        )
+        list(session.stream(request, report=report, cancel=CancellationToken()))
+        assert report.stop_reason == StopReason.TIME_BUDGET

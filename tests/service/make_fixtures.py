@@ -47,6 +47,33 @@ def build_payloads() -> dict[str, dict]:
     mule_request = EnumerationRequest(algorithm="mule", alpha=0.5)
     top_k_request = EnumerationRequest(algorithm="top_k", alpha=0.5, k=2, min_size=2)
 
+    mule_outcome = frozen(session.enumerate(mule_request))
+    status_running = codec.JobStatus(
+        id="job-000001",
+        state="running",
+        cliques_emitted=12,
+        frames_expanded=40,
+        elapsed_seconds=0.03125,
+        records=12,
+    )
+    status_done = codec.JobStatus(
+        id="job-000002",
+        state="done",
+        cliques_emitted=2,
+        frames_expanded=9,
+        elapsed_seconds=0.015625,
+        records=2,
+    )
+    status_failed = codec.JobStatus(
+        id="job-000003",
+        state="failed",
+        cliques_emitted=0,
+        frames_expanded=0,
+        elapsed_seconds=0.0078125,
+        records=0,
+        error=ParameterError("algorithm 'top_k' requires k"),
+    )
+
     return {
         "request_mule_default": codec.to_wire(mule_request),
         "request_large_with_controls": codec.to_wire(
@@ -131,6 +158,30 @@ def build_payloads() -> dict[str, dict]:
                 default=True,
             )
         ),
+        # ---- schema v2: the async job vocabulary ---- #
+        "job_request_paged": codec.job_request_to_wire(
+            mule_request, graph="ppi", page_size=128
+        ),
+        "job_status_running": codec.job_status_to_wire(status_running),
+        "job_status_failed": codec.job_status_to_wire(status_failed),
+        "job_result_chunk_page": codec.job_chunk_to_wire(
+            codec.JobChunk(
+                job="job-000002",
+                seq=0,
+                records=tuple(mule_outcome.records),
+                final=False,
+            )
+        ),
+        "job_result_chunk_final": codec.job_chunk_to_wire(
+            codec.JobChunk(
+                job="job-000002",
+                seq=1,
+                records=(),
+                final=True,
+                summary=mule_outcome,
+            )
+        ),
+        "job_list_mixed": codec.job_list_to_wire([status_running, status_done]),
     }
 
 

@@ -40,6 +40,14 @@ def roundtrip(raw: bytes) -> bytes:
     if kind == "graph-ref-sweep":
         ref, request, alphas = codec.ref_sweep_from_wire(payload)
         return codec.encode(codec.ref_sweep_to_wire(request, alphas, graph=ref))
+    if kind == "job-request":
+        ref, request, page_size = codec.job_request_from_wire(payload)
+        return codec.encode(
+            codec.job_request_to_wire(request, graph=ref, page_size=page_size)
+        )
+    if kind == "job-result-chunk":
+        chunk = codec.job_chunk_from_wire(payload)
+        return codec.encode(codec.job_chunk_to_wire(chunk))
     obj = codec.from_wire(payload)
     if kind == "error":
         return codec.encode(codec.error_to_wire(obj))
@@ -49,7 +57,7 @@ def roundtrip(raw: bytes) -> bytes:
 def test_corpus_is_present():
     """The corpus must never silently vanish (glob returning [] passes
     parametrized tests vacuously)."""
-    assert len(FIXTURE_PATHS) >= 9
+    assert len(FIXTURE_PATHS) >= 20
 
 
 @pytest.mark.parametrize("path", FIXTURE_PATHS, ids=lambda p: p.stem)
@@ -83,7 +91,7 @@ def _restamp(payload, version):
 
 @pytest.mark.parametrize(
     "path",
-    [p for p in FIXTURE_PATHS if not p.stem.startswith("graph")],
+    [p for p in FIXTURE_PATHS if not p.stem.startswith(("graph", "job"))],
     ids=lambda p: p.stem,
 )
 def test_v1_corpus_decodes_identically_under_v2(path):
@@ -228,3 +236,55 @@ class TestDecodeEquality:
         assert info.name == "ppi"
         assert info.num_vertices == 3751
         assert info.pinned and info.default
+
+    def test_job_request_paged(self):
+        ref, request, page_size = codec.job_request_from_wire(
+            self.load("job_request_paged")
+        )
+        assert ref == "ppi"
+        assert request == EnumerationRequest(algorithm="mule", alpha=0.5)
+        assert page_size == 128
+
+    def test_job_status_running(self):
+        status = codec.from_wire(self.load("job_status_running"))
+        assert status == codec.JobStatus(
+            id="job-000001",
+            state="running",
+            cliques_emitted=12,
+            frames_expanded=40,
+            elapsed_seconds=0.03125,
+            records=12,
+        )
+
+    def test_job_status_failed(self):
+        status = codec.from_wire(self.load("job_status_failed"))
+        assert status.state == "failed"
+        assert isinstance(status.error, ParameterError)
+        assert "requires k" in str(status.error)
+
+    def test_job_result_chunk_page(self):
+        chunk = codec.from_wire(self.load("job_result_chunk_page"))
+        assert chunk.job == "job-000002"
+        assert chunk.seq == 0
+        assert not chunk.final
+        assert chunk.summary is None and chunk.error is None
+        assert {r.vertices for r in chunk.records} == {
+            frozenset({1, 2, 3}),
+            frozenset({4}),
+        }
+
+    def test_job_result_chunk_final(self):
+        chunk = codec.from_wire(self.load("job_result_chunk_final"))
+        assert chunk.final
+        assert chunk.error is None
+        assert chunk.records == ()
+        summary = chunk.summary
+        assert summary.algorithm == "mule"
+        assert summary.records == []
+        assert summary.report.stop_reason == StopReason.COMPLETED
+        assert summary.request == EnumerationRequest(algorithm="mule", alpha=0.5)
+
+    def test_job_list_mixed(self):
+        statuses = codec.from_wire(self.load("job_list_mixed"))
+        assert [s.id for s in statuses] == ["job-000001", "job-000002"]
+        assert [s.state for s in statuses] == ["running", "done"]

@@ -166,11 +166,13 @@ class TestBookkeeping:
         class Boom(RuntimeError):
             pass
 
-        def explode(self, request):
-            raise Boom("kernel exploded")
+        def explode(self, *args, **kwargs):
+            raise Boom("compile exploded")
 
         with EnumerationScheduler(graph) as scheduler:
-            monkeypatch.setattr(MiningSession, "enumerate", explode)
+            # Patch the compile step: it is the shared front of both the
+            # streaming and the materialising job paths.
+            monkeypatch.setattr(MiningSession, "compiled", explode)
             future = scheduler.submit(REQUEST)
             with pytest.raises(Boom):
                 future.result()
