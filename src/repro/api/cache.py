@@ -129,11 +129,11 @@ class CompiledGraphCache:
                 entry = self._entries.get(key)
                 if entry is not None:
                     self._hits += 1
-                    self._count(fingerprint, 0)
+                    self._count_locked(fingerprint, 0)
                     self._entries.move_to_end(key)
                     return entry
                 if size_threshold is None and alpha is not None:
-                    base_key = self._best_base_key(fingerprint, alpha)
+                    base_key = self._best_base_key_locked(fingerprint, alpha)
                     if base_key is not None:
                         base = self._entries[base_key]
                         # Keep derivation bases hot: a wide sweep must
@@ -148,9 +148,9 @@ class CompiledGraphCache:
             with self._lock:
                 self._misses += 1
                 self._derivations += 1
-                self._count(fingerprint, 1)
-                self._count(fingerprint, 3)
-                self._store(key, derived)
+                self._count_locked(fingerprint, 1)
+                self._count_locked(fingerprint, 3)
+                self._store_locked(key, derived)
             return derived
 
         compiled = compile_graph(
@@ -162,9 +162,9 @@ class CompiledGraphCache:
         with self._lock:
             self._misses += 1
             self._compilations += 1
-            self._count(fingerprint, 1)
-            self._count(fingerprint, 2)
-            self._store(key, compiled)
+            self._count_locked(fingerprint, 1)
+            self._count_locked(fingerprint, 2)
+            self._store_locked(key, compiled)
         return compiled
 
     def adopt(
@@ -184,9 +184,9 @@ class CompiledGraphCache:
         into the session without a recompile.
         """
         with self._lock:
-            self._store((fingerprint, alpha, size_threshold), compiled)
+            self._store_locked((fingerprint, alpha, size_threshold), compiled)
 
-    def _best_base_key(self, fingerprint: str, alpha: float) -> _Key | None:
+    def _best_base_key_locked(self, fingerprint: str, alpha: float) -> _Key | None:
         """Find the cheapest legal derivation base for pruning level ``alpha``.
 
         Legal: a plain (non-SNF) entry of the same graph pruned at α′ ≤ α
@@ -205,7 +205,7 @@ class CompiledGraphCache:
                 best_level = level
         return best_key
 
-    def _store(self, key: _Key, compiled: CompiledGraph) -> None:
+    def _store_locked(self, key: _Key, compiled: CompiledGraph) -> None:
         self._entries[key] = compiled
         self._entries.move_to_end(key)
         if self.maxsize is not None:
@@ -220,7 +220,7 @@ class CompiledGraphCache:
                 if not any(k[0] == fingerprint for k in self._entries):
                     self._by_fingerprint.pop(fingerprint, None)
 
-    def _count(self, fingerprint: str, index: int) -> None:
+    def _count_locked(self, fingerprint: str, index: int) -> None:
         """Bump one per-fingerprint counter (caller holds the lock).
 
         Indices follow :class:`CacheInfo` order: 0=hits, 1=misses,
@@ -290,7 +290,8 @@ class CompiledGraphCache:
             self._by_fingerprint.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self) -> str:
         info = self.info()

@@ -173,7 +173,7 @@ class GraphStore:
                     )
             entry = self._entries.get(fingerprint)
             if entry is None:
-                self._make_room()
+                self._make_room_locked()
                 entry = _Entry(
                     session=MiningSession(graph, cache=self._cache),
                     name=None,
@@ -188,7 +188,7 @@ class GraphStore:
             entry.pinned = entry.pinned or pin
             if self._default is None:
                 self._default = fingerprint
-            return self._info(fingerprint, entry)
+            return self._info_locked(fingerprint, entry)
 
     def add_dataset(
         self,
@@ -288,15 +288,16 @@ class GraphStore:
         """Return the :class:`GraphInfo` of the referenced graph."""
         with self._lock:
             fingerprint = self.resolve(ref)
-            return self._info(fingerprint, self._entries[fingerprint])
+            return self._info_locked(fingerprint, self._entries[fingerprint])
 
     def list(self) -> list[GraphInfo]:
         """Return every resident graph, most recently used last."""
         with self._lock:
-            return [self._info(fp, entry) for fp, entry in self._entries.items()]
+            return [self._info_locked(fp, entry) for fp, entry in self._entries.items()]
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, ref: object) -> bool:
         if not isinstance(ref, str):
@@ -330,8 +331,8 @@ class GraphStore:
                     "cannot remove the default graph; set_default() to "
                     "another graph first"
                 )
-            info = self._info(fingerprint, self._entries[fingerprint])
-            self._drop(fingerprint)
+            info = self._info_locked(fingerprint, self._entries[fingerprint])
+            self._drop_locked(fingerprint)
             if self._default == fingerprint:
                 self._default = None
             return info
@@ -345,9 +346,10 @@ class GraphStore:
     @property
     def default_fingerprint(self) -> str | None:
         """Fingerprint of the default graph (``None`` on an empty store)."""
-        return self._default
+        with self._lock:
+            return self._default
 
-    def _drop(self, fingerprint: str) -> None:
+    def _drop_locked(self, fingerprint: str) -> None:
         """Remove one entry and its cache footprint (caller holds the lock)."""
         del self._entries[fingerprint]
         self._names = {
@@ -355,7 +357,7 @@ class GraphStore:
         }
         self._cache.discard(fingerprint)
 
-    def _make_room(self) -> None:
+    def _make_room_locked(self) -> None:
         """Evict LRU unpinned graphs until the budget admits one more entry."""
         if self._max_graphs is None:
             return
@@ -373,7 +375,7 @@ class GraphStore:
                     f"graph budget of {self._max_graphs} exhausted and every "
                     f"resident graph is pinned or the default"
                 )
-            self._drop(victim)
+            self._drop_locked(victim)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -392,7 +394,7 @@ class GraphStore:
         with self._lock:
             return self._cache.info_for(self.resolve(ref))
 
-    def _info(self, fingerprint: str, entry: _Entry) -> GraphInfo:
+    def _info_locked(self, fingerprint: str, entry: _Entry) -> GraphInfo:
         graph = entry.session.graph
         return GraphInfo(
             fingerprint=fingerprint,

@@ -52,6 +52,7 @@ from ..extensions.uncertain_core import uncertain_core_decomposition
 from ..errors import DatasetError, ReproError
 from ..service.client import connect
 from ..service.server import DEFAULT_PORT, MiningServer
+from ..tools.check import cli as check_cli
 from ..uncertain.graph import UncertainGraph
 from ..uncertain.io import read_edge_list, write_edge_list
 from ..uncertain.statistics import summarize
@@ -182,6 +183,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("datasets", help="list registered dataset analogs")
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="run the repo's static-analysis rules (see docs/dev.md)",
+    )
+    check_cli.add_arguments(check_parser)
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -686,7 +693,12 @@ def _command_datasets(_: argparse.Namespace) -> int:
     return 0
 
 
+def _command_check(args: argparse.Namespace) -> int:
+    return check_cli.run(args)
+
+
 _COMMANDS = {
+    "check": _command_check,
     "enumerate": _command_enumerate,
     "stats": _command_stats,
     "generate": _command_generate,

@@ -34,7 +34,7 @@ kernel still works on a pure-``array`` representation —
 from __future__ import annotations
 
 from collections.abc import Iterator
-from typing import NamedTuple
+from typing import Any, NamedTuple
 
 from ....errors import ParameterError
 from ...result import SearchStatistics
@@ -156,7 +156,7 @@ def run_kernel_search(
     controls: RunControls | None = None,
     report: RunReport | None = None,
     cancel: CancellationToken | None = None,
-) -> Iterator[tuple[frozenset, float]]:
+) -> Iterator[tuple[frozenset[Any], float]]:
     """Run one enumeration on the resolved kernel backend.
 
     The single front door of kernel selection: same contract as

@@ -36,6 +36,8 @@ from __future__ import annotations
 
 import os
 from array import array
+from collections.abc import Iterable
+from typing import Any
 
 from ..compiled import CompiledGraph
 
@@ -63,10 +65,10 @@ _MAX_ROOT_PLANS = 8
 # REPRO_DISABLE_NUMPY and call reset_numpy_probe) to exercise the
 # pure-``array`` fallback without uninstalling numpy.
 _UNPROBED = object()
-_numpy_module = _UNPROBED
+_numpy_module: Any = _UNPROBED
 
 
-def numpy_or_none():
+def numpy_or_none() -> Any:
     """Return the numpy module when usable, ``None`` otherwise.
 
     The probe runs once and is cached; ``REPRO_DISABLE_NUMPY=1`` masks
@@ -101,7 +103,7 @@ def _mask_to_words(mask: int, word_count: int) -> list[int]:
     ]
 
 
-def _words_to_mask(words) -> int:
+def _words_to_mask(words: Iterable[Any]) -> int:
     """Rebuild the big-int bitmask from its little-endian word sequence."""
     mask = 0
     shift = 0
@@ -111,7 +113,7 @@ def _words_to_mask(words) -> int:
     return mask
 
 
-def _popcount_words_swar(words) -> int:
+def _popcount_words_swar(words: Iterable[Any]) -> int:
     """Population count of a word sequence (the pure-``array`` path)."""
     return sum(int(word).bit_count() for word in words)
 
@@ -130,11 +132,18 @@ class RootPlan:
 
     __slots__ = ("cand", "factors", "cand_mask", "cand_dict", "x_factor", "x_mask")
 
-    def __init__(self, cand, factors, cand_mask, x_factor, x_mask) -> None:
+    def __init__(
+        self,
+        cand: list[Any],
+        factors: list[Any],
+        cand_mask: list[int],
+        x_factor: list[Any],
+        x_mask: list[int],
+    ) -> None:
         self.cand = cand
         self.factors = factors
         self.cand_mask = cand_mask
-        self.cand_dict = [None] * len(cand)
+        self.cand_dict: list[Any] = [None] * len(cand)
         self.x_factor = x_factor
         self.x_mask = x_mask
 

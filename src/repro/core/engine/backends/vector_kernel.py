@@ -43,6 +43,7 @@ resolve it to the python backend (see
 from __future__ import annotations
 
 from collections.abc import Iterator
+from typing import Any
 from time import perf_counter
 
 from ....errors import ParameterError
@@ -76,7 +77,7 @@ def run_vector_search(
     controls: RunControls | None = None,
     report: RunReport | None = None,
     cancel: CancellationToken | None = None,
-) -> Iterator[tuple[frozenset, float]]:
+) -> Iterator[tuple[frozenset[Any], float]]:
     """Run one enumeration on the vector backend; same contract as ``run_search``.
 
     Only the MULE strategy family is supported; pass anything else (or an
@@ -123,7 +124,7 @@ def _drive_mule(
     controls: RunControls,
     report: RunReport,
     cancel: CancellationToken | None = None,
-) -> Iterator[tuple[frozenset, float]]:
+) -> Iterator[tuple[frozenset[Any], float]]:
     """The fused MULE walk; ``emit_min`` is the TopK size floor (0 = MULE)."""
     report.stop_reason = StopReason.COMPLETED
     report.cliques_emitted = 0
@@ -169,7 +170,7 @@ def _drive_mule(
     cliques_emitted = 0
     frames_since_check = 0
 
-    def flush():
+    def flush() -> None:
         statistics.recursive_calls += rc
         statistics.candidates_examined += ce
         statistics.probability_multiplications += pm
@@ -181,7 +182,7 @@ def _drive_mule(
         clique: list[int] = []
         cappend = clique.append
         cpop = clique.pop
-        stack: list[tuple] = []
+        stack: list[tuple[Any, ...]] = []
         push = stack.append
         pop = stack.pop
 
@@ -444,7 +445,7 @@ def _drive_large(
     controls: RunControls,
     report: RunReport,
     cancel: CancellationToken | None = None,
-) -> Iterator[tuple[frozenset, float]]:
+) -> Iterator[tuple[frozenset[Any], float]]:
     """The fused LARGE-MULE walk (Algorithms 5–6 size bound and pruning)."""
     report.stop_reason = StopReason.COMPLETED
     report.cliques_emitted = 0
@@ -487,7 +488,7 @@ def _drive_large(
     cliques_emitted = 0
     frames_since_check = 0
 
-    def flush():
+    def flush() -> None:
         statistics.recursive_calls += rc
         statistics.candidates_examined += ce
         statistics.probability_multiplications += pm
@@ -500,7 +501,7 @@ def _drive_large(
         clique: list[int] = []
         cappend = clique.append
         cpop = clique.pop
-        stack: list[tuple] = []
+        stack: list[tuple[Any, ...]] = []
         push = stack.append
         pop = stack.pop
 

@@ -24,6 +24,7 @@ parallel shards).
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable
+from typing import Any
 
 from ...uncertain.graph import UncertainGraph
 from ...uncertain.operations import prune_edges_below_alpha
@@ -197,7 +198,7 @@ class CompiledGraph:
     # ------------------------------------------------------------------ #
     # Queries used by strategies and tests
     # ------------------------------------------------------------------ #
-    def decode(self, indices: Iterable[int]) -> frozenset:
+    def decode(self, indices: Iterable[int]) -> frozenset[Any]:
         """Translate vertex indices back to a frozenset of original labels.
 
         This sits on the kernel's per-emission path, so it avoids the

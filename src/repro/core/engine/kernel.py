@@ -30,6 +30,7 @@ The correspondence to the recursive formulation of Algorithm 2:
 from __future__ import annotations
 
 from collections.abc import Iterator
+from typing import Any
 from time import perf_counter
 
 from ..result import SearchStatistics
@@ -51,7 +52,7 @@ def run_search(
     controls: RunControls | None = None,
     report: RunReport | None = None,
     cancel: CancellationToken | None = None,
-) -> Iterator[tuple[frozenset, float]]:
+) -> Iterator[tuple[frozenset[Any], float]]:
     """Run one iterative depth-first enumeration and yield its emissions.
 
     Parameters
@@ -132,7 +133,7 @@ def run_search(
     # pending_retire_vertex].  ``pending`` is the candidate whose subtree
     # just finished (or was pruned); it is retired exactly once, when the
     # frame next surfaces.
-    stack: list[list] = [[root, candidates, len(candidates), 0, -1]]
+    stack: list[list[Any]] = [[root, candidates, len(candidates), 0, -1]]
     frames_since_check = 0
 
     while stack:

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
+from typing import Any
 
 from ...errors import ParameterError
 from ..result import SearchStatistics
@@ -94,12 +95,12 @@ class EnumerationStrategy(ABC):
         self._stats = statistics
 
     @abstractmethod
-    def root(self) -> object:
+    def root(self) -> Any:
         """Return the node state of the empty clique."""
 
     @abstractmethod
     def expand(
-        self, state: object, clique: list[int]
+        self, state: Any, clique: list[int]
     ) -> tuple[Sequence[int], float | None]:
         """Visit a node: return its candidate order and emission decision.
 
@@ -120,14 +121,14 @@ class EnumerationStrategy(ABC):
         """
 
     @abstractmethod
-    def descend(self, state: object, u: int, clique: list[int]) -> object | None:
+    def descend(self, state: Any, u: int, clique: list[int]) -> Any:
         """Build the child state for branching on candidate ``u``.
 
         Returning ``None`` prunes the branch: the kernel never visits the
         subtree (the child is still :meth:`retire`-d on the parent).
         """
 
-    def retire(self, state: object, u: int) -> None:
+    def retire(self, state: Any, u: int) -> None:
         """Called after candidate ``u``'s subtree is fully explored.
 
         MULE-family strategies move ``u`` from the candidate side to the
@@ -157,12 +158,12 @@ class MuleStrategy(EnumerationStrategy):
         self._adj_prob = compiled.adjacency_probability
         self._higher = compiled.higher_masks
 
-    def root(self) -> list:
+    def root(self) -> list[Any]:
         n = self._compiled.n
         return [1.0, self._compiled.all_mask, dict.fromkeys(range(n), 1.0), 0, {}]
 
     def expand(
-        self, state: list, clique: list[int]
+        self, state: list[Any], clique: list[int]
     ) -> tuple[Sequence[int], float | None]:
         stats = self._stats
         stats.recursive_calls += 1
@@ -172,7 +173,7 @@ class MuleStrategy(EnumerationStrategy):
             return _EMPTY, state[_Q]
         return bit_list(cand_mask), None
 
-    def descend(self, state: list, u: int, clique: list[int]) -> list:
+    def descend(self, state: list[Any], u: int, clique: list[int]) -> list[Any]:
         stats = self._stats
         stats.candidates_examined += 1
         alpha = self._alpha
@@ -221,7 +222,7 @@ class MuleStrategy(EnumerationStrategy):
 
         return [q, new_cand_mask, new_cand_factor, new_excl_mask, new_excl_factor]
 
-    def retire(self, state: list, u: int) -> None:
+    def retire(self, state: list[Any], u: int) -> None:
         state[_EXCL_MASK] |= 1 << u
         state[_EXCL_FACTOR][u] = state[_CAND_FACTOR][u]
 
@@ -248,7 +249,7 @@ class LargeCliqueStrategy(MuleStrategy):
         self.size_threshold = size_threshold
 
     def expand(
-        self, state: list, clique: list[int]
+        self, state: list[Any], clique: list[int]
     ) -> tuple[Sequence[int], float | None]:
         stats = self._stats
         stats.recursive_calls += 1
@@ -260,7 +261,7 @@ class LargeCliqueStrategy(MuleStrategy):
             return _EMPTY, None
         return bit_list(cand_mask), None
 
-    def descend(self, state: list, u: int, clique: list[int]) -> list | None:
+    def descend(self, state: list[Any], u: int, clique: list[int]) -> list[Any] | None:
         stats = self._stats
         stats.candidates_examined += 1
         alpha = self._alpha
@@ -326,7 +327,7 @@ class TopKStrategy(MuleStrategy):
         self.min_size = min_size
 
     def expand(
-        self, state: list, clique: list[int]
+        self, state: list[Any], clique: list[int]
     ) -> tuple[Sequence[int], float | None]:
         stats = self._stats
         stats.recursive_calls += 1

@@ -284,11 +284,9 @@ def parallel_enumerate(
     max_cliques = controls.max_cliques if controls is not None else None
     if max_cliques is not None and len(records) > max_cliques:
         records = sorted(records)[:max_cliques]
-        if stop_reason != StopReason.TIME_BUDGET:
-            # Keep the precedence _merge_stop_reasons establishes: a
-            # run that ran out of time anywhere must not claim its
-            # output is the full cap-bounded set.
-            stop_reason = StopReason.MAX_CLIQUES
+        # The trim makes the cap binding, but cancellation or a blown
+        # deadline anywhere still outranks it under the merge precedence.
+        stop_reason = _strongest(stop_reason, StopReason.MAX_CLIQUES)
     return records, statistics, stop_reason
 
 
@@ -383,16 +381,36 @@ def parallel_mule(
     return session.enumerate(request).to_result()
 
 
-def _merge_stop_reasons(reasons) -> str:
-    """Combine per-shard stop reasons: any truncation marks the whole run.
+#: Merge precedence, strongest first: cancellation is a caller decision
+#: and outranks everything; ``time-budget`` wins over ``max-cliques``
+#: because a run that ran out of time anywhere cannot claim its output
+#: is the full cap-bounded set; ``completed`` only survives when every
+#: shard completed.  Listing every member keeps the merge total — a new
+#: StopReason cannot silently collapse to ``completed``
+#: (``repro-mule check`` pins this against the StopReason vocabulary).
+_STOP_PRECEDENCE = (
+    StopReason.CANCELLED,
+    StopReason.TIME_BUDGET,
+    StopReason.MAX_CLIQUES,
+    StopReason.COMPLETED,
+)
 
-    ``time-budget`` wins over ``max-cliques`` — a run that ran out of time
-    anywhere cannot claim its output is the full cap-bounded set.
-    """
+
+def _strongest(*reasons: str) -> str:
+    """The highest-precedence reason among ``reasons``."""
+    return min(
+        reasons,
+        key=lambda reason: (
+            _STOP_PRECEDENCE.index(reason)
+            if reason in _STOP_PRECEDENCE
+            else -1  # unknown reasons are preserved, never downgraded
+        ),
+    )
+
+
+def _merge_stop_reasons(reasons) -> str:
+    """Combine per-shard stop reasons: any truncation marks the whole run."""
     merged = StopReason.COMPLETED
     for reason in reasons:
-        if reason == StopReason.TIME_BUDGET:
-            return StopReason.TIME_BUDGET
-        if reason == StopReason.MAX_CLIQUES:
-            merged = StopReason.MAX_CLIQUES
+        merged = _strongest(merged, reason)
     return merged

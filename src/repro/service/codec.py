@@ -40,7 +40,7 @@ from __future__ import annotations
 import json
 from collections.abc import Iterable, Mapping, Sequence
 
-from typing import NamedTuple
+from typing import Any, NamedTuple
 
 from ..api.outcome import EnumerationOutcome
 from ..api.request import EnumerationRequest
@@ -136,7 +136,7 @@ JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 # ---------------------------------------------------------------------- #
 # Canonical bytes
 # ---------------------------------------------------------------------- #
-def encode(payload: Mapping) -> bytes:
+def encode(payload: Mapping[str, Any]) -> bytes:
     """Serialise a wire payload to canonical JSON bytes.
 
     Equal payloads always produce equal bytes: keys are sorted, separators
@@ -156,7 +156,7 @@ def encode(payload: Mapping) -> bytes:
     return text.encode("ascii") + b"\n"
 
 
-def decode(data: bytes | str) -> dict:
+def decode(data: bytes | str) -> dict[str, Any]:
     """Parse wire bytes into a payload dict (the inverse of :func:`encode`)."""
     if isinstance(data, bytes):
         try:
@@ -177,17 +177,19 @@ def decode(data: bytes | str) -> dict:
 # ---------------------------------------------------------------------- #
 # Envelope plumbing
 # ---------------------------------------------------------------------- #
-def _envelope(kind: str, fields: dict, *, version: int = SCHEMA_VERSION) -> dict:
+def _envelope(
+    kind: str, fields: dict[str, Any], *, version: int = SCHEMA_VERSION
+) -> dict[str, Any]:
     return {"schema": version, "kind": kind, **fields}
 
 
 def _open_envelope(
     payload: object,
     kind: str,
-    keys: frozenset,
+    keys: frozenset[str],
     *,
     min_version: int = SCHEMA_VERSION,
-) -> dict:
+) -> dict[str, Any]:
     """Validate schema/kind and the exact key set of an envelope.
 
     ``min_version`` is the version the kind was introduced in: a v2-only
@@ -218,7 +220,14 @@ def _open_envelope(
     return payload
 
 
-def _field(payload: dict, kind: str, key: str, types, *, optional: bool = False):
+def _field(
+    payload: dict[str, Any],
+    kind: str,
+    key: str,
+    types: type[Any] | tuple[type[Any], ...],
+    *,
+    optional: bool = False,
+) -> Any:
     value = payload[key]
     if value is None:
         if optional:
@@ -241,7 +250,9 @@ def _field(payload: dict, kind: str, key: str, types, *, optional: bool = False)
     return value
 
 
-def _number(payload: dict, kind: str, key: str, *, optional: bool = False):
+def _number(
+    payload: dict[str, Any], kind: str, key: str, *, optional: bool = False
+) -> float | None:
     value = _field(payload, kind, key, (int, float), optional=optional)
     return None if value is None else float(value)
 
@@ -249,7 +260,7 @@ def _number(payload: dict, kind: str, key: str, *, optional: bool = False):
 # ---------------------------------------------------------------------- #
 # Vertices
 # ---------------------------------------------------------------------- #
-def _vertex_to_wire(vertex: object):
+def _vertex_to_wire(vertex: object) -> int | float | str:
     if isinstance(vertex, bool) or not isinstance(vertex, (int, float, str)):
         raise FormatError(
             f"vertex label {vertex!r} is not wire-encodable (labels must be "
@@ -258,7 +269,7 @@ def _vertex_to_wire(vertex: object):
     return vertex
 
 
-def _vertex_from_wire(value: object, kind: str):
+def _vertex_from_wire(value: object, kind: str) -> int | float | str:
     if isinstance(value, bool) or not isinstance(value, (int, float, str)):
         raise FormatError(
             f"{kind}: vertex label {value!r} must be int, float or str"
@@ -272,7 +283,7 @@ def _vertex_from_wire(value: object, kind: str):
 _RECORD_KEYS = frozenset({"vertices", "probability"})
 
 
-def record_to_wire(record: CliqueRecord) -> dict:
+def record_to_wire(record: CliqueRecord) -> dict[str, Any]:
     """Encode one clique record (vertices in canonical sorted order)."""
     return _envelope(
         "clique-record",
@@ -296,7 +307,7 @@ def record_from_wire(payload: object) -> CliqueRecord:
 _RECORDS_KEYS = frozenset({"records"})
 
 
-def records_to_wire(records: Iterable[CliqueRecord]) -> dict:
+def records_to_wire(records: Iterable[CliqueRecord]) -> dict[str, Any]:
     """Encode a standalone list of clique records."""
     return _envelope(
         "clique-records", {"records": [record_to_wire(r) for r in records]}
@@ -323,7 +334,7 @@ _STATISTICS_KEYS = frozenset(
 )
 
 
-def statistics_to_wire(statistics: SearchStatistics) -> dict:
+def statistics_to_wire(statistics: SearchStatistics) -> dict[str, Any]:
     return _envelope(
         "search-statistics",
         {key: getattr(statistics, key) for key in _STATISTICS_KEYS},
@@ -344,7 +355,7 @@ def statistics_from_wire(payload: object) -> SearchStatistics:
 _REPORT_KEYS = frozenset({"stop_reason", "cliques_emitted", "frames_expanded"})
 
 
-def report_to_wire(report: RunReport) -> dict:
+def report_to_wire(report: RunReport) -> dict[str, Any]:
     return _envelope(
         "run-report",
         {
@@ -377,7 +388,7 @@ _CONTROLS_KEYS = frozenset(
 )
 
 
-def controls_to_wire(controls: RunControls) -> dict:
+def controls_to_wire(controls: RunControls) -> dict[str, Any]:
     return _envelope(
         "run-controls",
         {
@@ -422,7 +433,7 @@ _REQUEST_KEYS = frozenset(
 )
 
 
-def request_to_wire(request: EnumerationRequest) -> dict:
+def request_to_wire(request: EnumerationRequest) -> dict[str, Any]:
     """Encode a request.  Every field is explicit (nullable ones as null).
 
     The ``kernel`` field is the one exception: it was added after the v1
@@ -506,7 +517,7 @@ _OUTCOME_KEYS = frozenset(
 )
 
 
-def outcome_to_wire(outcome: EnumerationOutcome) -> dict:
+def outcome_to_wire(outcome: EnumerationOutcome) -> dict[str, Any]:
     return _envelope(
         "enumeration-outcome",
         {
@@ -548,7 +559,7 @@ def outcome_from_wire(payload: object) -> EnumerationOutcome:
 _SWEEP_KEYS = frozenset({"request", "alphas"})
 
 
-def sweep_to_wire(request: EnumerationRequest, alphas: Sequence[float]) -> dict:
+def sweep_to_wire(request: EnumerationRequest, alphas: Sequence[float]) -> dict[str, Any]:
     """Encode a sweep: one base request re-run at each of ``alphas``."""
     return _envelope(
         "sweep-request",
@@ -574,7 +585,7 @@ def sweep_from_wire(payload: object) -> tuple[EnumerationRequest, list[float]]:
 _OUTCOME_LIST_KEYS = frozenset({"outcomes"})
 
 
-def outcomes_to_wire(outcomes: Iterable[EnumerationOutcome]) -> dict:
+def outcomes_to_wire(outcomes: Iterable[EnumerationOutcome]) -> dict[str, Any]:
     return _envelope(
         "outcome-list", {"outcomes": [outcome_to_wire(o) for o in outcomes]}
     )
@@ -589,7 +600,7 @@ def outcomes_from_wire(payload: object) -> list[EnumerationOutcome]:
 _ERROR_KEYS = frozenset({"type", "message"})
 
 
-def error_to_wire(exc: BaseException) -> dict:
+def error_to_wire(exc: BaseException) -> dict[str, Any]:
     """Encode an exception (non-library types degrade to their class name)."""
     return _envelope(
         "error", {"type": type(exc).__name__, "message": str(exc)}
@@ -616,7 +627,7 @@ def error_from_wire(payload: object) -> ReproError:
 # ---------------------------------------------------------------------- #
 # Schema v2: graphs as wire values and as references
 # ---------------------------------------------------------------------- #
-def _vertex_sort_key(vertex) -> tuple:
+def _vertex_sort_key(vertex: Any) -> tuple[int, Any]:
     """Canonical vertex order: numbers (by exact value) before strings.
 
     Mixed int/float comparisons are exact in Python, and ``==``-equal
@@ -631,7 +642,7 @@ def _vertex_sort_key(vertex) -> tuple:
 _GRAPH_KEYS = frozenset({"vertices", "edges"})
 
 
-def graph_to_wire(graph: UncertainGraph) -> dict:
+def graph_to_wire(graph: UncertainGraph) -> dict[str, Any]:
     """Encode an uncertain graph losslessly (kind ``graph``, schema v2).
 
     Canonical form: vertices sorted (numbers by value, then strings),
@@ -703,7 +714,7 @@ _GRAPH_INFO_KEYS = frozenset(
 )
 
 
-def graph_info_to_wire(info: GraphInfo) -> dict:
+def graph_info_to_wire(info: GraphInfo) -> dict[str, Any]:
     """Encode one stored graph's resource description."""
     return _envelope(
         "graph-info",
@@ -742,7 +753,7 @@ def graph_info_from_wire(payload: object) -> GraphInfo:
 _GRAPH_LIST_KEYS = frozenset({"graphs"})
 
 
-def graph_list_to_wire(infos: Iterable[GraphInfo]) -> dict:
+def graph_list_to_wire(infos: Iterable[GraphInfo]) -> dict[str, Any]:
     """Encode the store listing (``GET /v2/graphs``)."""
     return _envelope(
         "graph-list",
@@ -777,7 +788,7 @@ class GraphUpload(NamedTuple):
 _UPLOAD_KEYS = frozenset({"graph", "dataset", "scale", "seed", "name"})
 
 
-def upload_to_wire(upload: GraphUpload) -> dict:
+def upload_to_wire(upload: GraphUpload) -> dict[str, Any]:
     """Encode a graph-creation request (``POST /v2/graphs``)."""
     if (upload.graph is None) == (upload.dataset is None):
         raise FormatError(
@@ -821,7 +832,7 @@ def upload_from_wire(payload: object) -> GraphUpload:
 _REF_REQUEST_KEYS = frozenset({"graph", "request"})
 
 
-def ref_request_to_wire(request: EnumerationRequest, *, graph: str | None) -> dict:
+def ref_request_to_wire(request: EnumerationRequest, *, graph: str | None) -> dict[str, Any]:
     """Encode a v2 enumeration: the request plus the graph it targets.
 
     ``graph`` is a store reference (registered name or fingerprint);
@@ -849,7 +860,7 @@ _REF_SWEEP_KEYS = frozenset({"graph", "request", "alphas"})
 
 def ref_sweep_to_wire(
     request: EnumerationRequest, alphas: Sequence[float], *, graph: str | None
-) -> dict:
+) -> dict[str, Any]:
     """Encode a v2 sweep: one base request, many α, one named graph."""
     return _envelope(
         "graph-ref-sweep",
@@ -928,7 +939,7 @@ def job_request_to_wire(
     *,
     graph: str | None = None,
     page_size: int | None = None,
-) -> dict:
+) -> dict[str, Any]:
     """Encode a job submission (``POST /v2/jobs``).
 
     ``graph`` is a store reference (name or fingerprint, ``None`` for the
@@ -966,7 +977,7 @@ _JOB_STATUS_KEYS = frozenset(
 )
 
 
-def job_status_to_wire(status: JobStatus) -> dict:
+def job_status_to_wire(status: JobStatus) -> dict[str, Any]:
     """Encode one job's status snapshot (``GET /v2/jobs/{id}``)."""
     if status.state not in JOB_STATES:
         raise FormatError(
@@ -1025,7 +1036,7 @@ _JOB_SUMMARY_KEYS = frozenset(
 )
 
 
-def job_summary_to_wire(outcome: EnumerationOutcome) -> dict:
+def job_summary_to_wire(outcome: EnumerationOutcome) -> dict[str, Any]:
     """Encode a job's terminal summary: an outcome *minus* its records.
 
     The records already travelled in the stream's earlier chunks; the
@@ -1073,7 +1084,7 @@ _JOB_CHUNK_KEYS = frozenset(
 )
 
 
-def job_chunk_to_wire(chunk: JobChunk) -> dict:
+def job_chunk_to_wire(chunk: JobChunk) -> dict[str, Any]:
     """Encode one result-stream chunk (a line of ``GET .../results``)."""
     if chunk.final:
         if (chunk.summary is None) == (chunk.error is None):
@@ -1136,7 +1147,7 @@ def job_chunk_from_wire(payload: object) -> JobChunk:
 _JOB_LIST_KEYS = frozenset({"jobs"})
 
 
-def job_list_to_wire(statuses: Iterable[JobStatus]) -> dict:
+def job_list_to_wire(statuses: Iterable[JobStatus]) -> dict[str, Any]:
     """Encode the registry listing (``GET /v2/jobs``)."""
     return _envelope(
         "job-list",
@@ -1156,7 +1167,7 @@ def job_list_from_wire(payload: object) -> list[JobStatus]:
 # ---------------------------------------------------------------------- #
 # Generic dispatch
 # ---------------------------------------------------------------------- #
-def to_wire(obj: object) -> dict:
+def to_wire(obj: object) -> dict[str, Any]:
     """Encode any wire-codable object into its envelope.
 
     Lists/tuples of :class:`CliqueRecord` become a ``clique-records``
@@ -1184,6 +1195,10 @@ def to_wire(obj: object) -> dict:
         return job_status_to_wire(obj)
     if isinstance(obj, JobChunk):
         return job_chunk_to_wire(obj)
+    if isinstance(obj, (list, tuple)) and obj and all(
+        isinstance(item, EnumerationOutcome) for item in obj
+    ):
+        return outcomes_to_wire(obj)
     if isinstance(obj, (list, tuple)) and obj and all(
         isinstance(item, JobStatus) for item in obj
     ):
@@ -1222,7 +1237,7 @@ _DECODERS = {
 }
 
 
-def from_wire(payload: object):
+def from_wire(payload: object) -> Any:
     """Decode any envelope by its ``kind`` tag (the inverse of :func:`to_wire`).
 
     ``sweep-request`` / ``graph-ref-request`` / ``graph-ref-sweep`` /

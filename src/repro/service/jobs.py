@@ -410,6 +410,10 @@ class Job:
                 notify = self._on_terminal
             elif self._state == JobState.RUNNING:
                 self._draining = True
+            else:
+                # Terminal (done/failed/cancelled): the outcome stands;
+                # the notify_all below still wakes any parked consumer.
+                pass
             self._cond.notify_all()
         if notify is not None:
             notify(JobState.FAILED)

@@ -49,7 +49,7 @@ from ..api.request import EnumerationRequest
 from ..api.session import MiningSession, plan_base_compile
 from ..api.store import GraphStore
 from ..core.result import CliqueRecord
-from ..errors import JobError, ParameterError
+from ..errors import JobError, ParameterError, ServiceError
 from ..uncertain.graph import UncertainGraph
 from .jobs import DEFAULT_MAX_PENDING_PAGES, Job, JobCancelled, JobRegistry, JobState
 
@@ -230,7 +230,7 @@ class EnumerationScheduler:
         session = self.session_for(graph, ref)
         with self._lock:
             if self._closed:
-                raise RuntimeError("scheduler is shut down")
+                raise ServiceError("scheduler is shut down")
             self._submitted += 1
         job = self._registry.create(
             request, page_size=page_size, max_pending_pages=max_pending_pages

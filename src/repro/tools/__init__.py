@@ -1,0 +1,8 @@
+"""Developer tooling that ships with the repository.
+
+Unlike :mod:`repro.core` / :mod:`repro.service`, nothing under this
+package is part of the library API — these are maintenance tools (the
+``repro-mule check`` static analyser lives in :mod:`repro.tools.check`)
+that happen to be versioned with the code they understand, so they can
+never drift out of sync with it.
+"""

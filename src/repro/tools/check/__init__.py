@@ -1,0 +1,32 @@
+"""``repro-mule check`` — AST static analysis for repo invariants.
+
+The codebase guarantees three load-bearing invariants by convention:
+manual lock discipline in the service/api layers, bit-identical
+deterministic kernels in ``core/engine/``, and a frozen v1 wire schema.
+This package machine-checks them (plus the error taxonomy and exhaustive
+state dispatch) so reviewers do not have to.
+
+Public surface:
+
+* :func:`repro.tools.check.runner.scan` — programmatic scanning;
+* :func:`repro.tools.check.cli.main` — the CLI (also reachable as
+  ``python -m repro.tools.check`` and ``repro-mule check``);
+* :class:`repro.tools.check.findings.Finding` — the diagnostic record;
+* :mod:`repro.tools.check.rules` — the rule catalog.
+"""
+
+from __future__ import annotations
+
+from .findings import Finding
+from .registry import ModuleUnit, Project, Rule, all_rules, register
+from .runner import scan
+
+__all__ = [
+    "Finding",
+    "ModuleUnit",
+    "Project",
+    "Rule",
+    "all_rules",
+    "register",
+    "scan",
+]

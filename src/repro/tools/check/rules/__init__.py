@@ -1,0 +1,11 @@
+"""Built-in rule catalog.  Importing this package registers every rule."""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401
+    error_taxonomy,
+    kernel_determinism,
+    lock_discipline,
+    stopreason,
+    wire_freeze,
+)

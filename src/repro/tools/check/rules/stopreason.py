@@ -1,0 +1,319 @@
+"""stopreason-exhaustive: state dispatch must cover every member.
+
+``StopReason`` and ``JobState`` are closed vocabularies (the wire
+protocol pins both), yet python has no compile-time exhaustiveness check
+for the ``if x == StopReason.A: ... elif x == StopReason.B: ...`` chains
+that dispatch on them.  A member added later — or simply forgotten, as
+``CANCELLED`` historically was in the parallel stop-reason merge — falls
+through silently into whatever the last branch or fall-through produces.
+
+This rule finds every if/elif chain (including consecutive ``if``
+statements whose earlier bodies all terminate) and every ``match``
+statement dispatching one subject against members of these classes, and
+requires it to either carry an ``else``/wildcard branch or to cover
+every member.  Chains with fewer than two member tests are ignored —
+single guards like ``if state == JobState.FAILED:`` are not dispatches.
+
+Member sets come from the real classes at lint time, so the rule can
+never drift from the vocabulary it protects; composite aliases
+(``JobState.TERMINAL`` / ``JobState.ALL``) resolve to their members.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import ModuleUnit, Rule, register
+
+
+def _enum_vocabulary() -> dict[str, tuple[dict[str, str], dict[str, frozenset[str]]]]:
+    """{class name: ({member: value}, {composite: member names})}."""
+    from repro.core.engine.controls import StopReason
+    from repro.service.jobs import JobState
+
+    vocab: dict[str, tuple[dict[str, str], dict[str, frozenset[str]]]] = {}
+    for cls in (StopReason, JobState):
+        members = {
+            name: value
+            for name, value in vars(cls).items()
+            if not name.startswith("_") and isinstance(value, str)
+        }
+        by_value = {value: name for name, value in members.items()}
+        composites = {
+            name: frozenset(
+                by_value[item] for item in value if item in by_value
+            )
+            for name, value in vars(cls).items()
+            if not name.startswith("_")
+            and isinstance(value, tuple)
+            and all(isinstance(item, str) for item in value)
+        }
+        vocab[cls.__name__] = (members, composites)
+    return vocab
+
+
+@dataclass(frozen=True)
+class _Test:
+    """One branch test resolved to enum members: ``subject == Enum.X``."""
+
+    enum: str
+    subject: str  # ast.dump of the non-enum side
+    covered: frozenset[str]
+
+
+class _Resolver:
+    def __init__(self) -> None:
+        self.vocab = _enum_vocabulary()
+
+    def members_of(self, node: ast.AST) -> tuple[str, frozenset[str]] | None:
+        """Resolve ``Enum.X`` (member or composite) to (enum, members)."""
+        if not (
+            isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)
+        ):
+            return None
+        enum = node.value.id
+        if enum not in self.vocab:
+            return None
+        members, composites = self.vocab[enum]
+        if node.attr in members:
+            return enum, frozenset({node.attr})
+        if node.attr in composites:
+            return enum, composites[node.attr]
+        return None
+
+    def collection_members(
+        self, node: ast.AST
+    ) -> tuple[str, frozenset[str]] | None:
+        """Resolve ``(Enum.A, Enum.B)`` / ``Enum.COMPOSITE`` for ``in`` tests."""
+        direct = self.members_of(node)
+        if direct is not None:
+            return direct
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            enum: str | None = None
+            covered: set[str] = set()
+            for element in node.elts:
+                resolved = self.members_of(element)
+                if resolved is None:
+                    return None
+                element_enum, element_members = resolved
+                if enum is None:
+                    enum = element_enum
+                elif enum != element_enum:
+                    return None
+                covered.update(element_members)
+            if enum is None:
+                return None
+            return enum, frozenset(covered)
+        return None
+
+    def parse_test(self, test: ast.AST) -> _Test | None:
+        if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+            return None
+        op = test.ops[0]
+        left, right = test.left, test.comparators[0]
+        if isinstance(op, ast.Eq):
+            for member_side, subject_side in ((right, left), (left, right)):
+                resolved = self.members_of(member_side)
+                if resolved is not None:
+                    enum, covered = resolved
+                    return _Test(enum, ast.dump(subject_side), covered)
+            return None
+        if isinstance(op, ast.In):
+            resolved = self.collection_members(right)
+            if resolved is None:
+                return None
+            enum, covered = resolved
+            return _Test(enum, ast.dump(left), covered)
+        return None
+
+
+def _terminates(body: list[ast.stmt]) -> bool:
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def _iter_statement_lists(tree: ast.AST) -> Iterator[list[ast.stmt]]:
+    for node in ast.walk(tree):
+        for field in ("body", "orelse", "finalbody"):
+            stmts = getattr(node, field, None)
+            if isinstance(stmts, list) and stmts and isinstance(stmts[0], ast.stmt):
+                yield stmts
+
+
+@register
+class StopReasonExhaustiveRule(Rule):
+    rule_id = "stopreason-exhaustive"
+    description = (
+        "if/elif chains and matches dispatching on StopReason/JobState "
+        "must cover every member or carry an else"
+    )
+
+    def __init__(self) -> None:
+        self._resolver: _Resolver | None = None
+
+    def _get_resolver(self) -> _Resolver:
+        if self._resolver is None:
+            self._resolver = _Resolver()
+        return self._resolver
+
+    def check_module(self, unit: ModuleUnit) -> Iterator[Finding]:
+        resolver = self._get_resolver()
+        consumed: set[int] = set()
+        for stmts in _iter_statement_lists(unit.tree):
+            yield from self._check_list(unit, stmts, resolver, consumed)
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Match):
+                yield from self._check_match(unit, node, resolver)
+
+    # -- if/elif chains (plus consecutive terminating ifs) ------------- #
+    def _check_list(
+        self,
+        unit: ModuleUnit,
+        stmts: list[ast.stmt],
+        resolver: _Resolver,
+        consumed: set[int],
+    ) -> Iterator[Finding]:
+        index = 0
+        while index < len(stmts):
+            stmt = stmts[index]
+            if not isinstance(stmt, ast.If) or id(stmt) in consumed:
+                index += 1
+                continue
+            tests, has_else, chain_terminates = self._flatten_chain(
+                stmt, resolver, consumed
+            )
+            if tests is None:
+                index += 1
+                continue
+            # Absorb following sibling ifs on the same subject when every
+            # branch so far terminates (the classic early-return ladder).
+            index += 1
+            while (
+                not has_else
+                and chain_terminates
+                and index < len(stmts)
+                and isinstance(stmts[index], ast.If)
+                and id(stmts[index]) not in consumed
+            ):
+                sibling = stmts[index]
+                peek = self._flatten_chain(sibling, resolver, set())
+                sibling_tests, sibling_else, sibling_terminates = peek
+                if sibling_tests is None or any(
+                    t.enum != tests[0].enum or t.subject != tests[0].subject
+                    for t in sibling_tests
+                ):
+                    break
+                self._flatten_chain(sibling, resolver, consumed)
+                tests = tests + sibling_tests
+                has_else = sibling_else
+                chain_terminates = sibling_terminates
+                index += 1
+            yield from self._judge(unit, stmt, tests, has_else, resolver)
+
+    def _flatten_chain(
+        self,
+        stmt: ast.If,
+        resolver: _Resolver,
+        consumed: set[int],
+    ) -> tuple[list[_Test] | None, bool, bool]:
+        """Flatten an if/elif chain into enum tests.
+
+        Returns (tests, has_else, every_branch_terminates); tests is None
+        when any branch test is not a dispatch on one enum and subject.
+        """
+        tests: list[_Test] = []
+        terminates = True
+        node: ast.stmt = stmt
+        while True:
+            consumed.add(id(node))
+            parsed = resolver.parse_test(node.test)  # type: ignore[attr-defined]
+            if parsed is None or (
+                tests
+                and (
+                    parsed.enum != tests[0].enum
+                    or parsed.subject != tests[0].subject
+                )
+            ):
+                return None, False, False
+            tests.append(parsed)
+            terminates = terminates and _terminates(node.body)  # type: ignore[attr-defined]
+            orelse = node.orelse  # type: ignore[attr-defined]
+            if len(orelse) == 1 and isinstance(orelse[0], ast.If):
+                node = orelse[0]
+                continue
+            return tests, bool(orelse), terminates
+
+    def _judge(
+        self,
+        unit: ModuleUnit,
+        stmt: ast.stmt,
+        tests: list[_Test],
+        has_else: bool,
+        resolver: _Resolver,
+    ) -> Iterator[Finding]:
+        if len(tests) < 2 or has_else:
+            return
+        enum = tests[0].enum
+        all_members = frozenset(resolver.vocab[enum][0])
+        covered = frozenset().union(*(test.covered for test in tests))
+        missing = sorted(all_members - covered)
+        if missing:
+            yield Finding(
+                unit.relpath,
+                stmt.lineno,
+                stmt.col_offset,
+                self.rule_id,
+                (
+                    f"dispatch on {enum} covers {sorted(covered)} but not "
+                    f"{missing}"
+                ),
+                hint=(
+                    "add branches for the missing members or an explicit "
+                    "else documenting the default"
+                ),
+            )
+
+    # -- match statements ---------------------------------------------- #
+    def _check_match(
+        self, unit: ModuleUnit, node: ast.Match, resolver: _Resolver
+    ) -> Iterator[Finding]:
+        enum: str | None = None
+        covered: set[str] = set()
+        enum_cases = 0
+        for case in node.cases:
+            patterns = (
+                case.pattern.patterns
+                if isinstance(case.pattern, ast.MatchOr)
+                else [case.pattern]
+            )
+            for pattern in patterns:
+                if isinstance(pattern, ast.MatchAs) and pattern.pattern is None:
+                    return  # wildcard case: exhaustive by construction
+                if not isinstance(pattern, ast.MatchValue):
+                    return  # mixed dispatch; out of scope
+                resolved = resolver.members_of(pattern.value)
+                if resolved is None:
+                    return
+                case_enum, case_members = resolved
+                if enum is None:
+                    enum = case_enum
+                elif enum != case_enum:
+                    return
+                covered.update(case_members)
+                enum_cases += 1
+        if enum is None or enum_cases < 2:
+            return
+        missing = sorted(frozenset(resolver.vocab[enum][0]) - covered)
+        if missing:
+            yield Finding(
+                unit.relpath,
+                node.lineno,
+                node.col_offset,
+                self.rule_id,
+                f"match on {enum} covers {sorted(covered)} but not {missing}",
+                hint="add the missing cases or a wildcard 'case _:'",
+            )

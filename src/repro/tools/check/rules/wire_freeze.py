@@ -1,0 +1,569 @@
+"""wire-freeze: the v1 wire schema is frozen; drift is a build error.
+
+The service protocol lives in ``service/codec.py`` as ``_envelope(kind,
+fields)`` encoders paired with ``_open_envelope(payload, kind, KEYS)``
+decoders, pinned by a golden fixture corpus under
+``tests/service/fixtures/`` that ``tests/service/make_fixtures.py``
+regenerates.  Four kinds of drift can silently break deployed speakers,
+and this rule statically detects all of them:
+
+1. **encoder/decoder key drift** — the field set an encoder emits must
+   equal the key set its decoder validates (conditional additive keys,
+   like ``enumeration-request.kernel``, count on both sides);
+2. **fixture drift** — every envelope instance in the corpus (including
+   nested ones) must carry exactly the encoder's field set; a ``schema:
+   1`` instance may not carry additive v2 keys at all, because v1 bytes
+   are frozen forever;
+3. **coverage holes** — every kind the codec encodes must appear in at
+   least one golden fixture, and every fixture file must have a
+   regeneration entry in ``make_fixtures.build_payloads()`` (and vice
+   versa), so the corpus cannot rot;
+4. **vocabulary drift** — the codec's ``JOB_STATES`` literal must match
+   ``JobState``'s members in order, and ``_STOP_REASONS`` must cover
+   ``StopReason`` exactly.
+
+Everything is derived from the AST and the fixture JSON on disk — the
+rule never imports the codec, so it also works on the bad-fixture
+mini-projects in the checker's own test-suite.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import ModuleUnit, Project, Rule, register
+
+_FIXTURES_DIR = Path("tests") / "service" / "fixtures"
+_MAKE_FIXTURES = Path("tests") / "service" / "make_fixtures.py"
+
+
+# --------------------------------------------------------------------- #
+# AST value resolution
+# --------------------------------------------------------------------- #
+def _string_set(node: ast.AST, env: dict[str, set[str]]) -> set[str] | None:
+    """Resolve a set/tuple/list/frozenset(...) of string constants."""
+    if isinstance(node, ast.Name):
+        return set(env[node.id]) if node.id in env else None
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        values: set[str] = set()
+        for element in node.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                return None
+            values.add(element.value)
+        return values
+    if isinstance(node, ast.Call):
+        name = node.func.id if isinstance(node.func, ast.Name) else None
+        if name in ("frozenset", "set", "tuple") and len(node.args) == 1:
+            return _string_set(node.args[0], env)
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = _string_set(node.left, env)
+        right = _string_set(node.right, env)
+        if left is None or right is None:
+            return None
+        return left | right
+    return None
+
+
+def _module_constants(tree: ast.Module) -> dict[str, set[str]]:
+    """Module-level NAME = <string collection> assignments."""
+    constants: dict[str, set[str]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                resolved = _string_set(node.value, constants)
+                if resolved is not None:
+                    constants[target.id] = resolved
+    return constants
+
+
+def _string_tuple(node: ast.AST) -> tuple[str, ...] | None:
+    """An ordered tuple/list of string constants (for JOB_STATES)."""
+    if isinstance(node, (ast.Tuple, ast.List)):
+        values = []
+        for element in node.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                return None
+            values.append(element.value)
+        return tuple(values)
+    return None
+
+
+def _attribute_names(node: ast.AST, owner: str) -> set[str] | None:
+    """Member names from ``(Owner.A, Owner.B, ...)`` tuples."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    names: set[str] = set()
+    for element in node.elts:
+        if (
+            isinstance(element, ast.Attribute)
+            and isinstance(element.value, ast.Name)
+            and element.value.id == owner
+        ):
+            names.add(element.attr)
+        else:
+            return None
+    return names
+
+
+def _class_string_members(
+    tree: ast.Module, class_name: str
+) -> tuple[dict[str, str], ast.ClassDef | None]:
+    """{MEMBER: value} for string class attributes, in source order."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            members: dict[str, str] = {}
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                ):
+                    members[stmt.targets[0].id] = stmt.value.value
+            return members, node
+    return {}, None
+
+
+# --------------------------------------------------------------------- #
+# Codec spec extraction
+# --------------------------------------------------------------------- #
+@dataclass
+class _KindSpec:
+    kind: str
+    line: int = 0
+    required: set[str] = field(default_factory=set)
+    optional: set[str] = field(default_factory=set)
+    decode_keys: set[str] | None = None
+    decode_line: int = 0
+    version: int = 1  # version the kind stamps when no conditional fires
+
+
+def _resolve_kind(node: ast.AST, locals_env: dict[str, ast.AST]) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name) and node.id in locals_env:
+        return _resolve_kind(locals_env[node.id], {})
+    return None
+
+
+def _extract_specs(tree: ast.Module) -> dict[str, _KindSpec]:
+    constants = _module_constants(tree)
+    specs: dict[str, _KindSpec] = {}
+
+    for func in [n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)]:
+        # Last-write-wins map of simple local assignments, plus the
+        # union-of-all-assignments view used to widen decode key sets.
+        simple_locals: dict[str, ast.AST] = {}
+        multi_locals: dict[str, list[ast.AST]] = {}
+        dict_literals: dict[str, ast.Dict] = {}
+        subscript_adds: dict[str, set[str]] = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    simple_locals[target.id] = node.value
+                    multi_locals.setdefault(target.id, []).append(node.value)
+                    if isinstance(node.value, ast.Dict):
+                        dict_literals[target.id] = node.value
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    subscript_adds.setdefault(target.value.id, set()).add(
+                        target.slice.value
+                    )
+
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            ):
+                continue
+            if node.func.id == "_envelope" and len(node.args) >= 2:
+                kind = _resolve_kind(node.args[0], simple_locals)
+                if kind is None:
+                    continue
+                required, optional = _fields_of(
+                    node.args[1], constants, dict_literals, subscript_adds
+                )
+                if required is None:
+                    continue
+                spec = specs.setdefault(kind, _KindSpec(kind))
+                spec.line = spec.line or node.lineno
+                spec.required |= required
+                spec.optional |= optional
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg == "version"
+                        and isinstance(keyword.value, ast.Name)
+                        and keyword.value.id == "SCHEMA_VERSION_V2"
+                    ):
+                        spec.version = 2
+            elif node.func.id == "_open_envelope" and len(node.args) >= 3:
+                kind = _resolve_kind(node.args[1], simple_locals)
+                if kind is None:
+                    continue
+                keys_node = node.args[2]
+                resolved: set[str] = set()
+                candidates = (
+                    multi_locals.get(keys_node.id, [])
+                    if isinstance(keys_node, ast.Name)
+                    and keys_node.id in multi_locals
+                    else [keys_node]
+                )
+                any_resolved = False
+                for candidate in candidates:
+                    keys = _string_set(candidate, constants)
+                    if keys is not None:
+                        resolved |= keys
+                        any_resolved = True
+                if not any_resolved:
+                    continue
+                spec = specs.setdefault(kind, _KindSpec(kind))
+                spec.decode_keys = (spec.decode_keys or set()) | resolved
+                spec.decode_line = spec.decode_line or node.lineno
+    return specs
+
+
+def _fields_of(
+    node: ast.AST,
+    constants: dict[str, set[str]],
+    dict_literals: dict[str, ast.Dict],
+    subscript_adds: dict[str, set[str]],
+) -> tuple[set[str] | None, set[str]]:
+    """(required keys, conditional keys) for an ``_envelope`` fields arg."""
+    if isinstance(node, ast.Name):
+        if node.id in dict_literals:
+            required, _ = _fields_of(
+                dict_literals[node.id], constants, {}, {}
+            )
+            extras = subscript_adds.get(node.id, set())
+            if required is None:
+                return None, set()
+            return required, extras - required
+        return None, set()
+    if isinstance(node, ast.Dict):
+        required = set()
+        for key in node.keys:
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                return None, set()
+            required.add(key.value)
+        return required, set()
+    if isinstance(node, ast.DictComp):
+        iter_keys = _string_set(node.generators[0].iter, constants)
+        return (iter_keys, set()) if iter_keys is not None else (None, set())
+    return None, set()
+
+
+# --------------------------------------------------------------------- #
+# Fixture corpus
+# --------------------------------------------------------------------- #
+def _iter_envelopes(value: object) -> Iterator[dict]:
+    if isinstance(value, dict):
+        if "schema" in value and "kind" in value:
+            yield value
+        for item in value.values():
+            yield from _iter_envelopes(item)
+    elif isinstance(value, list):
+        for item in value:
+            yield from _iter_envelopes(item)
+
+
+@register
+class WireFreezeRule(Rule):
+    rule_id = "wire-freeze"
+    description = (
+        "codec field sets, golden fixtures, make_fixtures entries and "
+        "state vocabularies must all agree (v1 is frozen)"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        codec = project.find_unit("service/codec.py")
+        if codec is None:
+            return
+        specs = _extract_specs(codec.tree)
+        if not specs:
+            return
+        yield from self._check_codec_parity(codec, specs)
+        yield from self._check_fixtures(project, codec, specs)
+        yield from self._check_make_fixtures(project)
+        yield from self._check_vocabularies(project, codec)
+
+    # -- 1. encoder vs decoder ----------------------------------------- #
+    def _check_codec_parity(
+        self, codec: ModuleUnit, specs: dict[str, _KindSpec]
+    ) -> Iterator[Finding]:
+        for kind, spec in sorted(specs.items()):
+            if not spec.required:
+                yield Finding(
+                    codec.relpath,
+                    spec.decode_line or 1,
+                    0,
+                    self.rule_id,
+                    f"kind {kind!r} is decoded but never encoded",
+                    hint="every wire kind needs an encoder and a decoder",
+                )
+                continue
+            if spec.decode_keys is None:
+                yield Finding(
+                    codec.relpath,
+                    spec.line or 1,
+                    0,
+                    self.rule_id,
+                    f"kind {kind!r} is encoded but never decoded",
+                    hint="every wire kind needs an encoder and a decoder",
+                )
+                continue
+            emitted = spec.required | spec.optional
+            if emitted != spec.decode_keys:
+                extra = sorted(spec.decode_keys - emitted)
+                missing = sorted(emitted - spec.decode_keys)
+                detail = []
+                if missing:
+                    detail.append(f"encoder-only keys {missing}")
+                if extra:
+                    detail.append(f"decoder-only keys {extra}")
+                yield Finding(
+                    codec.relpath,
+                    spec.line,
+                    0,
+                    self.rule_id,
+                    f"kind {kind!r}: encoder and decoder disagree — "
+                    + "; ".join(detail),
+                    hint="update the _KEYS constant and the fixtures together",
+                )
+
+    # -- 2 + 3a. fixture instances and kind coverage -------------------- #
+    def _check_fixtures(
+        self,
+        project: Project,
+        codec: ModuleUnit,
+        specs: dict[str, _KindSpec],
+    ) -> Iterator[Finding]:
+        fixtures_dir = project.root / _FIXTURES_DIR
+        if not fixtures_dir.is_dir():
+            yield Finding(
+                codec.relpath,
+                1,
+                0,
+                self.rule_id,
+                f"golden fixture corpus not found at {_FIXTURES_DIR.as_posix()}",
+                hint="run tests/service/make_fixtures.py to create it",
+            )
+            return
+        seen_kinds: set[str] = set()
+        for path in sorted(fixtures_dir.glob("*.json")):
+            relpath = (_FIXTURES_DIR / path.name).as_posix()
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError) as exc:
+                yield Finding(
+                    relpath, 1, 0, self.rule_id, f"unreadable fixture: {exc}"
+                )
+                continue
+            for envelope in _iter_envelopes(payload):
+                kind = envelope.get("kind")
+                spec = specs.get(kind) if isinstance(kind, str) else None
+                if spec is None or not spec.required:
+                    yield Finding(
+                        relpath,
+                        1,
+                        0,
+                        self.rule_id,
+                        f"fixture contains unknown kind {kind!r}",
+                        hint="the codec has no encoder for this kind",
+                    )
+                    continue
+                seen_kinds.add(spec.kind)
+                keys = set(envelope) - {"schema", "kind"}
+                schema = envelope.get("schema")
+                if schema == 1 and keys != spec.required:
+                    yield Finding(
+                        relpath,
+                        1,
+                        0,
+                        self.rule_id,
+                        f"v1 {spec.kind!r} envelope carries keys "
+                        f"{sorted(keys)}, frozen set is "
+                        f"{sorted(spec.required)}",
+                        hint=(
+                            "v1 bytes are frozen; additive keys must stamp "
+                            "schema 2"
+                        ),
+                    )
+                elif not (
+                    spec.required <= keys <= spec.required | spec.optional
+                ):
+                    missing = sorted(spec.required - keys)
+                    unknown = sorted(keys - spec.required - spec.optional)
+                    detail = []
+                    if missing:
+                        detail.append(f"missing {missing}")
+                    if unknown:
+                        detail.append(f"unknown {unknown}")
+                    yield Finding(
+                        relpath,
+                        1,
+                        0,
+                        self.rule_id,
+                        f"{spec.kind!r} envelope drifted from the codec: "
+                        + "; ".join(detail),
+                        hint="regenerate with tests/service/make_fixtures.py",
+                    )
+        for kind, spec in sorted(specs.items()):
+            if spec.required and kind not in seen_kinds:
+                yield Finding(
+                    codec.relpath,
+                    spec.line or 1,
+                    0,
+                    self.rule_id,
+                    f"kind {kind!r} has no golden fixture pinning its shape",
+                    hint=(
+                        "add a payload to tests/service/make_fixtures.py "
+                        "and regenerate the corpus"
+                    ),
+                )
+
+    # -- 3b. make_fixtures entries vs fixture files --------------------- #
+    def _check_make_fixtures(self, project: Project) -> Iterator[Finding]:
+        script = project.root / _MAKE_FIXTURES
+        fixtures_dir = project.root / _FIXTURES_DIR
+        if not script.is_file() or not fixtures_dir.is_dir():
+            return
+        relpath = _MAKE_FIXTURES.as_posix()
+        try:
+            tree = ast.parse(script.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError) as exc:
+            yield Finding(relpath, 1, 0, self.rule_id, f"unparsable: {exc}")
+            return
+        entries: dict[str, int] = {}
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.FunctionDef)
+                and node.name == "build_payloads"
+            ):
+                continue
+            # Only the *returned* dict's top-level keys are corpus entries
+            # (payload expressions may contain dict literals of their own).
+            named_dicts: dict[str, ast.Dict] = {}
+            returned: list[ast.Dict] = []
+            for inner in ast.walk(node):
+                if (
+                    isinstance(inner, ast.Assign)
+                    and len(inner.targets) == 1
+                    and isinstance(inner.targets[0], ast.Name)
+                    and isinstance(inner.value, ast.Dict)
+                ):
+                    named_dicts[inner.targets[0].id] = inner.value
+                elif isinstance(inner, ast.Return):
+                    if isinstance(inner.value, ast.Dict):
+                        returned.append(inner.value)
+                    elif (
+                        isinstance(inner.value, ast.Name)
+                        and inner.value.id in named_dicts
+                    ):
+                        returned.append(named_dicts[inner.value.id])
+            for payload_dict in returned:
+                for key in payload_dict.keys:
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        entries.setdefault(key.value, key.lineno)
+        if not entries:
+            return
+        files = {path.stem for path in fixtures_dir.glob("*.json")}
+        for name in sorted(set(entries) - files):
+            yield Finding(
+                relpath,
+                entries[name],
+                0,
+                self.rule_id,
+                f"build_payloads() entry {name!r} has no fixture file",
+                hint="run tests/service/make_fixtures.py to regenerate",
+            )
+        for name in sorted(files - set(entries)):
+            yield Finding(
+                relpath,
+                1,
+                0,
+                self.rule_id,
+                f"fixture {name}.json has no build_payloads() entry — the "
+                "corpus cannot be regenerated",
+                hint="add the payload to build_payloads() or delete the file",
+            )
+
+    # -- 4. vocabulary cross-checks ------------------------------------- #
+    def _check_vocabularies(
+        self, project: Project, codec: ModuleUnit
+    ) -> Iterator[Finding]:
+        job_states: tuple[str, ...] | None = None
+        job_states_line = 1
+        stop_reason_names: set[str] | None = None
+        stop_reasons_line = 1
+        for node in codec.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "JOB_STATES":
+                    job_states = _string_tuple(node.value)
+                    job_states_line = node.lineno
+                elif target.id == "_STOP_REASONS":
+                    stop_reason_names = _attribute_names(
+                        node.value, "StopReason"
+                    )
+                    stop_reasons_line = node.lineno
+
+        jobs_unit = project.find_unit("service/jobs.py")
+        if job_states is not None and jobs_unit is not None:
+            members, _ = _class_string_members(jobs_unit.tree, "JobState")
+            if members and tuple(members.values()) != job_states:
+                yield Finding(
+                    codec.relpath,
+                    job_states_line,
+                    0,
+                    self.rule_id,
+                    f"JOB_STATES {list(job_states)} drifted from "
+                    f"JobState members {list(members.values())}",
+                    hint="the wire vocabulary must match the scheduler's",
+                )
+
+        controls_unit = project.find_unit("core/engine/controls.py")
+        if stop_reason_names is not None and controls_unit is not None:
+            members, _ = _class_string_members(
+                controls_unit.tree, "StopReason"
+            )
+            if members and set(members) != stop_reason_names:
+                missing = sorted(set(members) - stop_reason_names)
+                extra = sorted(stop_reason_names - set(members))
+                detail = []
+                if missing:
+                    detail.append(f"missing {missing}")
+                if extra:
+                    detail.append(f"unknown {extra}")
+                yield Finding(
+                    codec.relpath,
+                    stop_reasons_line,
+                    0,
+                    self.rule_id,
+                    "_STOP_REASONS drifted from StopReason: "
+                    + "; ".join(detail),
+                    hint="every stop reason must round-trip over the wire",
+                )

@@ -1,0 +1,80 @@
+"""Suppression comments: ``# repro: ignore[rule-id]``.
+
+Policy (documented in ``docs/dev.md``): a suppression is a *claim* that
+the flagged line is safe for a reason the rule cannot see, and it must
+name the rule it silences.  Forms:
+
+* ``# repro: ignore[rule-a]`` — silence ``rule-a`` on this line;
+* ``# repro: ignore[rule-a, rule-b]`` — silence several rules;
+* ``# repro: ignore`` — silence every rule on this line (discouraged);
+* ``# repro: ignore-file[rule-a]`` — silence ``rule-a`` for the whole
+  file (must appear within the first 10 lines).
+
+Comments are found with :mod:`tokenize`, so the markers never trigger
+inside string literals.  ``--no-suppress`` audits what the markers hide.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_MARKER = re.compile(
+    r"#\s*repro:\s*(?P<form>ignore-file|ignore)\s*(?:\[(?P<rules>[^\]]*)\])?"
+)
+
+#: Sentinel meaning "every rule" (bare ``ignore`` with no bracket list).
+ALL_RULES = "*"
+
+
+class Suppressions:
+    """Per-file suppression table, queried by (line, rule_id)."""
+
+    def __init__(self) -> None:
+        self._by_line: dict[int, set[str]] = {}
+        self._file_wide: set[str] = set()
+
+    def add_line(self, line: int, rule_ids: set[str]) -> None:
+        self._by_line.setdefault(line, set()).update(rule_ids)
+
+    def add_file(self, rule_ids: set[str]) -> None:
+        self._file_wide.update(rule_ids)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        for pool in (self._file_wide, self._by_line.get(line, ())):
+            if ALL_RULES in pool or rule_id in pool:
+                return True
+        return False
+
+    def __bool__(self) -> bool:
+        return bool(self._by_line or self._file_wide)
+
+
+def _parse_rule_list(raw: str | None) -> set[str]:
+    if raw is None:
+        return {ALL_RULES}
+    rules = {token.strip() for token in raw.split(",") if token.strip()}
+    return rules or {ALL_RULES}
+
+
+def collect(source: str) -> Suppressions:
+    """Scan a module's source for suppression markers."""
+    table = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return table  # the runner reports the parse failure separately
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _MARKER.search(token.string)
+        if match is None:
+            continue
+        rule_ids = _parse_rule_list(match.group("rules"))
+        if match.group("form") == "ignore-file":
+            if token.start[0] <= 10:
+                table.add_file(rule_ids)
+        else:
+            table.add_line(token.start[0], rule_ids)
+    return table

@@ -245,3 +245,48 @@ class TestSharedCache:
             thread.join(timeout=30)
         assert not errors
         assert len(store) == 4
+
+    def test_concurrent_reads_race_eviction_safely(self):
+        # len()/default_fingerprint read the registry the writers mutate
+        # under the store lock; hammering them against a stream of
+        # evicting registrations must never raise (dict-changed-during-
+        # iteration, KeyError on a just-evicted default) or tear state.
+        store = GraphStore(max_graphs=2)
+        graphs = [
+            random_uncertain_graph(6, 0.5, rng=random.Random(seed))
+            for seed in range(6)
+        ]
+        errors = []
+        barrier = threading.Barrier(4)
+        done = threading.Event()
+
+        def churn():
+            try:
+                barrier.wait(timeout=5)
+                for _ in range(20):
+                    for graph in graphs:
+                        store.ensure(graph)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+            finally:
+                done.set()
+
+        def observe():
+            try:
+                barrier.wait(timeout=5)
+                while not done.is_set():
+                    assert 0 <= len(store) <= 2
+                    fingerprint = store.default_fingerprint
+                    assert fingerprint is None or isinstance(fingerprint, str)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn)] + [
+            threading.Thread(target=observe) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert 1 <= len(store) <= 2

@@ -195,6 +195,28 @@ class TestMergeStopReasons:
             == StopReason.MAX_CLIQUES
         )
 
+    def test_cancelled_dominates_every_other_reason(self):
+        # Historically a cancelled shard collapsed to COMPLETED because the
+        # merge only special-cased TIME_BUDGET; cancellation is the
+        # strongest reason and must survive any mix.
+        assert (
+            _merge_stop_reasons(
+                ["completed", "max-cliques", "cancelled", "time-budget"]
+            )
+            == StopReason.CANCELLED
+        )
+
+    def test_cap_trim_does_not_mask_cancellation(self):
+        from repro.parallel.runner import _strongest
+
+        assert (
+            _strongest(StopReason.CANCELLED, StopReason.MAX_CLIQUES)
+            == StopReason.CANCELLED
+        )
+
+    def test_unknown_reason_is_never_downgraded(self):
+        assert _merge_stop_reasons(["completed", "wedged"]) == "wedged"
+
 
 class TestStopReasonPrecedence:
     def test_time_budget_survives_merged_cap_trim(self, random_graph_factory):

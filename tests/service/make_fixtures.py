@@ -118,6 +118,13 @@ def build_payloads() -> dict[str, dict]:
         "sweep_request_five_alphas": codec.sweep_to_wire(
             mule_request, [0.5, 0.6, 0.7, 0.8, 0.9]
         ),
+        # A sweep's response shape: the alpha-ordered outcome list.
+        "outcome_list_sweep_pair": codec.outcomes_to_wire(
+            [
+                frozen(session.enumerate(mule_request)),
+                frozen(session.enumerate(top_k_request)),
+            ]
+        ),
         "records_string_labels": codec.to_wire(
             [
                 CliqueRecord(vertices=frozenset({"ana", "bob", "cal"}), probability=0.7866),
@@ -157,6 +164,27 @@ def build_payloads() -> dict[str, dict]:
                 pinned=True,
                 default=True,
             )
+        ),
+        # The store listing (GET /v2/graphs): default graph first.
+        "graph_list_two_graphs": codec.graph_list_to_wire(
+            [
+                GraphInfo(
+                    fingerprint="a3f1" * 16,
+                    name="ppi",
+                    num_vertices=3751,
+                    num_edges=3692,
+                    pinned=True,
+                    default=True,
+                ),
+                GraphInfo(
+                    fingerprint="0b2c" * 16,
+                    name=None,
+                    num_vertices=4,
+                    num_edges=4,
+                    pinned=False,
+                    default=False,
+                ),
+            ]
         ),
         # ---- schema v2: the async job vocabulary ---- #
         "job_request_paged": codec.job_request_to_wire(

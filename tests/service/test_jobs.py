@@ -343,5 +343,5 @@ class TestRegistryAndStats:
     def test_submit_after_shutdown_is_rejected(self, graph):
         scheduler = EnumerationScheduler(graph)
         scheduler.shutdown(wait=True)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ServiceError):
             scheduler.submit_job(REQUEST)

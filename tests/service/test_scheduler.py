@@ -20,7 +20,7 @@ import time
 import pytest
 
 from repro.api import EnumerationRequest, MiningSession
-from repro.errors import ParameterError
+from repro.errors import ParameterError, ServiceError
 from repro.generators.erdos_renyi import random_uncertain_graph
 from repro.service import EnumerationScheduler
 import repro.api.cache as cache_module
@@ -187,7 +187,7 @@ class TestBookkeeping:
     def test_submit_after_shutdown_raises(self, graph):
         scheduler = EnumerationScheduler(graph)
         scheduler.shutdown()
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ServiceError):
             scheduler.submit(REQUEST)
 
     def test_empty_graph_requests_complete(self):
