@@ -82,8 +82,10 @@ from .service import (
     connect,
 )
 from .deterministic.graph import Graph
+from .distributed import DistributedSession, WorkerPool
 from .errors import (
     DatasetError,
+    DegradedError,
     EdgeError,
     FormatError,
     GraphError,
@@ -169,10 +171,14 @@ __all__ = [
     "ServiceError",
     "StoreError",
     "GraphNotFoundError",
+    "DegradedError",
     # service layer
     "MiningServer",
     "RemoteSession",
     "RemoteStore",
     "connect",
     "EnumerationScheduler",
+    # distributed enumeration
+    "DistributedSession",
+    "WorkerPool",
 ]

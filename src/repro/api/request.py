@@ -105,6 +105,16 @@ class EnumerationRequest:
         ``workers=1`` — what :func:`repro.parallel.parallel_mule` does, so
         its ``workers=1`` results keep the ``parallel-mule`` label and
         shard-merge semantics).
+    root_shard:
+        Optional tuple of vertex *labels* confining the search to the
+        depth-first subtrees rooted at those vertices
+        (:meth:`~repro.core.engine.compiled.CompiledGraph.restrict_roots`).
+        This is the wire-level sharding handle of the distributed
+        coordinator (:mod:`repro.distributed`): the union of outcomes over
+        a root partition is exactly the serial clique set.  ``mule``/
+        ``fast`` only, serial execution only; labels must exist in the
+        session's graph (unknown labels fail at run time with
+        :class:`~repro.errors.ParameterError`).
     kernel:
         Engine kernel backend running the enumeration hot path:
         ``"python"`` (the reference strategy-protocol kernel),
@@ -128,6 +138,7 @@ class EnumerationRequest:
     backend: str = "auto"
     execution: str = "auto"
     kernel: str = "auto"
+    root_shard: tuple | None = None
 
     def __post_init__(self) -> None:
         canonical = _ALIASES.get(self.algorithm)
@@ -197,6 +208,23 @@ class EnumerationRequest:
             raise ParameterError(
                 f"parallel execution is only supported for mule/fast, got {canonical!r}"
             )
+
+        if self.root_shard is not None:
+            shard = tuple(self.root_shard)
+            if not shard:
+                raise ParameterError("root_shard must name at least one root vertex")
+            if len(set(shard)) != len(shard):
+                raise ParameterError("root_shard contains duplicate vertices")
+            object.__setattr__(self, "root_shard", shard)
+            if canonical not in ("mule", "fast"):
+                raise ParameterError(
+                    f"root_shard is only supported for mule/fast, got {canonical!r}"
+                )
+            if self.parallel:
+                raise ParameterError(
+                    "root_shard cannot be combined with parallel execution "
+                    "(shard fan-out already owns the root partition)"
+                )
 
     @property
     def parallel(self) -> bool:

@@ -222,6 +222,10 @@ class MiningSession:
             size_threshold=request.compile_size_threshold(),
             pruning_report=pruning_report,
         )
+        if request.root_shard is not None:
+            compiled = compiled.restrict_roots(
+                _root_shard_mask(compiled, request.root_shard)
+            )
         yield from run_kernel_search(
             compiled,
             request.alpha,
@@ -472,6 +476,24 @@ def plan_base_compile(
         # An unpruned artifact is requested anyway; it derives the rest.
         return (None, None)
     return (min(levels), None)
+
+
+def _root_shard_mask(compiled: CompiledGraph, labels: Sequence) -> int:
+    """Translate a request's ``root_shard`` labels into a root bitmask.
+
+    Labels are resolved against the compiled artifact's stable vertex
+    indexing (pruning never drops vertices, so the mapping is the same at
+    every α); a label the graph does not contain is a caller error.
+    """
+    mask = 0
+    for label in labels:
+        index = compiled.index_of.get(label)
+        if index is None:
+            raise ParameterError(
+                f"root_shard names vertex {label!r}, which is not in the graph"
+            )
+        mask |= 1 << index
+    return mask
 
 
 def _strategy_for(request: EnumerationRequest) -> EnumerationStrategy:

@@ -240,34 +240,58 @@ class GraphStore:
         """Resolve a reference to a resident fingerprint.
 
         ``None`` resolves to the default graph.  A string resolves as a
-        registered name first, then as a full fingerprint, then as an
+        registered name first — **exact-name wins**, names are the
+        user-chosen namespace — then as a full fingerprint, then as an
         unambiguous fingerprint prefix of at least
         :data:`MIN_PREFIX_LENGTH` characters.
+
+        Name precedence is checked, not blind: a ref that is the
+        registered name of one graph *and* a full fingerprint or a
+        :data:`MIN_PREFIX_LENGTH`-or-longer fingerprint prefix of a
+        **different** graph is truly ambiguous — two graphs claim the
+        same token — and raises :class:`~repro.errors.StoreError` rather
+        than silently answering the name.  A name that collides only
+        with its *own* graph's fingerprint stays unambiguous and
+        resolves normally.
 
         Raises
         ------
         StoreError
-            If the reference matches nothing (or matches several graphs).
+            If the reference matches several graphs — multiple
+            fingerprint prefixes, or a name colliding with another
+            graph's fingerprint.
+        GraphNotFoundError
+            If the reference matches nothing.
         """
         with self._lock:
             if ref is None:
                 if self._default is None:
                     raise StoreError("store has no graphs (no default graph)")
                 return self._default
-            fingerprint = self._names.get(ref)
-            if fingerprint is not None:
-                return fingerprint
+            named = self._names.get(ref)
             if ref in self._entries:
-                return ref
-            if len(ref) >= MIN_PREFIX_LENGTH:
+                matches = [ref]
+            elif len(ref) >= MIN_PREFIX_LENGTH:
                 matches = [fp for fp in self._entries if fp.startswith(ref)]
-                if len(matches) == 1:
-                    return matches[0]
-                if len(matches) > 1:
+            else:
+                matches = []
+            if named is not None:
+                rivals = [fp for fp in matches if fp != named]
+                if rivals:
                     raise StoreError(
-                        f"graph reference {ref!r} is ambiguous "
-                        f"({len(matches)} fingerprints match)"
+                        f"graph reference {ref!r} is ambiguous: it is the "
+                        f"registered name of graph {named[:12]} and a "
+                        f"fingerprint prefix of {len(rivals)} other "
+                        f"graph(s); use the full fingerprint"
                     )
+                return named
+            if len(matches) == 1:
+                return matches[0]
+            if len(matches) > 1:
+                raise StoreError(
+                    f"graph reference {ref!r} is ambiguous "
+                    f"({len(matches)} fingerprints match)"
+                )
             known = ", ".join(sorted(self._names)) or "none"
             raise GraphNotFoundError(
                 f"unknown graph {ref!r}; registered names: {known}"

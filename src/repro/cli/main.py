@@ -20,7 +20,9 @@ writing Python:
   ``--graph file`` to serve many graphs from one process; pair it with
   :class:`repro.RemoteStore` / :class:`repro.RemoteSession`;
 * ``repro-mule jobs`` — list, inspect, follow or cancel the asynchronous
-  jobs of a running server.
+  jobs of a running server;
+* ``repro-mule fleet`` — probe a fleet of ``serve`` workers and print
+  their health.
 
 ``enumerate`` and ``compare`` also run against a remote server instead of
 a local file: ``--remote URL`` targets its default graph and ``--remote
@@ -28,6 +30,11 @@ URL --graph NAME`` any graph it hosts by name or fingerprint.  With
 ``--remote``, ``enumerate --async`` submits without waiting (returning a
 job id for ``repro-mule jobs``) and ``enumerate --follow`` streams the
 cliques live as the server finds them.
+
+``enumerate`` can also fan a *local* graph out across many servers:
+repeat ``--workers-url URL`` once per worker and the command runs the
+distributed coordinator of ``docs/architecture.md`` ("Distributed
+enumeration") — the output is bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -48,6 +55,7 @@ from ..datasets.registry import (
     load_dataset,
     resolve_dataset_name,
 )
+from ..distributed import DistributedSession, WorkerPool, WorkerState
 from ..extensions.uncertain_core import uncertain_core_decomposition
 from ..errors import DatasetError, ReproError
 from ..service.client import connect
@@ -121,6 +129,27 @@ def build_parser() -> argparse.ArgumentParser:
             "(mule/fast-mule only; default: 1 = serial)"
         ),
     )
+    enumerate_parser.add_argument(
+        "--workers-url",
+        dest="workers_url",
+        action="append",
+        default=[],
+        metavar="URL",
+        help=(
+            "fan the enumeration out across this repro-mule serve worker "
+            "(repeatable, one flag per worker; mule/fast-mule only; the "
+            "merged output is bit-identical to a serial run)"
+        ),
+    )
+    enumerate_parser.add_argument(
+        "--num-shards",
+        type=int,
+        default=None,
+        help=(
+            "with --workers-url: number of root shards to plan "
+            "(default: 2 per worker)"
+        ),
+    )
     _add_kernel_argument(enumerate_parser)
     _add_run_control_arguments(enumerate_parser)
 
@@ -169,6 +198,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     jobs_action.add_argument(
         "--cancel", metavar="ID", help="cancel a job and print its final status"
+    )
+
+    fleet_parser = subparsers.add_parser(
+        "fleet", help="probe a fleet of serve workers and print their health"
+    )
+    fleet_parser.add_argument(
+        "--workers-url",
+        dest="workers_url",
+        action="append",
+        required=True,
+        metavar="URL",
+        help="base URL of a repro-mule serve worker (repeatable)",
     )
 
     core_parser = subparsers.add_parser(
@@ -391,6 +432,11 @@ def _command_enumerate(args: argparse.Namespace) -> int:
     if (args.async_submit or args.follow) and args.remote is None:
         print("error: --async/--follow require --remote URL", file=sys.stderr)
         return 2
+    if args.num_shards is not None and not args.workers_url:
+        print("error: --num-shards requires --workers-url", file=sys.stderr)
+        return 2
+    if args.workers_url:
+        return _enumerate_distributed(args)
     resolved = _resolve_session(args)
     if resolved is None:
         return 2
@@ -419,7 +465,13 @@ def _command_enumerate(args: argparse.Namespace) -> int:
             return 0
         return _follow_job(job, quiet=args.quiet)
     result = session.enumerate(request).to_result()
+    return _print_enumeration_result(args, result, num_vertices, num_edges)
 
+
+def _print_enumeration_result(
+    args: argparse.Namespace, result, num_vertices: int, num_edges: int
+) -> int:
+    """The shared output tail of local, remote and distributed runs."""
     stats = clique_statistics(result)
     print(
         f"{result.algorithm}: {result.num_cliques} alpha-maximal cliques "
@@ -429,7 +481,7 @@ def _command_enumerate(args: argparse.Namespace) -> int:
     if result.truncated:
         prefix_kind = (
             "a sorted subset"
-            if result.algorithm == "parallel-mule"
+            if result.algorithm in ("parallel-mule", "distributed-mule")
             else "a depth-first prefix"
         )
         print(
@@ -456,6 +508,83 @@ def _command_enumerate(args: argparse.Namespace) -> int:
         args.output.write_text(json.dumps(payload, indent=2), encoding="utf-8")
         print(f"wrote {result.num_cliques} cliques to {args.output}")
     return 0
+
+
+def _enumerate_distributed(args: argparse.Namespace) -> int:
+    """``enumerate --workers-url …`` — fan a local graph out over a fleet."""
+    if args.remote is not None or args.graph is not None:
+        print(
+            "error: --workers-url cannot be combined with --remote/--graph "
+            "(the coordinator ships a local graph to the fleet)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers > 1:
+        print(
+            "error: --workers and --workers-url are mutually exclusive "
+            "(the fleet fan-out is the parallelism)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.algorithm not in ("mule", "fast-mule"):
+        print(
+            f"error: --workers-url is only supported with "
+            f"--algorithm=mule/fast-mule (got {args.algorithm})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.input is None and args.dataset is None:
+        print(
+            "error: --workers-url requires a local --input or --dataset",
+            file=sys.stderr,
+        )
+        return 2
+    graph = _load_graph(args)
+    request = EnumerationRequest(
+        algorithm=args.algorithm,
+        alpha=args.alpha,
+        controls=_run_controls(args),
+        kernel=args.kernel,
+    )
+    with DistributedSession(
+        graph, tuple(args.workers_url), num_shards=args.num_shards
+    ) as session:
+        result = session.enumerate(request).to_result()
+    return _print_enumeration_result(
+        args, result, graph.num_vertices, graph.num_edges
+    )
+
+
+def _command_fleet(args: argparse.Namespace) -> int:
+    """Probe each worker once and print the fleet's health.
+
+    A one-shot probe has no failure history to average over, so the pool
+    runs with ``failure_threshold=1``: a worker that fails its single
+    probe is reported *dead*, not merely suspect.
+    """
+    pool = WorkerPool(args.workers_url, failure_threshold=1)
+    pool.probe()
+    statuses = pool.workers()
+    usable = 0
+    for status in statuses:
+        line = f"{status.url}  {status.state:8s}"
+        if status.state == WorkerState.HEALTHY:
+            usable += 1
+            try:
+                stats = connect(status.url).stats()
+            except ReproError:
+                stats = None
+            if stats is not None:
+                jobs = stats.get("jobs", {})
+                line += (
+                    f"  graphs={len(stats.get('graphs', {}))}"
+                    f"  jobs={sum(jobs.values())}"
+                )
+        elif status.last_error:
+            line += f"  error: {status.last_error}"
+        print(line)
+    print(f"{usable}/{len(statuses)} worker(s) usable")
+    return 0 if usable else 1
 
 
 def _command_stats(args: argparse.Namespace) -> int:
@@ -708,6 +837,7 @@ _COMMANDS = {
     "datasets": _command_datasets,
     "serve": _command_serve,
     "jobs": _command_jobs,
+    "fleet": _command_fleet,
 }
 
 

@@ -1,0 +1,272 @@
+"""Worker fleet registry: liveness probing and failure bookkeeping.
+
+:class:`WorkerPool` tracks a set of ``repro-mule serve`` base URLs and
+classifies each worker as *healthy*, *suspect* or *dead* from two signals:
+
+* **probes** — cheap ``GET /v1/health`` calls (control-plane timeout), run
+  on demand via :meth:`WorkerPool.probe` or periodically by the optional
+  background thread (:meth:`WorkerPool.start`);
+* **data-plane reports** — the coordinator calls
+  :meth:`WorkerPool.mark_failure` when a real shard call to a worker fails
+  in flight, so a worker that answers health probes but drops enumeration
+  traffic still degrades.
+
+A worker starts *healthy*; each consecutive failure moves it to *suspect*
+until ``failure_threshold`` failures mark it *dead*; one success resets it
+to *healthy*.  *Suspect* workers stay usable (the coordinator keeps
+assigning shards to them — a single dropped connection should not idle a
+box), *dead* ones do not, but a later successful probe resurrects them.
+
+All pool state is guarded by one lock (``repro-mule check`` enforces the
+discipline); probes themselves run outside it so a slow worker never
+blocks status queries.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from ..errors import ParameterError, ServiceError
+from ..service.client import DEFAULT_CONTROL_TIMEOUT_SECONDS, RemoteStore
+
+__all__ = [
+    "DEFAULT_FAILURE_THRESHOLD",
+    "DEFAULT_PROBE_INTERVAL_SECONDS",
+    "WorkerPool",
+    "WorkerState",
+    "WorkerStatus",
+]
+
+#: Seconds between probe rounds of the background thread.
+DEFAULT_PROBE_INTERVAL_SECONDS = 5.0
+
+#: Consecutive failures before a worker is declared dead.
+DEFAULT_FAILURE_THRESHOLD = 3
+
+
+class WorkerState:
+    """Closed vocabulary of worker liveness states."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+    ALL = (HEALTHY, SUSPECT, DEAD)
+
+
+@dataclass(frozen=True)
+class WorkerStatus:
+    """Immutable snapshot of one worker's liveness bookkeeping."""
+
+    url: str
+    state: str
+    consecutive_failures: int
+    last_error: str | None = None
+
+    @property
+    def usable(self) -> bool:
+        """True when the coordinator may still assign shards to this worker."""
+        return self.state != WorkerState.DEAD
+
+
+class _WorkerRecord:
+    """Mutable per-worker bookkeeping; only touched under the pool lock."""
+
+    __slots__ = ("url", "state", "failures", "last_error")
+
+    def __init__(self, url: str) -> None:
+        self.url = url
+        self.state = WorkerState.HEALTHY
+        self.failures = 0
+        self.last_error: str | None = None
+
+    def snapshot(self) -> WorkerStatus:
+        return WorkerStatus(
+            url=self.url,
+            state=self.state,
+            consecutive_failures=self.failures,
+            last_error=self.last_error,
+        )
+
+
+class WorkerPool:
+    """Registry of enumeration workers with liveness states.
+
+    Parameters
+    ----------
+    urls:
+        Initial worker base URLs (each is :meth:`add_worker`-ed).
+    probe_interval:
+        Seconds between rounds of the optional background probe thread.
+    failure_threshold:
+        Consecutive failures that mark a worker dead.
+    probe:
+        Probe callable ``(url) -> None`` raising
+        :class:`~repro.errors.ServiceError` on failure.  Defaults to a
+        ``GET /v1/health`` against the worker; tests inject fakes here.
+    """
+
+    def __init__(
+        self,
+        urls: Iterable[str] = (),
+        *,
+        probe_interval: float = DEFAULT_PROBE_INTERVAL_SECONDS,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        probe: Callable[[str], None] | None = None,
+    ) -> None:
+        if probe_interval <= 0:
+            raise ParameterError(
+                f"probe_interval must be positive, got {probe_interval}"
+            )
+        if failure_threshold < 1:
+            raise ParameterError(
+                f"failure_threshold must be positive, got {failure_threshold}"
+            )
+        self._probe_interval = probe_interval
+        self._failure_threshold = failure_threshold
+        self._probe_call = probe if probe is not None else _default_probe
+        self._lock = threading.Lock()
+        self._workers: dict[str, _WorkerRecord] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        for url in urls:
+            self.add_worker(url)
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+    def add_worker(self, url: str) -> WorkerStatus:
+        """Register a worker base URL (idempotent; starts *healthy*)."""
+        url = url.rstrip("/")
+        if not url:
+            raise ParameterError("worker url must be non-empty")
+        with self._lock:
+            record = self._workers.get(url)
+            if record is None:
+                record = _WorkerRecord(url)
+                self._workers[url] = record
+            return record.snapshot()
+
+    def remove_worker(self, url: str) -> WorkerStatus:
+        """Unregister a worker; returns its final snapshot."""
+        url = url.rstrip("/")
+        with self._lock:
+            record = self._workers.pop(url, None)
+        if record is None:
+            raise ParameterError(f"unknown worker {url!r}")
+        return record.snapshot()
+
+    def workers(self) -> list[WorkerStatus]:
+        """Snapshots of every registered worker, in registration order."""
+        with self._lock:
+            return [record.snapshot() for record in self._workers.values()]
+
+    def usable_urls(self) -> list[str]:
+        """URLs the coordinator may assign shards to (healthy + suspect)."""
+        with self._lock:
+            return [
+                record.url
+                for record in self._workers.values()
+                if record.state != WorkerState.DEAD
+            ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    # ------------------------------------------------------------------ #
+    # Liveness signals
+    # ------------------------------------------------------------------ #
+    def probe(self) -> list[WorkerStatus]:
+        """Run one probe round over every worker and return the snapshots.
+
+        Probe calls happen outside the pool lock — a hung worker delays the
+        round, never a concurrent :meth:`workers` query.
+        """
+        with self._lock:
+            urls = list(self._workers)
+        for url in urls:
+            try:
+                self._probe_call(url)
+            except ServiceError as exc:
+                self.mark_failure(url, exc)
+            else:
+                self.mark_healthy(url)
+        return self.workers()
+
+    def mark_failure(self, url: str, error: object = None) -> str | None:
+        """Record one failed interaction with a worker; returns its new state.
+
+        Used both by the probe loop and by the coordinator's data-plane
+        error paths.  Unknown URLs (worker removed concurrently) answer
+        ``None`` instead of raising — a failure report must never lose a
+        race with membership changes.
+        """
+        with self._lock:
+            record = self._workers.get(url.rstrip("/"))
+            if record is None:
+                return None
+            record.failures += 1
+            record.last_error = None if error is None else str(error)
+            record.state = (
+                WorkerState.DEAD
+                if record.failures >= self._failure_threshold
+                else WorkerState.SUSPECT
+            )
+            return record.state
+
+    def mark_healthy(self, url: str) -> str | None:
+        """Record one successful interaction; resets the failure streak."""
+        with self._lock:
+            record = self._workers.get(url.rstrip("/"))
+            if record is None:
+                return None
+            record.failures = 0
+            record.last_error = None
+            record.state = WorkerState.HEALTHY
+            return record.state
+
+    # ------------------------------------------------------------------ #
+    # Background probing
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Start the periodic probe thread (no-op when already running)."""
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._stop.clear()
+            thread = threading.Thread(
+                target=self._probe_loop, name="repro-worker-pool-probe", daemon=True
+            )
+            self._thread = thread
+        thread.start()
+
+    def close(self) -> None:
+        """Stop the probe thread (if any) and wait for it to exit."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        self._stop.set()
+        if thread is not None:
+            thread.join()
+
+    def _probe_loop(self) -> None:
+        while not self._stop.wait(self._probe_interval):
+            self.probe()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        states = [status.state for status in self.workers()]
+        return f"WorkerPool(workers={len(states)}, states={states})"
+
+
+def _default_probe(url: str) -> None:
+    """The stock probe: one control-plane ``GET /v1/health``."""
+    RemoteStore(url, timeout=DEFAULT_CONTROL_TIMEOUT_SECONDS).health()

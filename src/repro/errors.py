@@ -17,6 +17,7 @@ __all__ = [
     "DatasetError",
     "FormatError",
     "ServiceError",
+    "DegradedError",
     "StoreError",
     "GraphNotFoundError",
     "JobError",
@@ -89,6 +90,17 @@ class ServiceError(ReproError):
     connection drops, or a response is not a well-formed wire payload.
     Application-level failures (bad parameters, malformed requests) are
     re-raised client-side as their original exception types instead.
+    """
+
+
+class DegradedError(ServiceError):
+    """A distributed run lost every worker it could retry on.
+
+    Raised by the fleet coordinator (:mod:`repro.distributed`) when a shard
+    exhausts its retry budget because no healthy worker remains to take it.
+    It subclasses :class:`ServiceError` because the underlying causes are
+    transport-level worker failures, but it is a distinct type so callers
+    can tell "the whole fleet degraded away" from a single failed call.
     """
 
 

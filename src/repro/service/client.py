@@ -41,6 +41,7 @@ protocol failures raise :class:`~repro.errors.ServiceError`.
 from __future__ import annotations
 
 import http.client
+import time
 import urllib.error
 import urllib.request
 from collections.abc import Iterator, Sequence
@@ -53,6 +54,7 @@ from ..core.result import CliqueRecord
 from ..errors import FormatError, JobError, ServiceError, StoreError
 from ..uncertain.graph import UncertainGraph
 from . import codec
+from .jobs import JobState
 
 __all__ = ["RemoteJob", "RemoteSession", "RemoteStore", "connect"]
 
@@ -68,8 +70,19 @@ DEFAULT_TIMEOUT_SECONDS = 300.0
 DEFAULT_CONTROL_TIMEOUT_SECONDS = 10.0
 
 #: Consecutive result-stream reconnects tolerated without the cursor
-#: advancing before the client gives up.
+#: advancing before the client gives up.  The budget only burns once the
+#: job has been observed past ``queued`` — a job parked in the server's
+#: submit queue is waiting, not stalled.
 _MAX_STALLED_RECONNECTS = 5
+
+#: First delay before re-opening a result stream that did not advance;
+#: doubles per consecutive idle reconnect, up to the cap.  Without this a
+#: queued job's empty streams would burn the whole stall budget in
+#: milliseconds (and hammer the server with reconnects while doing it).
+_RECONNECT_BACKOFF_SECONDS = 0.05
+
+#: Upper bound on the reconnect delay.
+_RECONNECT_BACKOFF_CAP_SECONDS = 2.0
 
 
 class _HttpClient:
@@ -213,8 +226,16 @@ class RemoteJob:
         no record is lost or duplicated.  When the stream ends, a failed
         job's error is re-raised; a ``done``/``cancelled`` job returns
         normally (check :meth:`outcome` for the ``stop_reason``).
+
+        Idle reconnects (the cursor did not advance) back off with a
+        capped exponential delay, and only count against the stall budget
+        once the job has been observed past ``queued`` — a job waiting in
+        the server's submit queue produces nothing for as long as the
+        queue ahead of it takes, which is patience, not a stall.
         """
         stalled = 0
+        idle = 0
+        observed_running = False
         while self._summary is None and self._error is None:
             before = self._cursor
             stream = self._client._open_stream(
@@ -226,15 +247,36 @@ class RemoteJob:
                 pass  # dropped mid-chunk: reconnect at the same cursor
             finally:
                 stream.close()
-            if self._cursor == before and self._summary is None and self._error is None:
+            if (
+                self._cursor != before
+                or self._summary is not None
+                or self._error is not None
+            ):
+                stalled = 0
+                idle = 0
+                observed_running = True  # records flowed: it ran
+                continue
+            idle += 1
+            if not observed_running:
+                try:
+                    observed_running = self.status().state != JobState.QUEUED
+                except ServiceError:
+                    # Can't ask — charge the budget rather than wait on a
+                    # server that answers neither streams nor polls.
+                    observed_running = True
+            if observed_running:
                 stalled += 1
                 if stalled >= _MAX_STALLED_RECONNECTS:
                     raise ServiceError(
                         f"result stream of job {self.id} stalled at cursor "
                         f"{self._cursor} after {stalled} reconnects"
                     )
-            else:
-                stalled = 0
+            time.sleep(
+                min(
+                    _RECONNECT_BACKOFF_CAP_SECONDS,
+                    _RECONNECT_BACKOFF_SECONDS * (2 ** (idle - 1)),
+                )
+            )
         if self._error is not None:
             raise self._error
 

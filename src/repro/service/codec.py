@@ -436,12 +436,12 @@ _REQUEST_KEYS = frozenset(
 def request_to_wire(request: EnumerationRequest) -> dict[str, Any]:
     """Encode a request.  Every field is explicit (nullable ones as null).
 
-    The ``kernel`` field is the one exception: it was added after the v1
-    envelope shape was frozen, so it rides as an *additive* v2 key — it is
-    emitted only when it deviates from its default (``"auto"``), and its
-    presence promotes the envelope to ``schema: 2``.  A request that never
-    touches ``kernel`` therefore still encodes to the exact v1 bytes the
-    conformance corpus pins.
+    The ``kernel`` and ``root_shard`` fields are the exceptions: they were
+    added after the v1 envelope shape was frozen, so each rides as an
+    *additive* v2 key — emitted only when it deviates from its default
+    (``"auto"`` / ``None``), and its presence promotes the envelope to
+    ``schema: 2``.  A request that touches neither therefore still encodes
+    to the exact v1 bytes the conformance corpus pins.
     """
     fields = {
         "algorithm": request.algorithm,
@@ -463,6 +463,9 @@ def request_to_wire(request: EnumerationRequest) -> dict[str, Any]:
     if request.kernel != "auto":
         fields["kernel"] = request.kernel
         version = SCHEMA_VERSION_V2
+    if request.root_shard is not None:
+        fields["root_shard"] = [_vertex_to_wire(v) for v in request.root_shard]
+        version = SCHEMA_VERSION_V2
     return _envelope("enumeration-request", fields, version=version)
 
 
@@ -470,17 +473,32 @@ def request_from_wire(payload: object) -> EnumerationRequest:
     kind = "enumeration-request"
     keys = _REQUEST_KEYS
     kernel = "auto"
-    if isinstance(payload, dict) and "kernel" in payload:
-        # Additive v2 key: a v1 speaker cannot have produced it, so an
-        # envelope carrying it while claiming schema 1 is rejected.
-        if payload.get("schema") == SCHEMA_VERSION:
-            raise FormatError(
-                f"{kind}.kernel requires schema >= {SCHEMA_VERSION_V2}"
-            )
-        keys = _REQUEST_KEYS | {"kernel"}
+    if isinstance(payload, dict):
+        # Additive v2 keys: a v1 speaker cannot have produced them, so an
+        # envelope carrying one while claiming schema 1 is rejected.  Each
+        # key widens the expected set independently (the branches spell the
+        # sets out literally so the wire-freeze rule can read them).
+        has_kernel = "kernel" in payload
+        has_root_shard = "root_shard" in payload
+        if has_kernel or has_root_shard:
+            if payload.get("schema") == SCHEMA_VERSION:
+                present = "kernel" if has_kernel else "root_shard"
+                raise FormatError(
+                    f"{kind}.{present} requires schema >= {SCHEMA_VERSION_V2}"
+                )
+            if has_kernel and has_root_shard:
+                keys = _REQUEST_KEYS | {"kernel", "root_shard"}
+            elif has_kernel:
+                keys = _REQUEST_KEYS | {"kernel"}
+            else:
+                keys = _REQUEST_KEYS | {"root_shard"}
     payload = _open_envelope(payload, kind, keys)
     if "kernel" in payload:
         kernel = _field(payload, kind, "kernel", str)
+    root_shard: tuple[int | float | str, ...] | None = None
+    if "root_shard" in payload:
+        raw = _field(payload, kind, "root_shard", list)
+        root_shard = tuple(_vertex_from_wire(v, kind) for v in raw)
     controls = payload["controls"]
     return EnumerationRequest(
         algorithm=_field(payload, kind, "algorithm", str),
@@ -498,6 +516,7 @@ def request_from_wire(payload: object) -> EnumerationRequest:
         backend=_field(payload, kind, "backend", str),
         execution=_field(payload, kind, "execution", str),
         kernel=kernel,
+        root_shard=root_shard,
     )
 
 

@@ -228,14 +228,31 @@ class EnumerationScheduler:
         """
         request = self._apply_default_kernel(request)
         session = self.session_for(graph, ref)
+        # Closed-check, registration and executor hand-off are one atomic
+        # step under the scheduler lock: shutdown() takes the same lock to
+        # flip _closed, so a submission racing a drain either fails the
+        # closed-check up front or lands before the drain sweep — it can
+        # never register a job the sweep has already passed over (a zombie
+        # stuck queued forever).
         with self._lock:
             if self._closed:
-                raise ServiceError("scheduler is shut down")
+                raise ServiceError("server shutdown: not accepting new jobs")
             self._submitted += 1
-        job = self._registry.create(
-            request, page_size=page_size, max_pending_pages=max_pending_pages
-        )
-        job.future = self._executor.submit(self._run_job, session, job)
+            job = self._registry.create(
+                request, page_size=page_size, max_pending_pages=max_pending_pages
+            )
+            try:
+                job.future = self._executor.submit(self._run_job, session, job)
+            except RuntimeError as exc:
+                # The executor refused (interpreter/executor shutdown via a
+                # path that bypassed _closed): settle the job as failed so
+                # it can never sit queued forever, then surface the
+                # refusal in service terms.
+                job._shutdown()
+                self._submitted -= 1
+                raise ServiceError(
+                    "server shutdown: not accepting new jobs"
+                ) from exc
         return job
 
     def _apply_default_kernel(self, request: EnumerationRequest) -> EnumerationRequest:

@@ -113,6 +113,11 @@ class _Handler(BaseHTTPRequestHandler):
                 self._respond_error(
                     503, ServiceError("server is draining; not accepting new work")
                 )
+            elif isinstance(exc, _LengthRequired):
+                # The request body is still sitting unread on the socket;
+                # keeping the connection would desync the next request.
+                self.close_connection = True
+                self._respond_error(411, ServiceError(str(exc)))
             elif isinstance(exc, (GraphNotFoundError, JobNotFoundError)):
                 self._respond_error(404, exc)
             elif isinstance(exc, ReproError):
@@ -216,8 +221,24 @@ class _Handler(BaseHTTPRequestHandler):
     # I/O helpers
     # ------------------------------------------------------------------ #
     def _read_body(self, *, limit: int = MAX_REQUEST_BYTES) -> bytes:
+        encoding = self.headers.get("Transfer-Encoding", "")
+        if "chunked" in encoding.lower():
+            # stdlib http.server does not decode chunked bodies: reading
+            # per Content-Length (absent for chunked requests) would hand
+            # the codec an empty body and blame the *payload*.  Refuse
+            # the transfer encoding itself instead.
+            raise _LengthRequired(
+                "chunked transfer encoding is not supported; send the "
+                "request body with a Content-Length header"
+            )
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            raise _LengthRequired(
+                f"{self.command} {self.path} requires a request body with "
+                f"a Content-Length header"
+            )
         try:
-            length = int(self.headers.get("Content-Length", "0"))
+            length = int(raw_length)
         except ValueError as exc:
             raise FormatError("invalid Content-Length header") from exc
         if length <= 0:
@@ -295,6 +316,17 @@ class _RouteError(Exception):
 
 class _ServerDraining(Exception):
     """Submission while the server is draining — mapped to HTTP 503."""
+
+
+class _LengthRequired(Exception):
+    """Body-carrying request without a usable Content-Length — HTTP 411.
+
+    ``http.server`` never decodes chunked transfer encoding, so trusting
+    a missing/zero Content-Length would silently read an *empty* body
+    (and leave the chunked payload on the socket to corrupt the next
+    keep-alive request).  Refusing with 411 up front turns that silent
+    misread into an actionable client error.
+    """
 
 
 def _job_path(path: str) -> "tuple[str, bool] | None":

@@ -3,7 +3,9 @@
 Clients map wire errors back to exception types by name
 (``codec.error_to_wire`` / ``RemoteSession``), so every exception that
 can cross a service boundary must come from the :mod:`repro.errors`
-taxonomy.  This rule flags, in ``service/`` and ``api/`` modules:
+taxonomy.  This rule flags, in ``service/``, ``api/`` and
+``distributed/`` modules (the distributed coordinator speaks the same
+wire protocol, so its errors cross the same boundary):
 
 * ``raise`` of anything that is not a :class:`repro.errors.ReproError`
   subclass, an ``AssertionError`` (the parity-contract assertion in
@@ -89,8 +91,8 @@ def _local_exception_classes(tree: ast.Module) -> set[str]:
 class ErrorTaxonomyRule(Rule):
     rule_id = "error-taxonomy"
     description = (
-        "raises in service/ and api/ must use the repro.errors taxonomy; "
-        "no bare except"
+        "raises in service/, api/ and distributed/ must use the "
+        "repro.errors taxonomy; no bare except"
     )
 
     def __init__(self) -> None:
@@ -98,7 +100,11 @@ class ErrorTaxonomyRule(Rule):
 
     def check_module(self, unit: ModuleUnit) -> Iterator[Finding]:
         parts = unit.relpath.split("/")
-        if "service" not in parts and "api" not in parts:
+        if (
+            "service" not in parts
+            and "api" not in parts
+            and "distributed" not in parts
+        ):
             return
         local_exceptions = _local_exception_classes(unit.tree)
         allowed = self._allowed | local_exceptions

@@ -1,6 +1,6 @@
 """lock-discipline: a lightweight static race detector.
 
-The service and api layers guard mutable state with ``threading.Lock`` /
+The service, api and distributed layers guard mutable state with ``threading.Lock`` /
 ``RLock`` / ``Condition`` attributes and manual ``with self._lock:``
 blocks.  The discipline this rule enforces: **any instance attribute
 ever mutated while holding a lock of the same class must never be read
@@ -260,12 +260,16 @@ class LockDisciplineRule(Rule):
     rule_id = "lock-discipline"
     description = (
         "attributes mutated under a class lock must never be touched "
-        "outside one (service/ and api/)"
+        "outside one (service/, api/ and distributed/)"
     )
 
     def check_module(self, unit: ModuleUnit) -> Iterator[Finding]:
         parts = unit.relpath.split("/")
-        if "service" not in parts and "api" not in parts:
+        if (
+            "service" not in parts
+            and "api" not in parts
+            and "distributed" not in parts
+        ):
             return
         for node in ast.walk(unit.tree):
             if not isinstance(node, ast.ClassDef):

@@ -101,6 +101,39 @@ class TestResolution:
             with pytest.raises(StoreError, match="ambiguous"):
                 store.resolve(a[:shared])
 
+    def test_name_colliding_with_another_graphs_prefix_is_ambiguous(
+        self, store
+    ):
+        """Regression: exact-name used to win silently over a prefix.
+
+        A ref that is the registered name of one graph *and* a valid
+        ≥8-char fingerprint prefix of a different graph is claimed by
+        two graphs at once — that must raise the ambiguity
+        :class:`StoreError`, not quietly answer the named graph.
+        """
+        a = store.add(graph_a()).fingerprint
+        collider = a[:8]  # hex prefix is a valid graph name
+        store.add(graph_b(), name=collider)
+        with pytest.raises(StoreError, match="ambiguous"):
+            store.resolve(collider)
+        # Unambiguous references to either graph still work.
+        assert store.resolve(a) == a
+        assert store.resolve(a[:12]) == a
+
+    def test_name_colliding_with_own_fingerprint_resolves(self, store):
+        """Exact-name wins when the collision is with the graph itself."""
+        a = store.add(graph_a()).fingerprint
+        info = store.add(graph_a(), name=a[:8])
+        assert info.fingerprint == a
+        assert store.resolve(a[:8]) == a
+
+    def test_name_colliding_with_full_fingerprint_is_ambiguous(self, store):
+        """A name equal to a *different* graph's full fingerprint raises."""
+        a = store.add(graph_a()).fingerprint
+        store.add(graph_b(), name=a)
+        with pytest.raises(StoreError, match="ambiguous"):
+            store.resolve(a)
+
     def test_unknown_reference_names_available(self, store):
         store.add(graph_a(), name="a")
         with pytest.raises(GraphNotFoundError, match="registered names: a"):

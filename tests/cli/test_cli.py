@@ -590,6 +590,21 @@ class TestParallelEnumeration:
         assert exit_code == 2
         assert "--workers" in capsys.readouterr().err
 
+    def test_num_shards_requires_workers_url(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--num-shards",
+                "4",
+            ]
+        )
+        assert exit_code == 2
+        assert "--num-shards requires --workers-url" in capsys.readouterr().err
+
     def test_workers_with_run_controls(self, graph_file, capsys):
         exit_code = main(
             [
@@ -608,3 +623,161 @@ class TestParallelEnumeration:
         out = capsys.readouterr().out
         assert "1 alpha-maximal cliques" in out
         assert "truncated (max-cliques)" in out
+
+
+@pytest.fixture
+def worker_fleet():
+    """Two empty in-process servers for --workers-url / fleet tests."""
+    from repro.api import GraphStore
+    from repro.service import MiningServer
+
+    servers = [
+        MiningServer(GraphStore(), port=0, quiet=True).start() for _ in range(2)
+    ]
+    yield servers
+    for server in servers:
+        server.close()
+
+
+class TestDistributedEnumeration:
+    def fan_out_flags(self, fleet):
+        flags = []
+        for server in fleet:
+            flags += ["--workers-url", server.url]
+        return flags
+
+    def test_workers_url_fans_out(self, worker_fleet, graph_file, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                *self.fan_out_flags(worker_fleet),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "distributed-mule: 2 alpha-maximal cliques" in out
+        assert "1,2,3" in out
+
+    def test_workers_url_with_num_shards(self, worker_fleet, graph_file, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--num-shards",
+                "3",
+                "--quiet",
+                *self.fan_out_flags(worker_fleet),
+            ]
+        )
+        assert exit_code == 0
+        assert "distributed-mule: 2 alpha" in capsys.readouterr().out
+
+    def test_workers_url_conflicts_with_remote(
+        self, worker_fleet, graph_file, capsys
+    ):
+        exit_code = main(
+            [
+                "enumerate",
+                "--remote",
+                worker_fleet[0].url,
+                "--alpha",
+                "0.5",
+                "--workers-url",
+                worker_fleet[1].url,
+            ]
+        )
+        assert exit_code == 2
+        assert "--workers-url cannot be combined" in capsys.readouterr().err
+
+    def test_workers_url_conflicts_with_workers(self, graph_file, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--workers",
+                "2",
+                "--workers-url",
+                "http://127.0.0.1:1",
+            ]
+        )
+        assert exit_code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_workers_url_rejected_for_unsupported_algorithm(
+        self, graph_file, capsys
+    ):
+        exit_code = main(
+            [
+                "enumerate",
+                "--input",
+                str(graph_file),
+                "--alpha",
+                "0.5",
+                "--algorithm",
+                "dfs-noip",
+                "--workers-url",
+                "http://127.0.0.1:1",
+            ]
+        )
+        assert exit_code == 2
+        assert "--workers-url" in capsys.readouterr().err
+
+    def test_workers_url_requires_local_source(self, capsys):
+        exit_code = main(
+            [
+                "enumerate",
+                "--alpha",
+                "0.5",
+                "--workers-url",
+                "http://127.0.0.1:1",
+            ]
+        )
+        assert exit_code == 2
+        assert "requires a local --input or --dataset" in capsys.readouterr().err
+
+
+class TestFleetCommand:
+    def test_fleet_requires_a_worker(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet"])
+
+    def test_fleet_reports_healthy_workers(self, worker_fleet, capsys):
+        args = ["fleet"]
+        for server in worker_fleet:
+            args += ["--workers-url", server.url]
+        exit_code = main(args)
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert out.count("healthy") == 2
+        assert "2/2 worker(s) usable" in out
+
+    def test_fleet_flags_unreachable_worker(self, worker_fleet, capsys):
+        exit_code = main(
+            [
+                "fleet",
+                "--workers-url",
+                worker_fleet[0].url,
+                "--workers-url",
+                "http://127.0.0.1:1",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "healthy" in out
+        assert "dead" in out
+        assert "1/2 worker(s) usable" in out
+
+    def test_fleet_with_no_usable_worker_fails(self, capsys):
+        exit_code = main(["fleet", "--workers-url", "http://127.0.0.1:1"])
+        assert exit_code == 1
+        assert "0/1 worker(s) usable" in capsys.readouterr().out

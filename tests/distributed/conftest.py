@@ -1,0 +1,41 @@
+"""Fixtures for the distributed suite: real in-process worker fleets.
+
+Every fleet test runs genuine :class:`MiningServer` instances on
+ephemeral ports — the full wire path (upload, job submit, NDJSON stream)
+is exercised, only the network is loopback.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api.store import GraphStore
+from repro.generators.erdos_renyi import random_uncertain_graph
+from repro.service.server import MiningServer
+from repro.uncertain.graph import UncertainGraph
+
+
+@pytest.fixture
+def fleet():
+    """Factory launching ``count`` empty-store workers; all closed at exit."""
+    servers: list[MiningServer] = []
+
+    def launch(count: int = 2) -> list[MiningServer]:
+        batch = [
+            MiningServer(GraphStore(), port=0, quiet=True).start()
+            for _ in range(count)
+        ]
+        servers.extend(batch)
+        return batch
+
+    yield launch
+    for server in servers:
+        server.close()
+
+
+@pytest.fixture
+def graph() -> UncertainGraph:
+    """A seeded random graph dense enough to spread cliques across shards."""
+    return random_uncertain_graph(24, 0.5, rng=random.Random(11))

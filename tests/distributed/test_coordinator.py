@@ -1,0 +1,222 @@
+"""DistributedSession against real in-process fleets — the parity suite.
+
+Headline guarantee: on the same graph, a fleet run reassembles
+**bit-identically** (``assert_matches``, statistics included) to serial
+MULE — same cliques, same probabilities, summed search counters, merged
+stop-reason provenance.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import EnumerationRequest, MiningSession
+from repro.core.engine import RunControls, StopReason
+from repro.distributed import DistributedSession, WorkerPool, WorkerState
+from repro.errors import ParameterError
+from repro.generators.erdos_renyi import random_uncertain_graph
+from repro.service.client import RemoteJob
+from repro.uncertain.graph import UncertainGraph
+
+REQUEST = EnumerationRequest(algorithm="mule", alpha=0.3)
+
+
+def urls_of(servers):
+    return [server.url for server in servers]
+
+
+class TestValidation:
+    def test_needs_at_least_one_worker(self, graph):
+        with pytest.raises(ParameterError, match="at least one worker"):
+            DistributedSession(graph, [])
+
+    def test_rejects_unsupported_algorithm(self, graph, fleet):
+        with DistributedSession(graph, urls_of(fleet(1))) as dist:
+            with pytest.raises(ParameterError, match="mule/fast only"):
+                dist.enumerate(
+                    EnumerationRequest(algorithm="top_k", alpha=0.3, k=3)
+                )
+
+    def test_rejects_parallel_requests(self, graph, fleet):
+        with DistributedSession(graph, urls_of(fleet(1))) as dist:
+            with pytest.raises(ParameterError, match="serial"):
+                dist.enumerate(
+                    EnumerationRequest(
+                        algorithm="fast",
+                        alpha=0.3,
+                        workers=2,
+                        execution="parallel",
+                    )
+                )
+
+    def test_rejects_preassigned_root_shard(self, graph, fleet):
+        with DistributedSession(graph, urls_of(fleet(1))) as dist:
+            with pytest.raises(ParameterError, match="root_shard"):
+                dist.enumerate(
+                    EnumerationRequest(
+                        algorithm="mule", alpha=0.3, root_shard=(0, 1)
+                    )
+                )
+
+    def test_rejects_bad_knobs(self, graph):
+        with pytest.raises(ParameterError, match="max_attempts"):
+            DistributedSession(graph, ["http://x"], max_attempts=0)
+        with pytest.raises(ParameterError, match="num_shards"):
+            DistributedSession(graph, ["http://x"], num_shards=0)
+        with pytest.raises(ParameterError, match="backoff"):
+            DistributedSession(
+                graph, ["http://x"], retry_backoff_seconds=-1.0
+            )
+
+
+class TestParity:
+    def test_two_worker_fleet_matches_serial(self, graph, fleet):
+        serial = MiningSession(graph).enumerate(REQUEST)
+        with DistributedSession(graph, urls_of(fleet(2))) as dist:
+            merged = dist.enumerate(REQUEST)
+        merged.assert_matches(serial)
+        assert merged.algorithm == "distributed-mule"
+        assert merged.stop_reason == StopReason.COMPLETED
+
+    @pytest.mark.parametrize("alpha", [0.2, 0.4, 0.6])
+    def test_three_worker_fleet_across_alphas(self, fleet, alpha):
+        graph = random_uncertain_graph(30, 0.4, rng=random.Random(5))
+        request = EnumerationRequest(algorithm="mule", alpha=alpha)
+        serial = MiningSession(graph).enumerate(request)
+        with DistributedSession(graph, urls_of(fleet(3))) as dist:
+            merged = dist.enumerate(request)
+        merged.assert_matches(serial)
+
+    def test_fast_algorithm_parity(self, graph, fleet):
+        request = EnumerationRequest(algorithm="fast", alpha=0.3)
+        serial = MiningSession(graph).enumerate(request)
+        with DistributedSession(graph, urls_of(fleet(2))) as dist:
+            merged = dist.enumerate(request)
+        merged.assert_matches(serial)
+
+    def test_single_worker_single_shard_degenerate(self, graph, fleet):
+        serial = MiningSession(graph).enumerate(REQUEST)
+        with DistributedSession(
+            graph, urls_of(fleet(1)), num_shards=1
+        ) as dist:
+            merged = dist.enumerate(REQUEST)
+        merged.assert_matches(serial)
+
+    def test_request_num_shards_overrides_session(self, graph, fleet):
+        serial = MiningSession(graph).enumerate(REQUEST)
+        request = EnumerationRequest(algorithm="mule", alpha=0.3, num_shards=7)
+        with DistributedSession(
+            graph, urls_of(fleet(2)), num_shards=2
+        ) as dist:
+            merged = dist.enumerate(request)
+        merged.assert_matches(serial)
+
+    def test_more_shards_than_vertices_stays_exact(self, fleet):
+        graph = UncertainGraph(
+            edges=[(1, 2, 0.9), (2, 3, 0.9), (1, 3, 0.9), (3, 4, 0.4)]
+        )
+        serial = MiningSession(graph).enumerate(REQUEST)
+        with DistributedSession(
+            graph, urls_of(fleet(2)), num_shards=16
+        ) as dist:
+            merged = dist.enumerate(REQUEST)
+        merged.assert_matches(serial)
+
+    def test_empty_graph(self, fleet):
+        graph = UncertainGraph(vertices=[], edges=[])
+        serial = MiningSession(graph).enumerate(REQUEST)
+        with DistributedSession(graph, urls_of(fleet(1))) as dist:
+            merged = dist.enumerate(REQUEST)
+        merged.assert_matches(serial)
+        assert merged.records == []
+
+    def test_string_labels_round_trip_through_shards(self, fleet):
+        graph = UncertainGraph(
+            edges=[
+                ("ana", "bob", 0.9),
+                ("bob", "cal", 0.8),
+                ("ana", "cal", 0.85),
+                ("cal", "dee", 0.7),
+            ]
+        )
+        serial = MiningSession(graph).enumerate(REQUEST)
+        with DistributedSession(graph, urls_of(fleet(2))) as dist:
+            merged = dist.enumerate(REQUEST)
+        merged.assert_matches(serial)
+
+    def test_repeated_runs_upload_the_graph_once_per_worker(
+        self, graph, fleet
+    ):
+        servers = fleet(2)
+        with DistributedSession(graph, urls_of(servers)) as dist:
+            first = dist.enumerate(REQUEST)
+            second = dist.enumerate(REQUEST)
+        first.assert_matches(second)
+        for server in servers:
+            assert len(server.store) == 1
+
+
+class TestControls:
+    def test_max_cliques_caps_the_merged_records(self, graph, fleet):
+        serial = MiningSession(graph).enumerate(REQUEST)
+        assert len(serial.records) > 5
+        request = EnumerationRequest(
+            algorithm="mule",
+            alpha=0.3,
+            controls=RunControls(max_cliques=5),
+        )
+        with DistributedSession(graph, urls_of(fleet(2))) as dist:
+            merged = dist.enumerate(request)
+        assert len(merged.records) == 5
+        assert merged.stop_reason == StopReason.MAX_CLIQUES
+        assert merged.records == sorted(merged.records)
+        full = {record.vertices: record.probability for record in serial.records}
+        for record in merged.records:
+            assert full[record.vertices] == record.probability
+
+
+class TestCancellation:
+    def test_cancel_mid_run_reports_cancelled(self, graph, fleet, monkeypatch):
+        holder: dict[str, DistributedSession] = {}
+        original_wait = RemoteJob.wait
+
+        def wait_then_cancel(job):
+            # Deterministic mid-run cancel: the first await observes a
+            # fan-out already fully submitted, then cancels the session.
+            if "done" not in holder:
+                holder["done"] = holder["dist"]
+                holder["dist"].cancel()
+            return original_wait(job)
+
+        monkeypatch.setattr(RemoteJob, "wait", wait_then_cancel)
+        with DistributedSession(graph, urls_of(fleet(2))) as dist:
+            holder["dist"] = dist
+            merged = dist.enumerate(REQUEST)
+        assert merged.stop_reason == StopReason.CANCELLED
+
+    def test_cancel_before_run_does_not_poison_the_next(self, graph, fleet):
+        serial = MiningSession(graph).enumerate(REQUEST)
+        with DistributedSession(graph, urls_of(fleet(2))) as dist:
+            dist.cancel()
+            merged = dist.enumerate(REQUEST)  # enumerate resets the flag
+        merged.assert_matches(serial)
+
+
+class TestPoolIntegration:
+    def test_shared_pool_is_not_closed_with_the_session(self, graph, fleet):
+        pool = WorkerPool(urls_of(fleet(2)))
+        try:
+            with DistributedSession(graph, pool) as dist:
+                dist.enumerate(REQUEST)
+            statuses = pool.workers()
+            assert len(statuses) == 2
+            assert all(s.state == WorkerState.HEALTHY for s in statuses)
+        finally:
+            pool.close()
+
+    def test_pool_property_exposes_fleet_status(self, graph, fleet):
+        with DistributedSession(graph, urls_of(fleet(2))) as dist:
+            dist.enumerate(REQUEST)
+            assert all(s.usable for s in dist.pool.workers())

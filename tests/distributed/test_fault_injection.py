@@ -1,0 +1,187 @@
+"""Fault injection: workers dying under a live fan-out.
+
+The kills here are event-driven, not timer-driven — a worker's sockets
+are torn down at a deterministic point in the coordinator's await loop
+(or before the run starts), so every test exercises exactly the failure
+window it names regardless of machine speed:
+
+* a worker killed *after* its shards were submitted but *before* their
+  results stream back — the mid-shard reassignment path;
+* a worker dead before the run starts — the submission-retry path;
+* a fully dead fleet — the :class:`DegradedError` path;
+* a fleet that accepts every placement but drops every stream — the
+  per-shard attempt budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EnumerationRequest, MiningSession
+from repro.core.engine import StopReason
+from repro.distributed import DistributedSession, WorkerPool, WorkerState
+from repro.errors import DegradedError, ServiceError
+from repro.service.client import RemoteJob
+from repro.service.server import MiningServer
+
+REQUEST = EnumerationRequest(algorithm="mule", alpha=0.3)
+
+
+def kill(server: MiningServer) -> None:
+    """Abruptly drop a worker: no drain, no goodbye, sockets just close."""
+    server._httpd.shutdown()
+    server._httpd.server_close()
+
+
+class TestMidShardKill:
+    def test_killed_worker_shards_are_reassigned_exactly(
+        self, graph, fleet, monkeypatch
+    ):
+        """Kill a worker between submission and result streaming.
+
+        The victim is the first worker in the rotation, so it holds the
+        first shard the coordinator awaits: the kill fires inside that
+        first ``wait`` call, while the victim's shards are genuinely in
+        flight.  The retried shards must still reassemble bit-identically
+        to serial MULE — no lost shard, no double merge.
+        """
+        serial = MiningSession(graph).enumerate(REQUEST)
+        servers = fleet(3)
+        victim = servers[0]
+        killed: list[str] = []
+        original_wait = RemoteJob.wait
+
+        def wait_with_kill(job):
+            if not killed and job._client.base_url == victim.url:
+                killed.append(victim.url)
+                kill(victim)
+            return original_wait(job)
+
+        monkeypatch.setattr(RemoteJob, "wait", wait_with_kill)
+        with DistributedSession(
+            graph,
+            [server.url for server in servers],
+            retry_backoff_seconds=0.001,
+        ) as dist:
+            merged = dist.enumerate(REQUEST)
+            statuses = {s.url: s for s in dist.pool.workers()}
+        assert killed, "the victim never received a shard"
+        merged.assert_matches(serial)
+        assert statuses[victim.url].consecutive_failures >= 1
+        survivors = [s for url, s in statuses.items() if url != victim.url]
+        assert all(s.state == WorkerState.HEALTHY for s in survivors)
+
+    def test_kill_with_single_survivor(self, graph, fleet, monkeypatch):
+        """Two workers, one dies: the survivor absorbs the whole graph."""
+        serial = MiningSession(graph).enumerate(REQUEST)
+        servers = fleet(2)
+        victim = servers[0]
+        killed: list[str] = []
+        original_wait = RemoteJob.wait
+
+        def wait_with_kill(job):
+            if not killed and job._client.base_url == victim.url:
+                killed.append(victim.url)
+                kill(victim)
+            return original_wait(job)
+
+        monkeypatch.setattr(RemoteJob, "wait", wait_with_kill)
+        with DistributedSession(
+            graph,
+            [server.url for server in servers],
+            retry_backoff_seconds=0.001,
+        ) as dist:
+            merged = dist.enumerate(REQUEST)
+        assert killed
+        merged.assert_matches(serial)
+
+
+class TestDeadOnArrival:
+    def test_worker_dead_from_start_is_routed_around(self, graph, fleet):
+        servers = fleet(2)
+        dead, alive = servers
+        dead.close()  # fully down before the session ever contacts it
+        with DistributedSession(
+            graph,
+            [dead.url, alive.url],
+            retry_backoff_seconds=0.001,
+        ) as dist:
+            merged = dist.enumerate(REQUEST)
+            statuses = {s.url: s for s in dist.pool.workers()}
+        merged.assert_matches(MiningSession(graph).enumerate(REQUEST))
+        assert statuses[dead.url].consecutive_failures >= 1
+        assert statuses[alive.url].state == WorkerState.HEALTHY
+
+    def test_all_workers_dead_raises_degraded_error(self, graph, fleet):
+        servers = fleet(2)
+        urls = [server.url for server in servers]
+        for server in servers:
+            server.close()
+        pool = WorkerPool(urls, failure_threshold=1)
+        with pool, DistributedSession(
+            graph, pool, retry_backoff_seconds=0.001
+        ) as dist:
+            with pytest.raises(DegradedError, match="no usable worker"):
+                dist.enumerate(REQUEST)
+            assert pool.usable_urls() == []
+
+    def test_degraded_error_is_a_service_error(self):
+        assert issubclass(DegradedError, ServiceError)
+
+
+class TestAttemptBudget:
+    def test_streams_that_always_drop_exhaust_the_budget(
+        self, graph, fleet, monkeypatch
+    ):
+        """Placements succeed, every stream dies: budget, not livelock.
+
+        The pool keeps both workers usable (high threshold), so the
+        shard cannot fail for lack of workers — after ``max_attempts``
+        placed-and-dropped runs its last error propagates as a plain
+        :class:`ServiceError`, not :class:`DegradedError`.
+        """
+        servers = fleet(2)
+
+        def wait_always_drops(job):
+            raise ServiceError("injected stream drop")
+
+        monkeypatch.setattr(RemoteJob, "wait", wait_always_drops)
+        pool = WorkerPool(
+            [server.url for server in servers], failure_threshold=100
+        )
+        with pool, DistributedSession(
+            graph,
+            pool,
+            max_attempts=2,
+            retry_backoff_seconds=0.001,
+        ) as dist:
+            with pytest.raises(ServiceError, match="failed after 2 attempt"):
+                dist.enumerate(REQUEST)
+            assert pool.usable_urls(), "workers must have stayed usable"
+
+
+class TestCancelledFanOut:
+    def test_abort_cancels_inflight_jobs(self, graph, fleet, monkeypatch):
+        """A run that aborts fans cancellation out before propagating."""
+        servers = fleet(2)
+        cancelled: list[str] = []
+        original_cancel = RemoteJob.cancel
+
+        def recording_cancel(job, **kwargs):
+            cancelled.append(job.id)
+            return original_cancel(job, **kwargs)
+
+        def wait_always_drops(job):
+            raise ServiceError("injected stream drop")
+
+        monkeypatch.setattr(RemoteJob, "cancel", recording_cancel)
+        monkeypatch.setattr(RemoteJob, "wait", wait_always_drops)
+        pool = WorkerPool(
+            [server.url for server in servers], failure_threshold=100
+        )
+        with pool, DistributedSession(
+            graph, pool, max_attempts=1, retry_backoff_seconds=0.001
+        ) as dist:
+            with pytest.raises(ServiceError):
+                dist.enumerate(REQUEST)
+        assert cancelled, "in-flight jobs were not cancelled on abort"

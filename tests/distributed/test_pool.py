@@ -1,0 +1,165 @@
+"""WorkerPool unit tests — injected probes, no sockets.
+
+The pool's contract: workers start *healthy*, consecutive failures walk
+them through *suspect* to *dead* at ``failure_threshold``, any success
+resets the streak, and *dead* workers leave the shard rotation
+(``usable_urls``) but stay registered so a recovering probe resurrects
+them.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.distributed import (
+    DEFAULT_FAILURE_THRESHOLD,
+    WorkerPool,
+    WorkerState,
+)
+from repro.errors import ParameterError, ServiceError
+
+A = "http://a.example:8100"
+B = "http://b.example:8200"
+
+
+class RecordingProbe:
+    """A fake probe: records calls, fails for URLs in ``failing``."""
+
+    def __init__(self) -> None:
+        self.calls: list[str] = []
+        self.failing: set[str] = set()
+
+    def __call__(self, url: str) -> None:
+        self.calls.append(url)
+        if url in self.failing:
+            raise ServiceError(f"probe refused by {url}")
+
+
+def make_pool(urls=(A, B), **kwargs):
+    probe = RecordingProbe()
+    return WorkerPool(urls, probe=probe, **kwargs), probe
+
+
+class TestMembership:
+    def test_workers_start_healthy(self):
+        pool, _ = make_pool()
+        states = {status.url: status for status in pool.workers()}
+        assert set(states) == {A, B}
+        assert all(s.state == WorkerState.HEALTHY for s in states.values())
+        assert all(s.usable for s in states.values())
+        assert pool.usable_urls() == [A, B]
+        assert len(pool) == 2
+
+    def test_add_worker_normalises_and_is_idempotent(self):
+        pool, _ = make_pool(urls=())
+        pool.add_worker(A + "/")
+        pool.mark_failure(A)
+        status = pool.add_worker(A)  # re-add must not reset bookkeeping
+        assert len(pool) == 1
+        assert status.url == A
+        assert status.consecutive_failures == 1
+
+    def test_empty_url_rejected(self):
+        pool, _ = make_pool(urls=())
+        with pytest.raises(ParameterError, match="non-empty"):
+            pool.add_worker("/")
+
+    def test_remove_worker(self):
+        pool, _ = make_pool()
+        final = pool.remove_worker(A)
+        assert final.url == A
+        assert pool.usable_urls() == [B]
+        with pytest.raises(ParameterError, match="unknown worker"):
+            pool.remove_worker(A)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ParameterError, match="probe_interval"):
+            WorkerPool(probe_interval=0)
+        with pytest.raises(ParameterError, match="failure_threshold"):
+            WorkerPool(failure_threshold=0)
+
+
+class TestLivenessSignals:
+    def test_probe_round_covers_every_worker(self):
+        pool, probe = make_pool()
+        statuses = pool.probe()
+        assert sorted(probe.calls) == sorted([A, B])
+        assert all(s.state == WorkerState.HEALTHY for s in statuses)
+
+    def test_failures_walk_suspect_then_dead(self):
+        pool, _ = make_pool(failure_threshold=3)
+        assert pool.mark_failure(A) == WorkerState.SUSPECT
+        assert pool.mark_failure(A) == WorkerState.SUSPECT
+        assert pool.usable_urls() == [A, B]  # suspect stays in rotation
+        assert pool.mark_failure(A) == WorkerState.DEAD
+        assert pool.usable_urls() == [B]
+        status = {s.url: s for s in pool.workers()}[A]
+        assert status.consecutive_failures == 3
+        assert not status.usable
+
+    def test_default_threshold_matches_constant(self):
+        pool, _ = make_pool()
+        for _ in range(DEFAULT_FAILURE_THRESHOLD - 1):
+            assert pool.mark_failure(A) == WorkerState.SUSPECT
+        assert pool.mark_failure(A) == WorkerState.DEAD
+
+    def test_success_resets_the_streak(self):
+        pool, _ = make_pool(failure_threshold=2)
+        pool.mark_failure(A, ServiceError("boom"))
+        assert pool.mark_healthy(A) == WorkerState.HEALTHY
+        status = {s.url: s for s in pool.workers()}[A]
+        assert status.consecutive_failures == 0
+        assert status.last_error is None
+        # The streak restarted: one more failure is suspect, not dead.
+        assert pool.mark_failure(A) == WorkerState.SUSPECT
+
+    def test_probe_resurrects_a_dead_worker(self):
+        pool, probe = make_pool(failure_threshold=1)
+        probe.failing.add(A)
+        pool.probe()
+        assert pool.usable_urls() == [B]
+        probe.failing.clear()
+        pool.probe()
+        assert pool.usable_urls() == [A, B]
+
+    def test_failure_report_tolerates_unknown_url(self):
+        pool, _ = make_pool()
+        assert pool.mark_failure("http://gone.example") is None
+        assert pool.mark_healthy("http://gone.example") is None
+
+    def test_last_error_recorded(self):
+        pool, _ = make_pool()
+        pool.mark_failure(A, ServiceError("connection refused"))
+        status = {s.url: s for s in pool.workers()}[A]
+        assert status.last_error is not None
+        assert "connection refused" in status.last_error
+
+
+class TestBackgroundProbing:
+    def test_probe_loop_runs_periodically(self):
+        pool, probe = make_pool(probe_interval=0.01)
+        pool.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while len(probe.calls) < 4 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert len(probe.calls) >= 4
+        finally:
+            pool.close()
+
+    def test_start_is_idempotent_and_close_without_start_is_noop(self):
+        pool, _ = make_pool(probe_interval=60.0)
+        pool.close()  # never started: no-op
+        pool.start()
+        pool.start()  # second start must not spawn a second thread
+        pool.close()
+        pool.close()
+
+    def test_context_manager_stops_the_thread(self):
+        with make_pool(probe_interval=60.0)[0] as pool:
+            pool.start()
+        # close() joined the probe thread; restarting still works.
+        pool.start()
+        pool.close()

@@ -103,11 +103,17 @@ def build_payloads() -> dict[str, dict]:
                 algorithm="top_k", k=5, min_size=3, prune_edges=False
             )
         ),
-        # A non-default kernel is the one additive v2 request field: its
+        # A non-default kernel is an additive v2 request field: its
         # presence promotes the envelope to schema 2 (kernel="auto"
         # requests keep encoding to the frozen v1 bytes above).
         "request_vector_kernel": codec.to_wire(
             EnumerationRequest(algorithm="mule", alpha=0.5, kernel="vector")
+        ),
+        # root_shard is the second additive v2 request field — the
+        # distributed coordinator's per-shard root restriction, carried as
+        # vertex labels (None keeps the frozen v1 bytes).
+        "request_root_shard": codec.to_wire(
+            EnumerationRequest(algorithm="mule", alpha=0.5, root_shard=(1, 2))
         ),
         "outcome_mule_triangle": codec.to_wire(
             frozen(session.enumerate(mule_request))

@@ -36,6 +36,7 @@ from repro.errors import (
 )
 from repro.generators.erdos_renyi import random_uncertain_graph
 from repro.service import MiningServer, RemoteJob, RemoteSession, codec
+from repro.service import client as client_module
 from repro.service.client import (
     DEFAULT_CONTROL_TIMEOUT_SECONDS,
     DEFAULT_TIMEOUT_SECONDS,
@@ -224,15 +225,33 @@ class _CannedStreams:
 
     DROP = object()
 
-    def __init__(self, connections):
+    def __init__(self, connections, states=()):
         self._connections = list(connections)
+        self._states = list(states)  # answers to status polls, in order
         self.opened_at = []
+        self.status_polls = 0
 
     def _open_stream(self, path: str, *, timeout: float | None = None):
         self.opened_at.append(int(path.rsplit("cursor=", 1)[1]))
         if not self._connections:
             raise AssertionError("no more canned connections")
         return _CannedResponse(self._connections.pop(0))
+
+    def _get(self, path: str, *, timeout: float | None = None):
+        # A status poll; state defaults to running once the canned
+        # sequence is exhausted.
+        self.status_polls += 1
+        state = self._states.pop(0) if self._states else JobState.RUNNING
+        return codec.job_status_to_wire(
+            codec.JobStatus(
+                id=path.rsplit("/", 1)[1],
+                state=state,
+                cliques_emitted=0,
+                frames_expanded=0,
+                elapsed_seconds=0.0,
+                records=0,
+            )
+        )
 
 
 class _CannedResponse:
@@ -314,12 +333,70 @@ class TestClientReconnect:
         with pytest.raises(ServiceError, match="malformed"):
             list(job.iter_results())
 
-    def test_stalled_stream_gives_up(self, serial_outcome):
+    def test_stalled_stream_gives_up(self, serial_outcome, monkeypatch):
+        monkeypatch.setattr(client_module, "_RECONNECT_BACKOFF_SECONDS", 1e-6)
         fake = _CannedStreams([[_CannedStreams.DROP]] * 10)
         job = RemoteJob(fake, "job-000042")
         with pytest.raises(ServiceError, match="stalled"):
             list(job.iter_results())
         assert len(fake.opened_at) == 5
+
+    def test_queued_job_slow_start_is_not_stalled(
+        self, serial_outcome, monkeypatch
+    ):
+        """A job parked in the submit queue must not burn the stall budget.
+
+        Regression test: the stream of a queued job legitimately closes
+        with nothing to deliver — reconnecting used to count each of
+        those empty streams as a stall (with zero delay between them), so
+        any job queued behind a few seconds of work died with a spurious
+        ``stalled`` error before it ever started.
+        """
+        monkeypatch.setattr(client_module, "_RECONNECT_BACKOFF_SECONDS", 1e-6)
+        lines = chunk_lines("job-000042", serial_outcome, page_size=7)
+        empty_streams = 2 * client_module._MAX_STALLED_RECONNECTS
+        fake = _CannedStreams(
+            [[]] * empty_streams + [lines],
+            states=[JobState.QUEUED] * empty_streams,
+        )
+        job = RemoteJob(fake, "job-000042")
+        streamed = list(job.iter_results())
+        assert fake.status_polls == empty_streams
+        assert len(fake.opened_at) == empty_streams + 1
+        assert [(r.vertices, r.probability) for r in streamed] == [
+            (r.vertices, r.probability) for r in serial_outcome.records
+        ]
+        job.outcome().assert_matches(serial_outcome)
+
+    def test_stall_budget_starts_once_running_observed(
+        self, serial_outcome, monkeypatch
+    ):
+        """Queued polls are free; the budget starts at the first running."""
+        monkeypatch.setattr(client_module, "_RECONNECT_BACKOFF_SECONDS", 1e-6)
+        queued = 4
+        fake = _CannedStreams(
+            [[]] * 20,
+            states=[JobState.QUEUED] * queued,  # then running forever
+        )
+        job = RemoteJob(fake, "job-000042")
+        with pytest.raises(ServiceError, match="stalled"):
+            list(job.iter_results())
+        # 4 free reconnects while queued + the full stall budget after.
+        assert len(fake.opened_at) == queued + client_module._MAX_STALLED_RECONNECTS
+        # Once running was observed the client stops polling status.
+        assert fake.status_polls == queued + 1
+
+    def test_idle_reconnects_back_off_exponentially(
+        self, serial_outcome, monkeypatch
+    ):
+        delays: list[float] = []
+        monkeypatch.setattr(client_module.time, "sleep", delays.append)
+        fake = _CannedStreams([[_CannedStreams.DROP]] * 10)
+        job = RemoteJob(fake, "job-000042")
+        with pytest.raises(ServiceError, match="stalled"):
+            list(job.iter_results())
+        base = client_module._RECONNECT_BACKOFF_SECONDS
+        assert delays == [base, base * 2, base * 4, base * 8]
 
     def test_foreign_chunk_is_rejected(self, serial_outcome):
         lines = chunk_lines("job-000099", serial_outcome, page_size=7)

@@ -23,6 +23,7 @@ from repro.api import EnumerationRequest, MiningSession
 from repro.errors import ParameterError, ServiceError
 from repro.generators.erdos_renyi import random_uncertain_graph
 from repro.service import EnumerationScheduler
+from repro.service.jobs import JobState
 import repro.api.cache as cache_module
 
 REQUEST = EnumerationRequest(algorithm="mule", alpha=0.4)
@@ -187,7 +188,7 @@ class TestBookkeeping:
     def test_submit_after_shutdown_raises(self, graph):
         scheduler = EnumerationScheduler(graph)
         scheduler.shutdown()
-        with pytest.raises(ServiceError):
+        with pytest.raises(ServiceError, match="server shutdown"):
             scheduler.submit(REQUEST)
 
     def test_empty_graph_requests_complete(self):
@@ -196,6 +197,79 @@ class TestBookkeeping:
         with EnumerationScheduler(UncertainGraph()) as scheduler:
             outcome = scheduler.run(REQUEST)
         assert outcome.num_cliques == 0
+
+
+class TestShutdownSubmitRace:
+    """``shutdown(drain=True)`` racing in-flight ``submit_job`` calls.
+
+    The contract: a submission losing the race gets a clean
+    ``ServiceError("server shutdown…")``, and no interleaving leaves a
+    zombie job parked ``queued`` in the registry after shutdown returns —
+    every registered job is swept by the drain or runs to a terminal
+    state.
+    """
+
+    def test_executor_refusal_settles_the_job(self, graph, monkeypatch):
+        """An executor that refuses must not leave the job queued.
+
+        Simulates the narrowest interleaving (executor shut down without
+        the scheduler's closed flag observed): the submission must
+        surface as a ``ServiceError`` and the just-registered job must be
+        settled, not abandoned in ``queued``.
+        """
+        scheduler = EnumerationScheduler(graph)
+
+        def refuse(*args, **kwargs):
+            raise RuntimeError("cannot schedule new futures after shutdown")
+
+        monkeypatch.setattr(scheduler._executor, "submit", refuse)
+        with pytest.raises(ServiceError, match="server shutdown"):
+            scheduler.submit_job(REQUEST)
+        states = [job.state for job in scheduler.jobs.list()]
+        assert JobState.QUEUED not in states
+        assert scheduler.stats().queued == 0
+        monkeypatch.undo()
+        scheduler.shutdown()
+
+    def test_drain_race_leaves_no_zombie_queued_job(self, graph):
+        submitters = 8
+        for _ in range(5):
+            scheduler = EnumerationScheduler(graph, max_workers=2)
+            results: list[tuple[str, object]] = []
+            barrier = threading.Barrier(submitters + 1)
+
+            def submit_one():
+                try:
+                    barrier.wait()
+                    job = scheduler.submit_job(REQUEST)
+                except ServiceError as exc:
+                    results.append(("refused", exc))
+                else:
+                    results.append(("accepted", job))
+
+            def shut_down():
+                barrier.wait()
+                scheduler.shutdown(drain=True)
+
+            threads = [
+                threading.Thread(target=submit_one) for _ in range(submitters)
+            ]
+            threads.append(threading.Thread(target=shut_down))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            assert len(results) == submitters
+            for kind, payload in results:
+                if kind == "refused":
+                    assert "server shutdown" in str(payload)
+                else:
+                    # Shutdown has returned: the drain swept (or the pool
+                    # finished) every job that made it in — none may still
+                    # sit queued.
+                    assert payload.state != JobState.QUEUED
+            assert scheduler.jobs.counts()[JobState.QUEUED] == 0
 
 
 class TestDefaultKernel:

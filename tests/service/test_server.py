@@ -179,6 +179,68 @@ class TestErrorMapping:
         # And the server itself is still healthy on a fresh connection.
         assert RemoteSession(server.url).health()["status"] == "ok"
 
+    def test_chunked_transfer_encoding_is_refused_with_411(self, server, graph):
+        """Chunked uploads must fail loudly, not decode to an empty body.
+
+        Regression: ``http.server`` never decodes chunked transfer
+        encoding, so ``POST /v2/graphs`` trusted the (absent)
+        Content-Length, read an empty body, and blamed the payload with a
+        confusing ``FormatError``.  The framing problem itself must be
+        reported: HTTP 411 with a clear error envelope.
+        """
+        import http.client
+
+        body = codec.encode(codec.upload_to_wire(codec.GraphUpload(graph=graph)))
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            connection.request(
+                "POST",
+                "/v2/graphs",
+                body=iter([body]),
+                headers={
+                    "Content-Type": "application/json",
+                    "Transfer-Encoding": "chunked",
+                },
+                encode_chunked=True,
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 411
+            # Unread chunked bytes are on the socket: keep-alive must end.
+            assert response.getheader("Connection") == "close"
+            assert payload["kind"] == "error"
+            assert payload["type"] == "ServiceError"
+            assert "chunked" in payload["message"]
+            assert "Content-Length" in payload["message"]
+        finally:
+            connection.close()
+        assert RemoteSession(server.url).health()["status"] == "ok"
+
+    def test_missing_content_length_is_411(self, server):
+        """A body-carrying POST without Content-Length is refused as 411."""
+        import http.client
+
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            connection.putrequest("POST", "/v2/graphs")
+            connection.putheader("Content-Type", "application/json")
+            connection.endheaders()
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 411
+            assert payload["type"] == "ServiceError"
+            assert "Content-Length" in payload["message"]
+        finally:
+            connection.close()
+        assert RemoteSession(server.url).health()["status"] == "ok"
+
+    def test_explicit_zero_content_length_is_format_error(self, server):
+        """Content-Length: 0 is a framing-correct but empty request: 400."""
+        status, payload = post_raw(server, "/v2/graphs", b"")
+        assert status == 400
+        assert payload["type"] == "FormatError"
+        assert "body is required" in payload["message"]
+
     def test_failed_requests_counted(self, server, remote):
         with pytest.raises(ReproError):
             remote._post("/v1/nope", {"schema": 1, "kind": "x"})

@@ -167,6 +167,11 @@ class TestLockDiscipline:
             tmp_path, "core/box.py", BAD_LOCK, "lock-discipline"
         )
 
+    def test_distributed_modules_are_covered(self, tmp_path):
+        assert scan_one(
+            tmp_path, "distributed/pool.py", BAD_LOCK, "lock-discipline"
+        )
+
 
 # --------------------------------------------------------------------- #
 # kernel-determinism
@@ -270,6 +275,12 @@ class TestErrorTaxonomy:
         assert not scan_one(
             tmp_path, "core/handlers.py", BAD_ERRORS, "error-taxonomy"
         )
+
+    def test_distributed_modules_are_covered(self, tmp_path):
+        findings = scan_one(
+            tmp_path, "distributed/coordinator.py", BAD_ERRORS, "error-taxonomy"
+        )
+        assert len(findings) == 2
 
 
 # --------------------------------------------------------------------- #
