@@ -26,14 +26,30 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from time import perf_counter
 from typing import NamedTuple
 
 from ..core.engine.compiled import CompiledGraph, compile_graph
 from ..core.pruning import PruningReport
 from ..errors import ParameterError
+from ..obs import registry as _obs_registry
 from ..uncertain.graph import UncertainGraph
 
 __all__ = ["CacheInfo", "CompiledGraphCache"]
+
+#: Lookup outcomes by graph: hit (exact reuse), derive (α-restriction of a
+#: cached base) or compile (full compile_graph run).
+_CACHE_LOOKUPS = _obs_registry().counter(
+    "cache_lookups_total",
+    "Compiled-graph cache lookups by graph and outcome (hit/derive/compile).",
+    labelnames=("graph", "outcome"),
+)
+
+#: Wall seconds of the full compilations the cache could not avoid.
+_CACHE_COMPILE_SECONDS = _obs_registry().histogram(
+    "cache_compile_seconds",
+    "Wall seconds per full compile_graph run on a cache miss.",
+)
 
 #: Cache key: (graph fingerprint, α-pruning level or None, SNF threshold or None).
 _Key = tuple[str, "float | None", "int | None"]
@@ -131,6 +147,7 @@ class CompiledGraphCache:
                     self._hits += 1
                     self._count_locked(fingerprint, 0)
                     self._entries.move_to_end(key)
+                    _CACHE_LOOKUPS.labels(graph=fingerprint, outcome="hit").inc()
                     return entry
                 if size_threshold is None and alpha is not None:
                     base_key = self._best_base_key_locked(fingerprint, alpha)
@@ -151,20 +168,24 @@ class CompiledGraphCache:
                 self._count_locked(fingerprint, 1)
                 self._count_locked(fingerprint, 3)
                 self._store_locked(key, derived)
+            _CACHE_LOOKUPS.labels(graph=fingerprint, outcome="derive").inc()
             return derived
 
+        started = perf_counter()
         compiled = compile_graph(
             graph,
             alpha=alpha,
             size_threshold=size_threshold,
             pruning_report=pruning_report,
         )
+        _CACHE_COMPILE_SECONDS.observe(perf_counter() - started)
         with self._lock:
             self._misses += 1
             self._compilations += 1
             self._count_locked(fingerprint, 1)
             self._count_locked(fingerprint, 2)
             self._store_locked(key, compiled)
+        _CACHE_LOOKUPS.labels(graph=fingerprint, outcome="compile").inc()
         return compiled
 
     def adopt(
@@ -266,6 +287,41 @@ class CompiledGraphCache:
                 derivations=derivations,
                 entries=entries,
             )
+
+    def counters_snapshot(self) -> "tuple[CacheInfo, dict[str, CacheInfo]]":
+        """Aggregate plus per-fingerprint counters, read atomically.
+
+        Both views come from **one** lock acquisition, so within the
+        returned pair the per-graph counters always sum to at most the
+        aggregate (``info()`` followed by per-graph ``info_for()`` calls
+        cannot promise that — mining between the two reads can push a
+        graph's counters past an aggregate read earlier).  This is the
+        snapshot ``MiningServer.stats_payload`` builds its cache component
+        from.
+        """
+        with self._lock:
+            fingerprints = set(self._by_fingerprint)
+            fingerprints.update(key[0] for key in self._entries)
+            per_graph: dict[str, CacheInfo] = {}
+            for fingerprint in fingerprints:
+                hits, misses, compilations, derivations = self._by_fingerprint.get(
+                    fingerprint, (0, 0, 0, 0)
+                )
+                per_graph[fingerprint] = CacheInfo(
+                    hits=hits,
+                    misses=misses,
+                    compilations=compilations,
+                    derivations=derivations,
+                    entries=sum(1 for key in self._entries if key[0] == fingerprint),
+                )
+            aggregate = CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                compilations=self._compilations,
+                derivations=self._derivations,
+                entries=len(self._entries),
+            )
+            return aggregate, per_graph
 
     def discard(self, fingerprint: str) -> int:
         """Drop every artifact (and the counters) of one graph.

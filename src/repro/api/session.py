@@ -56,12 +56,53 @@ from ..core.engine.strategies import (
 from ..core.pruning import PruningReport
 from ..core.result import CliqueRecord, SearchStatistics, Stopwatch, rank_by_probability
 from ..errors import ParameterError
+from ..obs import registry as _obs_registry
 from ..uncertain.graph import UncertainGraph
 from .cache import CacheInfo, CompiledGraphCache
 from .outcome import EnumerationOutcome
 from .request import EnumerationRequest
 
 __all__ = ["MiningSession", "plan_base_compile"]
+
+# Engine progress is observed *here*, from the RunReport/SearchStatistics a
+# finished kernel run hands back — never inside ``core/engine`` itself, so
+# the kernel keeps ``perf_counter`` as its only clock seam and the
+# ``kernel-determinism`` check rule holds.
+_ENGINE_RUNS = _obs_registry().counter(
+    "engine_runs_total", "Completed (fully consumed) kernel runs."
+)
+_ENGINE_FRAMES = _obs_registry().counter(
+    "engine_frames_expanded_total", "Search frames expanded across runs."
+)
+_ENGINE_CLIQUES = _obs_registry().counter(
+    "engine_cliques_emitted_total", "Maximal cliques emitted across runs."
+)
+_ENGINE_PRUNES = _obs_registry().counter(
+    "engine_pruned_branches_total", "Branches pruned across runs."
+)
+
+
+def _observe_engine_run(
+    statistics: SearchStatistics, report: "RunReport | None"
+) -> None:
+    """Fold one finished run's counters into the ``engine_*`` metrics.
+
+    Serial runs report frames via :class:`RunReport`; merged parallel runs
+    leave ``frames_expanded`` at zero, so the recursive-call count (the
+    same quantity, summed across shards) stands in.  Emissions are only
+    known when a report was attached — bare ``stream()`` callers without
+    one contribute frames and prunes but no emission count.
+    """
+    frames = (
+        report.frames_expanded
+        if report is not None and report.frames_expanded
+        else statistics.recursive_calls
+    )
+    _ENGINE_RUNS.inc()
+    _ENGINE_FRAMES.inc(frames)
+    if report is not None:
+        _ENGINE_CLIQUES.inc(report.cliques_emitted)
+    _ENGINE_PRUNES.inc(statistics.pruned_branches)
 
 
 class MiningSession:
@@ -236,6 +277,10 @@ class MiningSession:
             report=report,
             cancel=cancel,
         )
+        # Reached only when the consumer drains the stream: abandoned
+        # generators (early close, cancellation mid-iteration) do not fold
+        # partial counters into the engine metrics.
+        _observe_engine_run(stats, report)
 
     # ------------------------------------------------------------------ #
     # The single entry point
@@ -436,6 +481,7 @@ class MiningSession:
                 )
                 report.stop_reason = stop_reason
                 report.cliques_emitted = len(records)
+                _observe_engine_run(statistics, report)
         return EnumerationOutcome(
             algorithm=request.label,
             alpha=request.alpha,

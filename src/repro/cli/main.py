@@ -22,7 +22,9 @@ writing Python:
 * ``repro-mule jobs`` — list, inspect, follow or cancel the asynchronous
   jobs of a running server;
 * ``repro-mule fleet`` — probe a fleet of ``serve`` workers and print
-  their health.
+  their health, with fleet-wide metric counters summed across workers;
+* ``repro-mule metrics`` — print a running server's metrics registry
+  (JSON snapshot or Prometheus text).
 
 ``enumerate`` and ``compare`` also run against a remote server instead of
 a local file: ``--remote URL`` targets its default graph and ``--remote
@@ -41,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -212,6 +215,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="base URL of a repro-mule serve worker (repeatable)",
     )
 
+    metrics_parser = subparsers.add_parser(
+        "metrics", help="print a running server's metrics registry"
+    )
+    metrics_parser.add_argument(
+        "url", metavar="URL", help="base URL of the repro-mule serve process"
+    )
+    metrics_parser.add_argument(
+        "--format",
+        choices=["json", "prometheus"],
+        default="json",
+        help="output format (default: json)",
+    )
+
     core_parser = subparsers.add_parser(
         "core", help="compute the (k, eta)-core decomposition of an uncertain graph"
     )
@@ -300,6 +316,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-request access logs"
+    )
+    serve_parser.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "write one Chrome trace-event JSON file per HTTP request into "
+            "this directory (load in chrome://tracing or Perfetto)"
+        ),
     )
 
     return parser
@@ -566,12 +592,14 @@ def _command_fleet(args: argparse.Namespace) -> int:
     pool.probe()
     statuses = pool.workers()
     usable = 0
+    fleet_counters: dict[str, float] = {}
     for status in statuses:
         line = f"{status.url}  {status.state:8s}"
         if status.state == WorkerState.HEALTHY:
             usable += 1
+            store = connect(status.url)
             try:
-                stats = connect(status.url).stats()
+                stats = store.stats()
             except ReproError:
                 stats = None
             if stats is not None:
@@ -580,10 +608,23 @@ def _command_fleet(args: argparse.Namespace) -> int:
                     f"  graphs={len(stats.get('graphs', {}))}"
                     f"  jobs={sum(jobs.values())}"
                 )
+            try:
+                metrics = store.metrics()
+            except ReproError:
+                metrics = None
+            if metrics is not None:
+                for name, value in metrics["counters"].items():
+                    fleet_counters[name] = fleet_counters.get(name, 0.0) + value
         elif status.last_error:
             line += f"  error: {status.last_error}"
         print(line)
     print(f"{usable}/{len(statuses)} worker(s) usable")
+    if fleet_counters:
+        # Counters sum meaningfully across processes (gauges and latency
+        # histograms do not) — the fleet-wide view of throughput and churn.
+        print("fleet counters (summed across usable workers):")
+        for name in sorted(fleet_counters):
+            print(f"  {name} = {fleet_counters[name]:g}")
     return 0 if usable else 1
 
 
@@ -708,6 +749,16 @@ def _command_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_metrics(args: argparse.Namespace) -> int:
+    """``repro-mule metrics URL`` — dump a server's metrics registry."""
+    store = connect(args.url)
+    if args.format == "prometheus":
+        sys.stdout.write(store.metrics_text())
+        return 0
+    print(json.dumps(store.metrics(), indent=2, sort_keys=True))
+    return 0
+
+
 def _command_core(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     cores = uncertain_core_decomposition(graph, args.eta)
@@ -792,6 +843,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_workers=args.max_workers,
         default_kernel=args.kernel,
         quiet=args.quiet,
+        trace_dir=args.trace_dir,
     )
     names = [info.name or info.fingerprint[:12] for info in store.list()]
     print(f"serving {len(names)} graph(s) at {server.url}: {', '.join(names)}")
@@ -838,6 +890,7 @@ _COMMANDS = {
     "serve": _command_serve,
     "jobs": _command_jobs,
     "fleet": _command_fleet,
+    "metrics": _command_metrics,
 }
 
 
@@ -850,6 +903,13 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream closed early (e.g. ``repro-mule metrics ... | head``);
+        # exit quietly with the conventional SIGPIPE status.  Detach stdout
+        # first so interpreter shutdown does not raise on the final flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -47,6 +47,7 @@ from ..core.engine.compiled import CompiledGraph
 from ..core.engine.controls import RunReport, StopReason
 from ..core.result import CliqueRecord, SearchStatistics, Stopwatch
 from ..errors import DegradedError, ParameterError, ServiceError
+from ..obs import registry as _obs_registry
 from ..parallel.planner import Shard, ShardPlanner
 from ..parallel.runner import _merge_stop_reasons, _strongest
 from ..service.client import (
@@ -78,6 +79,14 @@ DEFAULT_RETRY_BACKOFF_CAP_SECONDS = 2.0
 #: workers lets reassignment move work in units smaller than "half the
 #: graph" when a worker dies.
 _SHARDS_PER_WORKER = 2
+
+_DIST_SHARD_ATTEMPTS = _obs_registry().counter(
+    "dist_shard_attempts_total", "Shard placements accepted by a worker."
+)
+_DIST_SHARD_RETRIES = _obs_registry().counter(
+    "dist_shard_retries_total",
+    "Shard placements that were retries of an earlier failed attempt.",
+)
 
 
 class DistributedSession:
@@ -313,6 +322,9 @@ class DistributedSession:
                     self._pool.mark_failure(url, exc)
                     continue
                 attempts[shard.index] = attempt + 1
+                _DIST_SHARD_ATTEMPTS.inc()
+                if attempt > 0:
+                    _DIST_SHARD_RETRIES.inc()
                 active[shard.index] = (url, job)
                 with self._lock:
                     self._active[shard.index] = job

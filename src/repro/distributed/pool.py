@@ -29,6 +29,7 @@ from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
 from ..errors import ParameterError, ServiceError
+from ..obs import registry as _obs_registry
 from ..service.client import DEFAULT_CONTROL_TIMEOUT_SECONDS, RemoteStore
 
 __all__ = [
@@ -44,6 +45,12 @@ DEFAULT_PROBE_INTERVAL_SECONDS = 5.0
 
 #: Consecutive failures before a worker is declared dead.
 DEFAULT_FAILURE_THRESHOLD = 3
+
+_DIST_WORKER_TRANSITIONS = _obs_registry().counter(
+    "dist_worker_transitions_total",
+    "Worker liveness transitions, by destination state.",
+    labelnames=("state",),
+)
 
 
 class WorkerState:
@@ -210,11 +217,14 @@ class WorkerPool:
                 return None
             record.failures += 1
             record.last_error = None if error is None else str(error)
+            previous = record.state
             record.state = (
                 WorkerState.DEAD
                 if record.failures >= self._failure_threshold
                 else WorkerState.SUSPECT
             )
+            if record.state != previous:
+                _DIST_WORKER_TRANSITIONS.labels(state=record.state).inc()
             return record.state
 
     def mark_healthy(self, url: str) -> str | None:
@@ -225,6 +235,8 @@ class WorkerPool:
                 return None
             record.failures = 0
             record.last_error = None
+            if record.state != WorkerState.HEALTHY:
+                _DIST_WORKER_TRANSITIONS.labels(state=WorkerState.HEALTHY).inc()
             record.state = WorkerState.HEALTHY
             return record.state
 

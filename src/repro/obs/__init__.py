@@ -1,0 +1,66 @@
+"""Observability: metrics registry, histograms and span-based tracing.
+
+This package is the cross-cutting instrumentation layer of the stack
+(see ``docs/observability.md``): a dependency-free, thread-safe
+:class:`MetricsRegistry` holding :class:`Counter` / :class:`Gauge` /
+fixed-bucket :class:`Histogram` instruments, plus a lightweight
+:func:`trace_span` tracer that builds per-request span trees exportable
+as Chrome ``chrome://tracing`` JSON.
+
+Every layer instruments itself against one process-global seam:
+
+* :func:`registry` — the shared :class:`MetricsRegistry`.  Modules
+  register their instruments **once at module scope** (the
+  ``metrics-discipline`` check rule enforces the convention) and mutate
+  them on their hot paths; ``GET /v1/metrics`` and
+  ``repro-mule metrics`` read the same registry back out.
+* :func:`tracer` — the shared :class:`Tracer`; ``repro-mule serve
+  --trace-dir`` writes one Chrome trace file per handled request.
+
+Setting ``REPRO_DISABLE_METRICS=1`` in the environment turns every
+instrument into a cheap no-op branch (``benchmarks/bench_obs_overhead.py``
+pins the enabled/disabled gap); enumeration output is bit-identical
+either way because instruments only *observe* completed work.
+"""
+
+from __future__ import annotations
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DISABLE_METRICS_ENV,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    render_prometheus,
+    set_registry,
+)
+from .tracing import (
+    Span,
+    Tracer,
+    chrome_trace_events,
+    set_tracer,
+    trace_span,
+    tracer,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DISABLE_METRICS_ENV",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "registry",
+    "render_prometheus",
+    "set_registry",
+    "set_tracer",
+    "trace_span",
+    "tracer",
+    "write_chrome_trace",
+]

@@ -1,0 +1,218 @@
+"""Span-based request tracing with Chrome trace-event export.
+
+:func:`trace_span` opens one named span on the calling thread; spans nest
+naturally (a span opened while another is active becomes its child), and
+when the outermost span of a thread closes, the finished tree is recorded
+as a *root* on the owning :class:`Tracer` and handed to any registered
+sinks.  The HTTP server wraps every request in a root span, so
+``repro-mule serve --trace-dir DIR`` gets one span tree — and one Chrome
+``chrome://tracing`` / Perfetto-loadable JSON file — per request,
+answering "where did this request spend its time" across
+decode → schedule → compile → run → encode.
+
+The clock is :func:`time.perf_counter` — the same stopwatch seam the rest
+of the stack uses; nothing here runs inside ``core/engine``, so the
+``kernel-determinism`` rule is untouched.  Tracing honours the same
+``REPRO_DISABLE_METRICS`` gate as the metric instruments: when disabled,
+:func:`trace_span` degrades to a no-op context manager.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "set_tracer",
+    "trace_span",
+    "tracer",
+    "write_chrome_trace",
+]
+
+#: Root span trees retained per tracer (oldest evicted first).
+DEFAULT_MAX_ROOTS = 256
+
+
+class Span:
+    """One timed operation: a name, a window, attributes and children."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.end = 0.0
+        self.children: list["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds between open and close (0.0 while still open)."""
+        return max(0.0, self.end - self.start)
+
+    def tree_size(self) -> int:
+        """Number of spans in this subtree (self included)."""
+        return 1 + sum(child.tree_size() for child in self.children)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span(name={self.name!r}, duration={self.duration:.6f}, "
+            f"children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """Per-thread span stacks feeding a bounded store of finished trees.
+
+    ``span(name, **attrs)`` is the only producer API.  Completed root
+    trees are appended to a bounded deque (``max_roots``) and offered to
+    every registered sink callback; sinks run outside the tracer lock and
+    their exceptions are swallowed — tracing must never fail a request.
+    """
+
+    def __init__(
+        self, *, max_roots: int = DEFAULT_MAX_ROOTS, enabled: bool = True
+    ) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: deque = deque(maxlen=max_roots)
+        self._sinks: list = []
+        self._enabled = enabled
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def set_enabled(self, flag: bool) -> None:
+        self._enabled = bool(flag)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs: object):
+        """Open one span on this thread; closes (and records) on exit."""
+        if not self._enabled:
+            yield None
+            return
+        span = Span(name, {k: str(v) for k, v in attrs.items()})
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        span.start = perf_counter()
+        try:
+            yield span
+        finally:
+            span.end = perf_counter()
+            stack.pop()
+            if not stack:
+                self._record_root(span)
+
+    def _record_root(self, span: Span) -> None:
+        with self._lock:
+            self._roots.append(span)
+            sinks = list(self._sinks)
+        for sink in sinks:
+            try:
+                sink(span)
+            except Exception:
+                # A broken sink must never take the traced request down.
+                pass
+
+    def add_sink(self, callback) -> None:
+        """Register ``callback(root_span)`` to run on every finished tree."""
+        with self._lock:
+            self._sinks.append(callback)
+
+    def remove_sink(self, callback) -> None:
+        """Unregister a sink (no-op when it was never added)."""
+        with self._lock:
+            if callback in self._sinks:
+                self._sinks.remove(callback)
+
+    def roots(self) -> list:
+        """The retained finished root spans, oldest first."""
+        with self._lock:
+            return list(self._roots)
+
+    def reset(self) -> None:
+        """Drop retained roots (sinks and per-thread stacks survive)."""
+        with self._lock:
+            self._roots.clear()
+
+
+def chrome_trace_events(span: Span, *, pid: int = 1, tid: int = 1) -> list:
+    """Flatten one span tree into Chrome trace-event ``X`` phase dicts.
+
+    Timestamps are microseconds on the tracer's ``perf_counter`` axis —
+    Chrome/Perfetto only need them to be mutually consistent, not
+    wall-clock anchored.
+    """
+    events = []
+
+    def visit(node: Span) -> None:
+        event = {
+            "name": node.name,
+            "ph": "X",
+            "ts": round(node.start * 1e6, 3),
+            "dur": round(node.duration * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+        }
+        if node.attrs:
+            event["args"] = dict(node.attrs)
+        events.append(event)
+        for child in node.children:
+            visit(child)
+
+    visit(span)
+    return events
+
+
+def write_chrome_trace(path, spans) -> None:
+    """Write span trees as one Chrome trace JSON file (``traceEvents``)."""
+    events: list = []
+    for span in spans:
+        events.extend(chrome_trace_events(span))
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+_GLOBAL_LOCK = threading.Lock()
+_GLOBAL: "Tracer | None" = None
+
+
+def tracer() -> Tracer:
+    """The process-global tracer (same seam shape as ``metrics.registry``)."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        if _GLOBAL is None:
+            from .metrics import _metrics_disabled_by_env
+
+            _GLOBAL = Tracer(enabled=not _metrics_disabled_by_env())
+        return _GLOBAL
+
+
+def set_tracer(replacement: "Tracer | None") -> Tracer:
+    """Swap the process-global tracer (tests); ``None`` builds a fresh one."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        _GLOBAL = replacement if replacement is not None else Tracer()
+        return _GLOBAL
+
+
+def trace_span(name: str, **attrs: object):
+    """Open a span named ``name`` on the process-global tracer."""
+    return tracer().span(name, **attrs)

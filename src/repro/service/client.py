@@ -166,6 +166,43 @@ class _HttpClient:
         except OSError as exc:
             raise ServiceError(f"transport failure: {exc}") from exc
 
+    def _get_text(self, path: str, *, timeout: float | None = None) -> str:
+        """GET a plain-text resource (the Prometheus exposition format)."""
+        if timeout is None:
+            timeout = self._timeout
+        request = urllib.request.Request(self._base_url + path, method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise self._error_from_response(exc) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self._base_url}: {exc.reason}"
+            ) from exc
+        except OSError as exc:
+            raise ServiceError(f"transport failure: {exc}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Observability (shared by sessions and stores)
+    # ------------------------------------------------------------------ #
+    def metrics(self, *, timeout: float | None = None) -> dict:
+        """The server's metrics snapshot (``GET /v1/metrics``).
+
+        Returns the decoded registry snapshot — ``counters``/``gauges``
+        flat series maps plus per-series ``histograms`` with bucket
+        bounds, counts and derived p50/p99.  Control-plane timeout.
+        """
+        if timeout is None:
+            timeout = DEFAULT_CONTROL_TIMEOUT_SECONDS
+        return codec.metrics_from_wire(self._get("/v1/metrics", timeout=timeout))
+
+    def metrics_text(self, *, timeout: float | None = None) -> str:
+        """The Prometheus text form (``GET /v1/metrics?format=prometheus``)."""
+        if timeout is None:
+            timeout = DEFAULT_CONTROL_TIMEOUT_SECONDS
+        return self._get_text("/v1/metrics?format=prometheus", timeout=timeout)
+
     @staticmethod
     def _error_from_response(exc: urllib.error.HTTPError) -> Exception:
         """Map an HTTP error to the exception the server meant to raise."""

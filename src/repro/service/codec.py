@@ -103,6 +103,8 @@ __all__ = [
     "job_chunk_from_wire",
     "job_list_to_wire",
     "job_list_from_wire",
+    "metrics_to_wire",
+    "metrics_from_wire",
 ]
 
 #: Version of the original (v1) envelope generation.  Kinds introduced in
@@ -1184,6 +1186,178 @@ def job_list_from_wire(payload: object) -> list[JobStatus]:
 
 
 # ---------------------------------------------------------------------- #
+# Schema v2: observability snapshots
+# ---------------------------------------------------------------------- #
+_METRICS_KEYS = frozenset({"counters", "gauges", "histograms"})
+
+#: The exact per-histogram summary fields a ``metrics`` envelope carries.
+_METRICS_HISTOGRAM_FIELDS = ("bounds", "counts", "sum", "count", "p50", "p99")
+
+
+def _metric_series_to_wire(
+    snapshot: Mapping[str, Any], section: str
+) -> dict[str, float]:
+    raw = snapshot.get(section)
+    if not isinstance(raw, Mapping):
+        raise FormatError(f"metrics snapshot.{section} must be a mapping")
+    series: dict[str, float] = {}
+    for name in sorted(raw):
+        if not isinstance(name, str):
+            raise FormatError(
+                f"metrics.{section} keys must be strings, got {name!r}"
+            )
+        value = raw[name]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise FormatError(
+                f"metrics.{section}[{name!r}] must be a number, got {value!r}"
+            )
+        series[name] = float(value)
+    return series
+
+
+def _metric_histogram_to_wire(name: str, data: Mapping[str, Any]) -> dict[str, Any]:
+    if not isinstance(data, Mapping) or set(data) != set(_METRICS_HISTOGRAM_FIELDS):
+        raise FormatError(
+            f"metrics.histograms[{name!r}] must carry exactly "
+            f"{sorted(_METRICS_HISTOGRAM_FIELDS)}"
+        )
+    bounds = data["bounds"]
+    counts = data["counts"]
+    if not isinstance(bounds, Sequence) or isinstance(bounds, str):
+        raise FormatError(f"metrics.histograms[{name!r}].bounds must be a list")
+    if not isinstance(counts, Sequence) or isinstance(counts, str):
+        raise FormatError(f"metrics.histograms[{name!r}].counts must be a list")
+    out: dict[str, Any] = {
+        "bounds": [float(edge) for edge in bounds],
+        "counts": [int(count) for count in counts],
+        "sum": float(data["sum"]),
+        "count": int(data["count"]),
+        "p50": float(data["p50"]),
+        "p99": float(data["p99"]),
+    }
+    return out
+
+
+def metrics_to_wire(snapshot: Mapping[str, Any]) -> dict[str, Any]:
+    """Encode a registry snapshot (``GET /v1/metrics``, kind ``metrics``).
+
+    ``snapshot`` is the :meth:`repro.obs.MetricsRegistry.snapshot` shape:
+    flattened series names (``name`` or ``name{label=value,...}``) mapping
+    to counter/gauge numbers, and per-histogram summaries carrying the
+    deterministic bucket ``bounds``/``counts`` plus ``sum``/``count`` and
+    the derived ``p50``/``p99`` estimates.
+    """
+    raw_histograms = snapshot.get("histograms")
+    if not isinstance(raw_histograms, Mapping):
+        raise FormatError("metrics snapshot.histograms must be a mapping")
+    counters = _metric_series_to_wire(snapshot, "counters")
+    gauges = _metric_series_to_wire(snapshot, "gauges")
+    histograms = {
+        str(name): _metric_histogram_to_wire(str(name), raw_histograms[name])
+        for name in sorted(raw_histograms)
+    }
+    return _envelope(
+        "metrics",
+        {"counters": counters, "gauges": gauges, "histograms": histograms},
+        version=SCHEMA_VERSION_V2,
+    )
+
+
+def _metric_series_from_wire(
+    payload: dict[str, Any], section: str
+) -> dict[str, float]:
+    raw = _field(payload, "metrics", section, dict)
+    series: dict[str, float] = {}
+    for name, value in raw.items():
+        if not isinstance(name, str):
+            raise FormatError(
+                f"metrics.{section} keys must be strings, got {name!r}"
+            )
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise FormatError(
+                f"metrics.{section}[{name!r}] must be a number, got {value!r}"
+            )
+        series[name] = float(value)
+    return series
+
+
+def _metric_histogram_from_wire(name: str, data: object) -> dict[str, Any]:
+    kind = "metrics"
+    if not isinstance(data, dict):
+        raise FormatError(f"{kind}.histograms[{name!r}] must be an object")
+    if set(data) != set(_METRICS_HISTOGRAM_FIELDS):
+        raise FormatError(
+            f"{kind}.histograms[{name!r}] must carry exactly "
+            f"{sorted(_METRICS_HISTOGRAM_FIELDS)}"
+        )
+    bounds_raw = data["bounds"]
+    counts_raw = data["counts"]
+    if not isinstance(bounds_raw, list) or not isinstance(counts_raw, list):
+        raise FormatError(
+            f"{kind}.histograms[{name!r}].bounds/.counts must be lists"
+        )
+    bounds: list[float] = []
+    for edge in bounds_raw:
+        if isinstance(edge, bool) or not isinstance(edge, (int, float)):
+            raise FormatError(
+                f"{kind}.histograms[{name!r}].bounds entries must be numbers"
+            )
+        bounds.append(float(edge))
+    if any(b <= a for a, b in zip(bounds, bounds[1:])):
+        raise FormatError(
+            f"{kind}.histograms[{name!r}].bounds must be strictly increasing"
+        )
+    counts: list[int] = []
+    for value in counts_raw:
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise FormatError(
+                f"{kind}.histograms[{name!r}].counts entries must be ints >= 0"
+            )
+        counts.append(value)
+    if len(counts) != len(bounds) + 1:
+        raise FormatError(
+            f"{kind}.histograms[{name!r}] needs len(bounds) + 1 counts "
+            f"(the overflow bucket), got {len(counts)} for {len(bounds)} bounds"
+        )
+    count = data["count"]
+    if isinstance(count, bool) or not isinstance(count, int) or count < 0:
+        raise FormatError(f"{kind}.histograms[{name!r}].count must be an int >= 0")
+    if count != sum(counts):
+        raise FormatError(
+            f"{kind}.histograms[{name!r}].count must equal the bucket total"
+        )
+    summary: dict[str, Any] = {"bounds": bounds, "counts": counts, "count": count}
+    for key in ("sum", "p50", "p99"):
+        value = data[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise FormatError(
+                f"{kind}.histograms[{name!r}].{key} must be a number"
+            )
+        summary[key] = float(value)
+    return summary
+
+
+def metrics_from_wire(payload: object) -> dict[str, Any]:
+    """Decode a ``metrics`` envelope back to the plain snapshot dict."""
+    payload = _open_envelope(
+        payload, "metrics", _METRICS_KEYS, min_version=SCHEMA_VERSION_V2
+    )
+    raw_histograms = _field(payload, "metrics", "histograms", dict)
+    histograms: dict[str, dict[str, Any]] = {}
+    for name in raw_histograms:
+        if not isinstance(name, str):
+            raise FormatError(
+                f"metrics.histograms keys must be strings, got {name!r}"
+            )
+        histograms[name] = _metric_histogram_from_wire(name, raw_histograms[name])
+    return {
+        "counters": _metric_series_from_wire(payload, "counters"),
+        "gauges": _metric_series_from_wire(payload, "gauges"),
+        "histograms": histograms,
+    }
+
+
+# ---------------------------------------------------------------------- #
 # Generic dispatch
 # ---------------------------------------------------------------------- #
 def to_wire(obj: object) -> dict[str, Any]:
@@ -1253,6 +1427,7 @@ _DECODERS = {
     "job-summary": job_summary_from_wire,
     "job-result-chunk": job_chunk_from_wire,
     "job-list": job_list_from_wire,
+    "metrics": metrics_from_wire,
 }
 
 

@@ -50,6 +50,7 @@ from ..core.engine.controls import (
 )
 from ..core.result import CliqueRecord, SearchStatistics
 from ..errors import JobError, JobNotFoundError, ParameterError, ServiceError
+from ..obs import registry as _obs_registry
 
 __all__ = [
     "DEFAULT_MAX_PENDING_PAGES",
@@ -69,6 +70,20 @@ DEFAULT_MAX_PENDING_PAGES = 64
 
 #: Terminal jobs retained by a registry before the oldest are evicted.
 DEFAULT_MAX_FINISHED = 256
+
+_JOBS_TRANSITIONS = _obs_registry().counter(
+    "jobs_transitions_total",
+    "Job state-machine transitions by destination state.",
+    labelnames=("state",),
+)
+_JOBS_FIRST_RESULT_SECONDS = _obs_registry().histogram(
+    "jobs_time_to_first_result_seconds",
+    "Wall seconds from job start to its first flushed result page.",
+)
+_JOBS_BACKPRESSURE_SECONDS = _obs_registry().histogram(
+    "jobs_backpressure_park_seconds",
+    "Wall seconds producers spent parked on a full result buffer.",
+)
 
 
 class JobState:
@@ -217,6 +232,7 @@ class Job:
                 # outcome (the worker observes ``_begin() == False``).
                 self.report.stop_reason = StopReason.CANCELLED
                 self._state = JobState.CANCELLED
+                _JOBS_TRANSITIONS.labels(state=JobState.CANCELLED).inc()
                 notify = self._on_terminal
             self._cond.notify_all()
         if notify is not None:
@@ -300,6 +316,7 @@ class Job:
                 return False
             self._state = JobState.RUNNING
             self._started_at = perf_counter()
+            _JOBS_TRANSITIONS.labels(state=JobState.RUNNING).inc()
             self._cond.notify_all()
         return True
 
@@ -318,15 +335,24 @@ class Job:
             self._records_total += 1
             if len(self._current) >= self._page_size:
                 self._flush_locked()
-                while (
-                    self._max_pending is not None
-                    and len(self._pages) >= self._max_pending
-                ):
-                    if self._token.cancelled:
-                        raise JobCancelled
-                    if self._draining:
-                        raise ServiceError("server shutdown")
-                    self._cond.wait()
+                parked_at: "float | None" = None
+                try:
+                    while (
+                        self._max_pending is not None
+                        and len(self._pages) >= self._max_pending
+                    ):
+                        if self._token.cancelled:
+                            raise JobCancelled
+                        if self._draining:
+                            raise ServiceError("server shutdown")
+                        if parked_at is None:
+                            parked_at = perf_counter()
+                        self._cond.wait()
+                finally:
+                    if parked_at is not None:
+                        _JOBS_BACKPRESSURE_SECONDS.observe(
+                            perf_counter() - parked_at
+                        )
 
     def _finish(self) -> None:
         """running → done (or cancelled, when the token was accepted)."""
@@ -344,6 +370,7 @@ class Job:
             else:
                 state = JobState.DONE
             self._state = state
+            _JOBS_TRANSITIONS.labels(state=state).inc()
             self._cond.notify_all()
             notify = self._on_terminal
         if notify is not None:
@@ -374,6 +401,7 @@ class Job:
             else:
                 state = JobState.DONE
             self._state = state
+            _JOBS_TRANSITIONS.labels(state=state).inc()
             self._cond.notify_all()
             notify = self._on_terminal
         if notify is not None:
@@ -389,6 +417,7 @@ class Job:
                 self._elapsed = perf_counter() - self._started_at
             self._error = error
             self._state = JobState.FAILED
+            _JOBS_TRANSITIONS.labels(state=JobState.FAILED).inc()
             self._cond.notify_all()
             notify = self._on_terminal
         if notify is not None:
@@ -407,6 +436,7 @@ class Job:
             if self._state == JobState.QUEUED:
                 self._error = ServiceError("server shutdown")
                 self._state = JobState.FAILED
+                _JOBS_TRANSITIONS.labels(state=JobState.FAILED).inc()
                 notify = self._on_terminal
             elif self._state == JobState.RUNNING:
                 self._draining = True
@@ -423,6 +453,10 @@ class Job:
     # ------------------------------------------------------------------ #
     def _flush_locked(self) -> None:
         if self._current:
+            if self._next_seq == 0 and self._started_at is not None:
+                _JOBS_FIRST_RESULT_SECONDS.observe(
+                    perf_counter() - self._started_at
+                )
             self._pages[self._next_seq] = self._current
             self._next_seq += 1
             self._current = []

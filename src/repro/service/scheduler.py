@@ -50,10 +50,25 @@ from ..api.session import MiningSession, plan_base_compile
 from ..api.store import GraphStore
 from ..core.result import CliqueRecord
 from ..errors import JobError, ParameterError, ServiceError
+from ..obs import registry as _obs_registry
 from ..uncertain.graph import UncertainGraph
 from .jobs import DEFAULT_MAX_PENDING_PAGES, Job, JobCancelled, JobRegistry, JobState
 
 __all__ = ["EnumerationScheduler", "SchedulerStats"]
+
+_SCHED_SUBMITTED = _obs_registry().counter(
+    "sched_jobs_submitted_total", "Jobs accepted by the scheduler."
+)
+_SCHED_QUEUE_DEPTH = _obs_registry().gauge(
+    "sched_queue_depth", "Submitted jobs no pool worker has picked up yet."
+)
+_SCHED_INFLIGHT = _obs_registry().gauge(
+    "sched_inflight_jobs", "Jobs currently executing on the pool."
+)
+_SCHED_SINGLE_FLIGHT_WAITS = _obs_registry().counter(
+    "sched_single_flight_waits_total",
+    "Jobs that piggybacked on another thread's in-flight compilation.",
+)
 
 #: Default size of the request thread pool.  Enumeration is CPU-bound pure
 #: Python, so the pool exists for scheduling fairness (and for requests
@@ -238,6 +253,8 @@ class EnumerationScheduler:
             if self._closed:
                 raise ServiceError("server shutdown: not accepting new jobs")
             self._submitted += 1
+            _SCHED_SUBMITTED.inc()
+            _SCHED_QUEUE_DEPTH.set(self._submitted - self._started)
             job = self._registry.create(
                 request, page_size=page_size, max_pending_pages=max_pending_pages
             )
@@ -250,6 +267,7 @@ class EnumerationScheduler:
                 # refusal in service terms.
                 job._shutdown()
                 self._submitted -= 1
+                _SCHED_QUEUE_DEPTH.set(self._submitted - self._started)
                 raise ServiceError(
                     "server shutdown: not accepting new jobs"
                 ) from exc
@@ -325,6 +343,8 @@ class EnumerationScheduler:
     ) -> "EnumerationOutcome | None":
         with self._lock:
             self._started += 1
+            _SCHED_QUEUE_DEPTH.set(self._submitted - self._started)
+            _SCHED_INFLIGHT.set(self._started - self._completed - self._failed)
         try:
             if job._begin():
                 request = job.request
@@ -338,15 +358,18 @@ class EnumerationScheduler:
             job._fail(exc)
             with self._lock:
                 self._failed += 1
+                _SCHED_INFLIGHT.set(self._started - self._completed - self._failed)
             raise
         if job.state == JobState.FAILED:
             # Settled as failed without this runner raising (e.g. drained
             # while queued): surface the stored error on the future too.
             with self._lock:
                 self._failed += 1
+                _SCHED_INFLIGHT.set(self._started - self._completed - self._failed)
             raise job.error
         with self._lock:
             self._completed += 1
+            _SCHED_INFLIGHT.set(self._started - self._completed - self._failed)
         try:
             return job.wait(timeout=0)
         except JobError:
@@ -442,6 +465,7 @@ class EnumerationScheduler:
                 self._inflight_compiles[key] = event
             else:
                 self._single_flight_waits += 1
+                _SCHED_SINGLE_FLIGHT_WAITS.inc()
         if leader:
             try:
                 session.compiled(alpha=alpha, size_threshold=size_threshold)

@@ -12,6 +12,9 @@ endpoint                            semantics
 ``POST /v1/sweep``                  sweep the default graph; one shared compilation
 ``GET /v1/health``                  liveness + the default graph's shape/fingerprint
 ``GET /v1/stats``                   cache, scheduler, HTTP and per-graph counters
+``GET /v1/metrics``                 the process metrics registry — a ``metrics``
+                                    envelope, or Prometheus text with
+                                    ``?format=prometheus``
 ``POST /v2/graphs``                 create a graph: upload an edge set, or build a
                                     named dataset analog server-side
 ``GET /v2/graphs``                  list resident graphs (``graph-list`` envelope)
@@ -46,8 +49,11 @@ from __future__ import annotations
 
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from time import perf_counter
 from urllib.parse import parse_qs, urlsplit
 
+from ..api.cache import CacheInfo
 from ..api.store import GraphStore
 from ..errors import (
     FormatError,
@@ -57,12 +63,25 @@ from ..errors import (
     ServiceError,
     StoreError,
 )
+from ..obs import registry as _obs_registry
+from ..obs import render_prometheus, tracer as _obs_tracer, write_chrome_trace
 from ..uncertain.graph import UncertainGraph
 from . import codec
 from .jobs import Job, JobState
 from .scheduler import EnumerationScheduler
 
 __all__ = ["MiningServer", "DEFAULT_PORT"]
+
+_HTTP_REQUESTS = _obs_registry().counter(
+    "http_requests_total",
+    "HTTP requests served, by normalised endpoint, method and status.",
+    labelnames=("endpoint", "method", "status"),
+)
+_HTTP_REQUEST_SECONDS = _obs_registry().histogram(
+    "http_request_seconds",
+    "Wall seconds per HTTP request, by normalised endpoint.",
+    labelnames=("endpoint",),
+)
 
 #: Default TCP port of ``repro-mule serve``.
 DEFAULT_PORT = 8765
@@ -88,6 +107,10 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-mule"
 
+    #: Status of the last response written on this connection; 0 means no
+    #: response made it out (the socket died mid-handler).
+    _response_status = 0
+
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
@@ -97,33 +120,67 @@ class _Handler(BaseHTTPRequestHandler):
         ``counted`` selects whether the request lands in the HTTP
         received/failed counters — mutating verbs (POST/DELETE) are
         counted, read-only polls (GET health/stats/listings) are not,
-        matching the original v1 accounting.
+        matching the original v1 accounting.  Every request additionally
+        lands in the per-endpoint metrics (count, status, latency) and —
+        when the server was given a trace directory — leaves a Chrome
+        trace file behind.
         """
         service = self.server.service
         if counted:
             service._count_request()
+        endpoint = _endpoint_label(self.path)
+        started = perf_counter()
+        self._response_status = 0
+        root = None
         try:
-            route(service)
-        except BaseException as exc:  # noqa: BLE001 — a handler must not die
-            if counted:
-                service._count_failure()
-            if isinstance(exc, _RouteError):
-                self._respond_error(404, ReproError(str(exc)))
-            elif isinstance(exc, _ServerDraining):
-                self._respond_error(
-                    503, ServiceError("server is draining; not accepting new work")
+            with _obs_tracer().span(
+                "http.request", endpoint=endpoint, method=self.command
+            ) as root:
+                try:
+                    route(service)
+                except BaseException as exc:  # noqa: BLE001 — a handler must not die
+                    if counted:
+                        service._count_failure()
+                    if isinstance(exc, _RouteError):
+                        self._respond_error(404, ReproError(str(exc)))
+                    elif isinstance(exc, _ServerDraining):
+                        self._respond_error(
+                            503,
+                            ServiceError(
+                                "server is draining; not accepting new work"
+                            ),
+                        )
+                    elif isinstance(exc, _LengthRequired):
+                        # The request body is still sitting unread on the
+                        # socket; keeping the connection would desync the
+                        # next request.  Drain it (bounded) after
+                        # responding: closing with unread bytes in the
+                        # receive buffer makes the kernel RST the
+                        # connection, which can discard the 411 response
+                        # before the client reads it.
+                        self.close_connection = True
+                        self._respond_error(411, ServiceError(str(exc)))
+                        self._drain_request_body()
+                    elif isinstance(exc, (GraphNotFoundError, JobNotFoundError)):
+                        self._respond_error(404, exc)
+                    elif isinstance(exc, ReproError):
+                        self._respond_error(400, exc)
+                    else:
+                        self._respond_error(500, exc)
+        finally:
+            elapsed = perf_counter() - started
+            status = self._response_status or 500
+            _HTTP_REQUESTS.labels(
+                endpoint=endpoint, method=self.command, status=str(status)
+            ).inc()
+            _HTTP_REQUEST_SECONDS.labels(endpoint=endpoint).observe(elapsed)
+            service._observe_request(root)
+            if not service.quiet:
+                # The access line shares its clock with the latency
+                # histogram above: one measurement, two sinks.
+                self.log_message(
+                    '"%s" %d %.4fs', self.requestline, status, elapsed
                 )
-            elif isinstance(exc, _LengthRequired):
-                # The request body is still sitting unread on the socket;
-                # keeping the connection would desync the next request.
-                self.close_connection = True
-                self._respond_error(411, ServiceError(str(exc)))
-            elif isinstance(exc, (GraphNotFoundError, JobNotFoundError)):
-                self._respond_error(404, exc)
-            elif isinstance(exc, ReproError):
-                self._respond_error(400, exc)
-            else:
-                self._respond_error(500, exc)
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         self._handle(self._route_get, counted=False)
@@ -141,6 +198,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond(200, service.health_payload())
         elif path == "/v1/stats":
             self._respond(200, service.stats_payload())
+        elif path == "/v1/metrics":
+            if _metrics_format(split.query) == "prometheus":
+                self._respond_text(200, render_prometheus())
+            else:
+                self._respond(200, service.metrics_payload())
         elif path == "/v2/graphs":
             self._respond(200, codec.graph_list_to_wire(service.store.list()))
         elif path == "/v2/jobs":
@@ -249,10 +311,35 @@ class _Handler(BaseHTTPRequestHandler):
             )
         return self.rfile.read(length)
 
+    def _drain_request_body(self, *, limit: int = MAX_REQUEST_BYTES) -> None:
+        """Best-effort discard of an unread request body.
+
+        Bounded by ``limit`` and a short socket timeout so a client
+        streaming an unbounded body cannot pin the handler thread.
+        """
+        try:
+            self.connection.settimeout(0.2)
+            while limit > 0:
+                data = self.connection.recv(min(65536, limit))
+                if not data:
+                    break
+                limit -= len(data)
+        except OSError:
+            pass
+
     def _respond(self, status: int, payload: dict) -> None:
         body = codec.encode(payload)
+        self._send_body(status, "application/json", body)
+
+    def _respond_text(self, status: int, text: str) -> None:
+        """Plain-text response (the Prometheus exposition format)."""
+        self._send_body(
+            status, "text/plain; version=0.0.4; charset=utf-8", text.encode("utf-8")
+        )
+
+    def _send_body(self, status: int, content_type: str, body: bytes) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if self.close_connection:
             self.send_header("Connection", "close")
@@ -303,6 +390,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.close_connection = True
         self._respond(status, codec.error_to_wire(exc))
 
+    def send_response(self, code: int, message: "str | None" = None) -> None:
+        self._response_status = int(code)
+        BaseHTTPRequestHandler.send_response(self, code, message)
+
+    def log_request(self, code: object = "-", size: object = "-") -> None:
+        # Suppress the stdlib per-response line: the timed access line in
+        # ``_handle`` (status + wall duration, sharing the latency
+        # histogram's measurement) replaces it.
+        pass
+
     def log_message(self, format: str, *args: object) -> None:
         # Route access logs through the server's quiet flag instead of
         # unconditionally spamming stderr (the default behaviour).
@@ -342,6 +439,57 @@ def _job_path(path: str) -> "tuple[str, bool] | None":
     if len(parts) == 4 and parts[3] == "results":
         return parts[2], True
     return None
+
+
+def _endpoint_label(path: str) -> str:
+    """Collapse a request path to its route template.
+
+    Metric labels must have bounded cardinality, so per-resource segments
+    (graph refs, job ids) are collapsed to placeholders and paths the
+    router does not serve collapse to one ``(unknown)`` bucket.
+    """
+    path = urlsplit(path).path
+    if path in _KNOWN_ENDPOINTS:
+        return path
+    action = _graph_action(path)
+    if action is not None:
+        return f"/v2/graphs/{{ref}}/{action[1]}"
+    if _graph_ref(path) is not None:
+        return "/v2/graphs/{ref}"
+    target = _job_path(path)
+    if target is not None:
+        return "/v2/jobs/{id}/results" if target[1] else "/v2/jobs/{id}"
+    return "(unknown)"
+
+
+_KNOWN_ENDPOINTS = frozenset(
+    {
+        "/v1/enumerate",
+        "/v1/sweep",
+        "/v1/health",
+        "/v1/stats",
+        "/v1/metrics",
+        "/v2/graphs",
+        "/v2/jobs",
+    }
+)
+
+
+def _metrics_format(query: str) -> str:
+    """Parse ``?format=json|prometheus`` (default ``json``), strictly."""
+    params = parse_qs(query, keep_blank_values=True)
+    unknown = set(params) - {"format"}
+    if unknown:
+        raise FormatError(f"unknown query parameters {sorted(unknown)}")
+    values = params.get("format")
+    if not values:
+        return "json"
+    chosen = values[-1]
+    if chosen not in ("json", "prometheus"):
+        raise FormatError(
+            f"unknown metrics format {chosen!r}; expected 'json' or 'prometheus'"
+        )
+    return chosen
 
 
 def _cursor_param(query: str) -> int:
@@ -440,7 +588,14 @@ class MiningServer:
         sets).  Explicit per-request kernels always win.
     quiet:
         Suppress per-request access logging (default ``True``; the CLI
-        turns logging on).
+        turns logging on).  Access lines carry the response status and
+        wall duration, measured by the same clock as the request latency
+        histograms.
+    trace_dir:
+        When set, every HTTP request writes its span tree as a Chrome
+        trace-event JSON file (``request-NNNNNN.json``) into this
+        directory — load them in ``chrome://tracing`` or Perfetto.  The
+        directory is created on demand.
 
     >>> g = UncertainGraph(edges=[(1, 2, 0.9), (2, 3, 0.9), (1, 3, 0.9)])
     >>> with MiningServer(g, port=0) as server:
@@ -457,6 +612,7 @@ class MiningServer:
         max_workers: int | None = None,
         default_kernel: str = "auto",
         quiet: bool = True,
+        trace_dir: "str | Path | None" = None,
     ) -> None:
         self.quiet = quiet
         self._scheduler = EnumerationScheduler(
@@ -471,6 +627,11 @@ class MiningServer:
         self._http_lock = threading.Lock()
         self._http_received = 0
         self._http_failed = 0
+        self._trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self._trace_lock = threading.Lock()
+        self._trace_seq = 0
+        if self._trace_dir is not None:
+            self._trace_dir.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -545,17 +706,35 @@ class MiningServer:
         }
 
     def stats_payload(self) -> dict:
+        """Assemble the ``/v1/stats`` payload.
+
+        Each component section is an *atomic* snapshot of that component:
+        the aggregate cache counters and every per-graph breakdown come
+        from a single lock acquisition
+        (:meth:`~repro.api.cache.CompiledGraphCache.counters_snapshot`),
+        so within one payload the per-graph sums can never exceed the
+        aggregate; scheduler, HTTP and job counters are likewise each
+        read under their own lock.  *Cross*-component consistency is
+        deliberately best-effort — the sections are sampled one after
+        another without a global pause, so a request landing mid-assembly
+        may appear in one section and not yet in another.
+        """
         store = self.store
-        cache = store.cache_info()
+        # One lock acquisition yields the aggregate *and* every per-graph
+        # breakdown (the old aggregate-then-per-graph pair of reads could
+        # tear: a compile landing between them made the per-graph sums
+        # exceed the aggregate).  A graph deleted between list() and here
+        # simply reports zero counters instead of 404-ing the poll.
+        cache, per_graph = store.cache.counters_snapshot()
         scheduler = self._scheduler.stats()
-        # cache.info_for (not store.cache_info_for): it never resolves, so
-        # a graph deleted between list() and here yields zero counters
-        # instead of turning a stats poll into a 404.
+        zero = CacheInfo(
+            hits=0, misses=0, compilations=0, derivations=0, entries=0
+        )
         graphs = {
             info.fingerprint: {
                 "name": info.name,
                 "default": info.default,
-                "cache": dict(store.cache.info_for(info.fingerprint)._asdict()),
+                "cache": dict(per_graph.get(info.fingerprint, zero)._asdict()),
             }
             for info in store.list()
         }
@@ -571,6 +750,10 @@ class MiningServer:
             "jobs": self._scheduler.jobs.counts(),
         }
 
+    def metrics_payload(self) -> dict:
+        """The process metrics registry as a ``metrics`` wire envelope."""
+        return codec.metrics_to_wire(_obs_registry().snapshot())
+
     def _count_request(self) -> None:
         with self._http_lock:
             self._http_received += 1
@@ -578,6 +761,18 @@ class MiningServer:
     def _count_failure(self) -> None:
         with self._http_lock:
             self._http_failed += 1
+
+    def _observe_request(self, span: object) -> None:
+        """Persist one finished request span when tracing to a directory."""
+        if span is None or self._trace_dir is None:
+            return
+        with self._trace_lock:
+            self._trace_seq += 1
+            seq = self._trace_seq
+        try:
+            write_chrome_trace(self._trace_dir / f"request-{seq:06d}.json", [span])
+        except OSError:  # pragma: no cover - tracing must never fail a request
+            pass
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -6,6 +6,7 @@ from . import (  # noqa: F401
     error_taxonomy,
     kernel_determinism,
     lock_discipline,
+    metrics_discipline,
     stopreason,
     wire_freeze,
 )

@@ -781,3 +781,38 @@ class TestFleetCommand:
         exit_code = main(["fleet", "--workers-url", "http://127.0.0.1:1"])
         assert exit_code == 1
         assert "0/1 worker(s) usable" in capsys.readouterr().out
+
+    def test_fleet_sums_counters_across_workers(self, worker_fleet, capsys):
+        args = ["fleet"]
+        for server in worker_fleet:
+            args += ["--workers-url", server.url]
+        exit_code = main(args)
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "fleet counters (summed across usable workers):" in out
+        # The fleet probe itself hits every worker at least once.
+        assert "http_requests_total" in out
+
+
+class TestMetricsCommand:
+    def test_metrics_requires_a_url(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics"])
+
+    def test_metrics_json(self, worker_fleet, capsys):
+        exit_code = main(["metrics", worker_fleet[0].url])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"counters", "gauges", "histograms"}
+
+    def test_metrics_prometheus(self, worker_fleet, capsys):
+        exit_code = main(
+            ["metrics", worker_fleet[0].url, "--format", "prometheus"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE http_requests_total counter" in out
+
+    def test_metrics_unreachable_server_fails(self, capsys):
+        exit_code = main(["metrics", "http://127.0.0.1:1"])
+        assert exit_code == 1

@@ -1,0 +1,161 @@
+"""Unit tests for span tracing and the Chrome trace-event export."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs import (
+    Tracer,
+    chrome_trace_events,
+    set_tracer,
+    tracer,
+    trace_span,
+    write_chrome_trace,
+)
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        t = Tracer()
+        with t.span("request", endpoint="/v1/enumerate") as root:
+            with t.span("decode"):
+                pass
+            with t.span("run") as run:
+                with t.span("encode"):
+                    pass
+        assert root.name == "request"
+        assert [child.name for child in root.children] == ["decode", "run"]
+        assert [child.name for child in run.children] == ["encode"]
+        assert root.tree_size() == 4
+        assert root.attrs == {"endpoint": "/v1/enumerate"}
+
+    def test_durations_are_monotone(self):
+        t = Tracer()
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                pass
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_only_roots_are_recorded(self):
+        t = Tracer()
+        with t.span("root"):
+            with t.span("child"):
+                pass
+        assert [span.name for span in t.roots()] == ["root"]
+
+    def test_root_retention_is_bounded(self):
+        t = Tracer(max_roots=3)
+        for i in range(5):
+            with t.span(f"r{i}"):
+                pass
+        assert [span.name for span in t.roots()] == ["r2", "r3", "r4"]
+
+    def test_disabled_tracer_yields_none(self):
+        t = Tracer(enabled=False)
+        with t.span("request") as span:
+            assert span is None
+        assert t.roots() == []
+        t.set_enabled(True)
+        with t.span("request") as span:
+            assert span is not None
+
+    def test_span_survives_exceptions(self):
+        t = Tracer()
+        try:
+            with t.span("boom"):
+                raise RuntimeError("planted")
+        except RuntimeError:
+            pass
+        (root,) = t.roots()
+        assert root.end >= root.start
+
+    def test_threads_trace_independently(self):
+        t = Tracer()
+
+        def worker(tag):
+            with t.span(tag):
+                pass
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+        ]
+        with t.span("main"):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        names = sorted(span.name for span in t.roots())
+        # Worker spans are roots of their own threads, not children of
+        # the main-thread span.
+        assert names == ["main", "t0", "t1", "t2", "t3"]
+        main = next(span for span in t.roots() if span.name == "main")
+        assert main.children == []
+
+
+class TestSinks:
+    def test_sinks_see_finished_roots(self):
+        t = Tracer()
+        seen = []
+        t.add_sink(seen.append)
+        with t.span("request"):
+            pass
+        assert [span.name for span in seen] == ["request"]
+
+    def test_broken_sink_is_swallowed(self):
+        t = Tracer()
+
+        def explode(_span):
+            raise OSError("disk full")
+
+        t.add_sink(explode)
+        with t.span("request"):
+            pass
+        assert len(t.roots()) == 1
+
+    def test_remove_sink(self):
+        t = Tracer()
+        seen = []
+        t.add_sink(seen.append)
+        t.remove_sink(seen.append)
+        with t.span("request"):
+            pass
+        assert seen == []
+
+
+class TestChromeExport:
+    def test_events_flatten_the_tree(self):
+        t = Tracer()
+        with t.span("request", endpoint="/v1/metrics") as root:
+            with t.span("render"):
+                pass
+        events = chrome_trace_events(root)
+        assert [event["name"] for event in events] == ["request", "render"]
+        assert all(event["ph"] == "X" for event in events)
+        assert events[0]["args"] == {"endpoint": "/v1/metrics"}
+        assert events[0]["dur"] >= events[1]["dur"]
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        t = Tracer()
+        with t.span("a") as a:
+            pass
+        with t.span("b") as b:
+            pass
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, [a, b])
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["displayTimeUnit"] == "ms"
+        assert [event["name"] for event in payload["traceEvents"]] == ["a", "b"]
+
+
+class TestGlobalSeam:
+    def test_trace_span_uses_the_global_tracer(self):
+        original = tracer()
+        replacement = Tracer()
+        try:
+            set_tracer(replacement)
+            with trace_span("request") as span:
+                assert span is not None
+            assert [root.name for root in replacement.roots()] == ["request"]
+        finally:
+            set_tracer(original)

@@ -21,6 +21,7 @@ from repro.api import EnumerationRequest, GraphInfo, MiningSession
 from repro.core.engine import RunControls
 from repro.core.result import CliqueRecord
 from repro.errors import ParameterError
+from repro.obs import MetricsRegistry
 from repro.service import codec
 from repro.uncertain.graph import UncertainGraph
 
@@ -38,6 +39,34 @@ def frozen(outcome, elapsed: float = 0.015625):
     """Stamp a deterministic elapsed time so encodings are byte-stable."""
     outcome.elapsed_seconds = elapsed
     return outcome
+
+
+def metrics_snapshot() -> dict:
+    """A deterministic mini-registry: fixed counts, exact-binary timings.
+
+    Built on a private registry (never the process-global seam) so the
+    fixture bytes cannot depend on what else ran in the process; every
+    observed value is an exact binary fraction, so the derived p50/p99
+    interpolations are byte-stable too.
+    """
+    registry = MetricsRegistry(enabled=True)
+    requests = registry.counter(
+        "http_requests_total",
+        "HTTP requests served.",
+        labelnames=("endpoint", "status"),
+    )
+    requests.labels(endpoint="/v1/stats", status="200").inc(3)
+    requests.labels(endpoint="/v2/jobs", status="404").inc()
+    registry.gauge("sched_queue_depth", "Jobs submitted but not started.").set(2)
+    latency = registry.histogram(
+        "http_request_seconds",
+        "Per-endpoint request latency.",
+        labelnames=("endpoint",),
+        buckets=(0.0625, 0.25, 1.0),
+    )
+    for value in (0.03125, 0.125, 0.5):
+        latency.labels(endpoint="/v1/stats").observe(value)
+    return registry.snapshot()
 
 
 def build_payloads() -> dict[str, dict]:
@@ -216,6 +245,8 @@ def build_payloads() -> dict[str, dict]:
             )
         ),
         "job_list_mixed": codec.job_list_to_wire([status_running, status_done]),
+        # ---- schema v2: observability ---- #
+        "metrics_snapshot": codec.metrics_to_wire(metrics_snapshot()),
     }
 
 

@@ -48,6 +48,10 @@ def roundtrip(raw: bytes) -> bytes:
     if kind == "job-result-chunk":
         chunk = codec.job_chunk_from_wire(payload)
         return codec.encode(codec.job_chunk_to_wire(chunk))
+    if kind == "metrics":
+        # A metrics snapshot decodes to a plain dict, which the generic
+        # to_wire dispatcher (rightly) refuses to guess a kind for.
+        return codec.encode(codec.metrics_to_wire(codec.metrics_from_wire(payload)))
     obj = codec.from_wire(payload)
     if kind == "error":
         return codec.encode(codec.error_to_wire(obj))
@@ -288,3 +292,16 @@ class TestDecodeEquality:
         statuses = codec.from_wire(self.load("job_list_mixed"))
         assert [s.id for s in statuses] == ["job-000001", "job-000002"]
         assert [s.state for s in statuses] == ["running", "done"]
+
+    def test_metrics_snapshot(self):
+        from tests.service.make_fixtures import metrics_snapshot
+
+        snapshot = codec.metrics_from_wire(self.load("metrics_snapshot"))
+        assert snapshot == metrics_snapshot()
+        series = snapshot["histograms"][
+            "http_request_seconds{endpoint=/v1/stats}"
+        ]
+        # Exact binary fractions: the fixture builder observed 1/32, 1/8
+        # and 1/2 into buckets (1/16, 1/4, 1).
+        assert series["counts"] == [1, 1, 1, 0]
+        assert series["sum"] == 0.65625

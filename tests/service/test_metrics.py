@@ -1,0 +1,268 @@
+"""Observability integration tests: ``/v1/metrics``, parity, determinism.
+
+The process-global registry accumulates across every test in the
+process, so assertions here are written against *deltas* (snapshot
+before, act, snapshot after) or against structural invariants — never
+against absolute totals.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import EnumerationRequest, MiningSession
+from repro.errors import FormatError
+from repro.generators.erdos_renyi import random_uncertain_graph
+from repro.obs import registry as obs_registry
+from repro.service import MiningServer, RemoteSession, codec
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_uncertain_graph(14, 0.5, rng=random.Random(21))
+
+
+@pytest.fixture()
+def server(graph):
+    with MiningServer(graph, port=0) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def remote(server):
+    return RemoteSession(server.url)
+
+
+def get_raw(server, path: str):
+    """GET raw bytes, returning (status, content-type, body)."""
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=30) as response:
+            return response.status, response.headers["Content-Type"], response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers["Content-Type"], exc.read()
+
+
+class TestMetricsEndpoint:
+    def test_json_payload_shape(self, server, remote):
+        remote.enumerate(EnumerationRequest(algorithm="mule", alpha=0.5))
+        status, content_type, body = get_raw(server, "/v1/metrics")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["kind"] == "metrics"
+        snapshot = codec.metrics_from_wire(payload)
+        counters = snapshot["counters"]
+        assert any(key.startswith("engine_runs_total") for key in counters)
+        assert any(key.startswith("cache_lookups_total{") for key in counters)
+        assert any(key.startswith("http_requests_total{") for key in counters)
+        assert "sched_queue_depth" in snapshot["gauges"]
+        enumerate_series = [
+            data
+            for key, data in snapshot["histograms"].items()
+            if key.startswith("http_request_seconds{")
+            and "endpoint=/v1/enumerate" in key
+        ]
+        assert enumerate_series, sorted(snapshot["histograms"])
+        (series,) = enumerate_series
+        assert series["count"] >= 1
+        assert series["p50"] <= series["p99"]
+        assert len(series["counts"]) == len(series["bounds"]) + 1
+
+    def test_per_graph_cache_hit_rate_is_derivable(self, graph, server, remote):
+        remote.sweep([0.2, 0.3, 0.4])
+        snapshot = remote.metrics()
+        fingerprint = graph.fingerprint()
+        hits = snapshot["counters"].get(
+            f"cache_lookups_total{{graph={fingerprint},outcome=hit}}", 0.0
+        )
+        misses = sum(
+            value
+            for key, value in snapshot["counters"].items()
+            if key.startswith(f"cache_lookups_total{{graph={fingerprint}")
+            and "outcome=hit" not in key
+        )
+        # A 3-α sweep on one session: ≥1 compile, the rest derive/hit —
+        # either way the per-graph series exist and the rate is finite.
+        assert misses >= 1
+        assert 0.0 <= hits / (hits + misses) < 1.0
+
+    def test_prometheus_format(self, server, remote):
+        remote.enumerate(EnumerationRequest(algorithm="mule", alpha=0.5))
+        status, content_type, body = get_raw(server, "/v1/metrics?format=prometheus")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        text = body.decode("utf-8")
+        assert "# TYPE engine_runs_total counter" in text
+        assert "# TYPE sched_queue_depth gauge" in text
+        assert "# TYPE http_request_seconds histogram" in text
+        assert 'le="+Inf"' in text
+
+    def test_explicit_json_format(self, server):
+        status, _, body = get_raw(server, "/v1/metrics?format=json")
+        assert status == 200
+        assert json.loads(body)["kind"] == "metrics"
+
+    def test_unknown_format_is_a_400(self, server):
+        status, _, body = get_raw(server, "/v1/metrics?format=xml")
+        assert status == 400
+        payload = json.loads(body)
+        assert payload["type"] == "FormatError"
+        assert "expected 'json' or 'prometheus'" in payload["message"]
+
+    def test_unknown_query_parameter_is_a_400(self, server):
+        status, _, _ = get_raw(server, "/v1/metrics?fmt=json")
+        assert status == 400
+
+    def test_client_rejects_bad_format_clientside(self, remote):
+        with pytest.raises(FormatError):
+            remote._get("/v1/metrics?format=xml")
+
+
+class TestRemoteLocalParity:
+    def test_remote_metrics_match_the_registry(self, remote):
+        remote.enumerate(EnumerationRequest(algorithm="mule", alpha=0.5))
+        over_the_wire = remote.metrics()
+        local = obs_registry().snapshot()
+        # The server thread shares this process's registry; only the
+        # http_* series may drift (the /v1/metrics request itself is
+        # recorded after its response is written).
+        stable = lambda d: {  # noqa: E731
+            k: v for k, v in d.items() if not k.startswith("http_")
+        }
+        assert stable(over_the_wire["counters"]) == stable(local["counters"])
+        assert over_the_wire["gauges"] == local["gauges"]
+        assert stable(over_the_wire["histograms"]) == stable(local["histograms"])
+
+    def test_prometheus_text_mirrors_the_json_series(self, remote):
+        remote.enumerate(EnumerationRequest(algorithm="mule", alpha=0.5))
+        snapshot = remote.metrics()
+        text = remote.metrics_text()
+        for flat in snapshot["counters"]:
+            name = flat.partition("{")[0]
+            assert f"# TYPE {name} counter" in text
+
+
+class TestEnumerationDeterminism:
+    def test_identical_runs_move_identical_counters(self, graph):
+        request = EnumerationRequest(algorithm="mule", alpha=0.4)
+
+        def engine_delta():
+            before = {
+                key: value
+                for key, value in obs_registry().snapshot()["counters"].items()
+                if key.startswith("engine_")
+            }
+            outcome = MiningSession(graph).enumerate(request)
+            after = obs_registry().snapshot()["counters"]
+            return outcome, {
+                key: after.get(key, 0.0) - before.get(key, 0.0)
+                for key in after
+                if key.startswith("engine_")
+            }
+
+        first_outcome, first_delta = engine_delta()
+        second_outcome, second_delta = engine_delta()
+        second_outcome.assert_matches(first_outcome)
+        assert first_delta == second_delta
+        assert first_delta["engine_runs_total"] == 1.0
+        assert first_delta["engine_cliques_emitted_total"] == float(
+            first_outcome.num_cliques
+        )
+
+    def test_output_is_bit_identical_with_metrics_disabled(self, graph):
+        request = EnumerationRequest(algorithm="mule", alpha=0.4)
+        enabled = MiningSession(graph).enumerate(request)
+        reg = obs_registry()
+        reg.set_enabled(False)
+        try:
+            disabled = MiningSession(graph).enumerate(request)
+        finally:
+            reg.set_enabled(True)
+        disabled.assert_matches(enabled)
+
+
+class TestStatsTearResistance:
+    def test_per_graph_counters_never_exceed_aggregate_under_churn(self, graph):
+        """Regression for the stats tear: components snapshotted under
+        separate locks let per-graph sums race past the aggregate."""
+        with MiningServer(graph, port=0) as server:
+            remote = RemoteSession(server.url)
+            stop = threading.Event()
+            errors: list[Exception] = []
+
+            def churn():
+                alphas = [0.2, 0.3, 0.4, 0.5, 0.6]
+                i = 0
+                while not stop.is_set():
+                    try:
+                        remote.enumerate(
+                            EnumerationRequest(
+                                algorithm="mule", alpha=alphas[i % len(alphas)]
+                            )
+                        )
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+                        return
+                    i += 1
+
+            workers = [threading.Thread(target=churn) for _ in range(3)]
+            for worker in workers:
+                worker.start()
+            try:
+                for _ in range(50):
+                    payload = server.stats_payload()
+                    aggregate = payload["cache"]
+                    for field in ("hits", "misses", "compilations", "derivations"):
+                        total = sum(
+                            entry["cache"][field]
+                            for entry in payload["graphs"].values()
+                        )
+                        assert total <= aggregate[field], (field, payload)
+                    # Within one atomic snapshot the taxonomy holds too.
+                    assert (
+                        aggregate["misses"]
+                        == aggregate["compilations"] + aggregate["derivations"]
+                    )
+            finally:
+                stop.set()
+                for worker in workers:
+                    worker.join()
+            assert errors == []
+
+
+class TestTraceDir:
+    def test_each_request_writes_a_chrome_trace(self, graph, tmp_path):
+        trace_dir = tmp_path / "traces"
+        with MiningServer(graph, port=0, trace_dir=trace_dir) as server:
+            remote = RemoteSession(server.url)
+            remote.health()
+            remote.enumerate(EnumerationRequest(algorithm="mule", alpha=0.5))
+        files = sorted(trace_dir.glob("request-*.json"))
+        assert len(files) == 2
+        payload = json.loads(files[-1].read_text(encoding="utf-8"))
+        names = [event["name"] for event in payload["traceEvents"]]
+        assert names[0] == "http.request"
+        args = payload["traceEvents"][0]["args"]
+        assert args["endpoint"] == "/v1/enumerate"
+        assert args["method"] == "POST"
+
+
+class TestAccessLog:
+    def test_access_line_has_status_and_duration(self, graph, capfd):
+        with MiningServer(graph, port=0, quiet=False) as server:
+            RemoteSession(server.url).health()
+        err = capfd.readouterr().err
+        (line,) = [l for l in err.splitlines() if "/v1/health" in l]
+        assert '"GET /v1/health HTTP/1.1" 200 ' in line
+        assert line.rstrip().endswith("s")
+
+    def test_quiet_server_logs_nothing(self, graph, capfd):
+        with MiningServer(graph, port=0, quiet=True) as server:
+            RemoteSession(server.url).health()
+        assert capfd.readouterr().err == ""

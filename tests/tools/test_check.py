@@ -36,6 +36,7 @@ RULE_IDS = (
     "error-taxonomy",
     "kernel-determinism",
     "lock-discipline",
+    "metrics-discipline",
     "stopreason-exhaustive",
     "wire-freeze",
 )
@@ -59,7 +60,7 @@ def scan_one(
 # Framework: registry, findings, root discovery
 # --------------------------------------------------------------------- #
 class TestFramework:
-    def test_all_five_rules_register(self):
+    def test_all_six_rules_register(self):
         assert tuple(rule.rule_id for rule in all_rules()) == RULE_IDS
 
     def test_unknown_rule_selection_raises(self):
@@ -366,6 +367,71 @@ class TestStopReasonExhaustive:
         """
         assert not scan_one(
             tmp_path, "service/guard.py", source, "stopreason-exhaustive"
+        )
+
+
+# --------------------------------------------------------------------- #
+# metrics-discipline
+# --------------------------------------------------------------------- #
+BAD_METRICS = """
+    from repro.obs import registry as _obs_registry
+
+    _RENAMED = _obs_registry().counter("requests_total", "No layer prefix.")
+    _SHOUTY = _obs_registry().gauge("http_QueueDepth", "Not snake_case.")
+
+
+    def handle(name):
+        hits = _obs_registry().counter(name, "Dynamic name, in a function.")
+        for _ in range(3):
+            _obs_registry().histogram("http_lap_seconds", "In a loop.")
+        return hits
+"""
+
+CLEAN_METRICS = """
+    from repro.obs import MetricsRegistry, registry as _obs_registry
+
+    _REQUESTS = _obs_registry().counter(
+        "http_requests_total", "Requests served.", labelnames=("endpoint",)
+    )
+    _DEPTH = _obs_registry().gauge("sched_queue_depth", "Jobs waiting.")
+    _LATENCY = _obs_registry().histogram("http_request_seconds", "Latency.")
+
+
+    def scratch_fixture():
+        # Private registries are out of scope: only the global seam is
+        # held to the naming and module-scope conventions.
+        private = MetricsRegistry(enabled=True)
+        return private.counter("anything_goes", "Scratch instrument.")
+"""
+
+
+class TestMetricsDiscipline:
+    def test_bad_names_and_scopes_are_flagged(self, tmp_path):
+        findings = scan_one(
+            tmp_path, "service/metrics.py", BAD_METRICS, "metrics-discipline"
+        )
+        messages = " | ".join(finding.message for finding in findings)
+        # The in-function call trips both the literal-name and the
+        # placement check, so five findings for four planted sites.
+        assert len(findings) == 5
+        assert "'requests_total'" in messages
+        assert "'http_QueueDepth'" in messages
+        assert "without a literal metric name" in messages
+        assert "inside a function" in messages
+        assert "inside a loop" in messages
+
+    def test_module_scope_registrations_and_private_registries_are_clean(
+        self, tmp_path
+    ):
+        assert not scan_one(
+            tmp_path, "service/metrics.py", CLEAN_METRICS, "metrics-discipline"
+        )
+
+    def test_rule_covers_every_layer(self, tmp_path):
+        # Unlike the concurrency rules, metric registrations can appear
+        # anywhere the global seam is imported.
+        assert scan_one(
+            tmp_path, "core/anywhere.py", BAD_METRICS, "metrics-discipline"
         )
 
 
